@@ -1,0 +1,54 @@
+"""Extension experiment: shared-memory multicore vs message-passing cluster.
+
+Not a figure from the paper, but its motivating claim quantified: the same
+task graph on N shared-memory cores (collaborative scheduler) vs N
+single-core cluster nodes (subtree decomposition + separator messages, the
+related-work approach of IPDPS 2008).  Communication cost keeps the
+cluster clearly below the multicore, justifying the paper's platform
+choice.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table
+from repro.jt.generation import paper_tree
+from repro.jt.rerooting import reroot_optimally
+from repro.simcore.cluster import ClusterPolicy
+from repro.simcore.policies import CollaborativePolicy
+from repro.simcore.profiles import XEON
+from repro.tasks.dag import build_task_graph
+
+CORES = (1, 2, 4, 8)
+
+
+def test_cluster_vs_shared_memory(benchmark):
+    def run():
+        tree, _, _ = reroot_optimally(paper_tree(1))
+        graph = build_task_graph(tree)
+        shared = CollaborativePolicy()
+        shared_base = shared.simulate(graph, XEON, 1).makespan
+        cluster = ClusterPolicy()
+        cluster_base = cluster.simulate(graph, tree, 1).makespan
+        return {
+            "shared-memory cores": [
+                shared_base / shared.simulate(graph, XEON, p).makespan
+                for p in CORES
+            ],
+            "cluster nodes (GigE)": [
+                cluster_base / cluster.simulate(graph, tree, p).makespan
+                for p in CORES
+            ],
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "extension_cluster_vs_shared",
+        format_series_table(
+            "Extension — JT1 speedup: shared-memory multicore vs cluster",
+            "platform",
+            CORES,
+            rows,
+        ),
+    )
+    assert rows["shared-memory cores"][-1] > rows["cluster nodes (GigE)"][-1] + 1.0
+    assert rows["cluster nodes (GigE)"][-1] > 2.0

@@ -1,0 +1,41 @@
+"""Fig. 5 reproduction: speedup from junction-tree rerooting.
+
+Paper shape: Sp = t_original / t_rerooted approaches 2 once the thread
+count exceeds b; with 8 threads the b <= 4 trees reach ~1.9; larger b
+needs more threads.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table, run_fig5
+from repro.simcore.profiles import OPTERON, XEON
+
+CORES = tuple(range(1, 9))
+
+
+def test_fig5_rerooting_speedup(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig5(cores=CORES), rounds=1, iterations=1
+    )
+    for platform, per_b in results.items():
+        table = format_series_table(
+            f"Fig. 5 — rerooting speedup Sp vs #cores ({platform})",
+            "b",
+            CORES,
+            {str(b): sp for b, sp in per_b.items()},
+        )
+        record(f"fig5_{'xeon' if 'Xeon' in platform else 'opteron'}", table)
+
+    for platform, per_b in results.items():
+        for b, speedups in per_b.items():
+            # No rerooting benefit on one core.
+            assert abs(speedups[0] - 1.0) < 0.05
+            # Saturation at 2 once P > b (paper: ~1.9 at 8 cores for b <= 4).
+            if b <= 4:
+                assert speedups[-1] > 1.85
+            assert max(speedups) <= 2.05
+            # Monotone non-decreasing up to saturation.
+            assert speedups[-1] >= speedups[0]
+        # Larger b needs more threads: at P = 2 the b = 8 tree gains less
+        # than the b = 1 tree.
+        assert per_b[8][1] < per_b[1][1]

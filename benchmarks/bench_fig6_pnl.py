@@ -1,0 +1,35 @@
+"""Fig. 6 reproduction: PNL-style centralized inference scalability.
+
+Paper shape: for all three junction trees, execution time *increases*
+beyond ~4 processors — the centralized scheduler's coordination cost grows
+with the processor count until it dominates.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table, run_fig6
+
+PROCS = (1, 2, 4, 6, 8)
+
+
+def test_fig6_pnl_execution_time(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig6(processors=PROCS), rounds=1, iterations=1
+    )
+    record(
+        "fig6_pnl",
+        format_series_table(
+            "Fig. 6 — PNL-like centralized inference, execution time (s) "
+            "vs #processors (IBM P655-like)",
+            "workload",
+            PROCS,
+            results,
+            fmt="{:.3f}",
+        ),
+    )
+    for name, times in results.items():
+        by_proc = dict(zip(PROCS, times))
+        # Past 4 processors the time rises (the paper's headline finding).
+        assert by_proc[8] > by_proc[4], name
+        # Some parallelism helps initially.
+        assert min(times) < times[0], name

@@ -1,0 +1,53 @@
+"""Fig. 7 reproduction: scalability of the three methods on both platforms.
+
+Paper headlines: the proposed collaborative scheduler reaches 7.4x on Xeon
+and 7.1x on Opteron at 8 cores; it beats the OpenMP baseline by ~2.1x and
+the data-parallel baseline by ~1.8x.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table, run_fig7
+from repro.simcore.profiles import OPTERON, XEON
+
+CORES = (1, 2, 4, 8)
+
+
+def test_fig7_method_scalability(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig7(cores=CORES), rounds=1, iterations=1
+    )
+    for platform, rows in results.items():
+        tag = "xeon" if "Xeon" in platform else "opteron"
+        record(
+            f"fig7_{tag}",
+            format_series_table(
+                f"Fig. 7 — speedup vs #cores ({platform})",
+                "workload/method",
+                CORES,
+                rows,
+            ),
+        )
+
+    xeon = results[XEON.name]
+    opteron = results[OPTERON.name]
+
+    # Headline: near-linear speedup of the proposed method on JT1.
+    assert xeon["JT1/collaborative"][-1] > 7.0
+    assert opteron["JT1/collaborative"][-1] > 6.8
+    # Proposed beats OpenMP by about 2x at 8 cores (paper: 2.1).
+    ratio_omp = xeon["JT1/collaborative"][-1] / xeon["JT1/openmp"][-1]
+    assert 1.6 < ratio_omp < 2.9
+    # Proposed beats the data-parallel method (paper: 1.8 on Opteron).
+    ratio_dp = (
+        opteron["JT1/collaborative"][-1] / opteron["JT1/data-parallel"][-1]
+    )
+    assert 1.4 < ratio_dp < 2.6
+    # The proposed method is near-linear on every workload.
+    for platform_rows in results.values():
+        for name, speedups in platform_rows.items():
+            if name.endswith("collaborative"):
+                assert speedups[-1] > 6.0, name
+            else:
+                # Baselines saturate well below the proposed method.
+                assert speedups[-1] < 5.5, name

@@ -1,0 +1,44 @@
+"""Fig. 8 reproduction: load balance and scheduler overhead on JT1.
+
+Paper shape: (a) per-thread computation times are nearly equal at every
+thread count; (b) scheduling overhead stays below 0.9 % of execution time.
+"""
+
+from common import record
+
+from repro.experiments import run_fig8
+
+THREADS = tuple(range(1, 9))
+
+
+def _format(result) -> str:
+    lines = [
+        "Fig. 8 — collaborative scheduler on Junction tree 1 "
+        "(AMD Opteron-like)",
+        "(a) per-thread computation time (s); (b) sched overhead ratio",
+        f"{'P':>2}  {'per-thread compute times':<58}  {'imbal':>6}  {'ratio':>7}",
+        "-" * 82,
+    ]
+    for p in THREADS:
+        times = result.compute_per_thread[p]
+        times_str = " ".join(f"{t:.3f}" for t in times)
+        lines.append(
+            f"{p:>2}  {times_str:<58}  "
+            f"{result.load_imbalance[p]:>6.3f}  "
+            f"{result.sched_ratio[p]*100:>6.3f}%"
+        )
+    return "\n".join(lines)
+
+
+def test_fig8_load_balance_and_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig8(thread_counts=THREADS), rounds=1, iterations=1
+    )
+    record("fig8_load_balance", _format(result))
+
+    for p in THREADS:
+        # (a) near-equal workload across threads.
+        assert result.load_imbalance[p] < 1.10, f"P={p}"
+        # (b) the paper's bound: scheduling below 0.9 % of execution time.
+        assert result.sched_ratio[p] < 0.009, f"P={p}"
+        assert len(result.compute_per_thread[p]) == p

@@ -1,0 +1,49 @@
+"""Fig. 9 reproduction: parameter sweeps around Junction tree 1.
+
+Paper shape: all configurations scale almost linearly (speedup > 7 at 8
+cores for the N sweep) except the small-table case w_C = 10, r = 2, where
+per-task overheads dominate 1024-entry potential tables.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table, run_fig9
+
+CORES = (1, 2, 4, 8)
+
+
+def test_fig9_parameter_sweeps(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_fig9(cores=CORES), rounds=1, iterations=1
+    )
+    for panel, rows in results.items():
+        tag = panel.split(":")[0].strip()
+        record(
+            f"fig9{tag}",
+            format_series_table(
+                f"Fig. 9({panel}) — proposed method speedup vs #cores "
+                "(Intel Xeon-like)",
+                "configuration",
+                CORES,
+                rows,
+            ),
+        )
+
+    n_sweep = results["a: number of cliques N"]
+    for name, speedups in n_sweep.items():
+        # Paper: "speedups ... with various values for N were all above 7".
+        assert speedups[-1] > 7.0, name
+
+    w_sweep = results["b: clique width w_C"]
+    assert w_sweep["clique_width=20"][-1] > 7.0
+    # w = 10 at r = 2: small tables, overheads dominate (paper call-out).
+    assert w_sweep["clique_width=10"][-1] < 6.0
+
+    r_sweep = results["c: number of states r"]
+    assert r_sweep["states=3"][-1] > r_sweep["states=2"][-1]
+
+    k_sweep = results["d: avg children k"]
+    for name, speedups in k_sweep.items():
+        # Paper: "all of them achieved speedups of more than 7 using 8
+        # cores" when k varies.
+        assert speedups[-1] > 6.5, name

@@ -1,0 +1,74 @@
+"""Wall-clock benchmarks of the inference engines themselves.
+
+HUGIN-style task-graph propagation vs the lazy Shafer-Shenoy engine
+(fresh and incremental), plus junction-tree construction and MPE, on a
+moderate random network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+from repro.inference.shafershenoy import ShaferShenoyEngine
+from repro.jt.build import junction_tree_from_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_network(
+        60, cardinality=2, max_parents=3, edge_probability=0.5, seed=17
+    )
+
+
+@pytest.fixture(scope="module")
+def tree(network):
+    return junction_tree_from_network(network)
+
+
+def test_junction_tree_construction(benchmark, network):
+    tree = benchmark(lambda: junction_tree_from_network(network))
+    assert tree.num_cliques > 1
+
+
+def test_hugin_full_propagation(benchmark, network):
+    engine = InferenceEngine.from_network(network)
+    engine.set_evidence({1: 1, 30: 0})
+
+    def run():
+        engine.propagate()
+        return engine.marginal(50)
+
+    marginal = benchmark(run)
+    assert np.isclose(marginal.sum(), 1.0)
+
+
+def test_shafershenoy_fresh_query(benchmark, tree):
+    def run():
+        engine = ShaferShenoyEngine(tree)
+        engine.observe(1, 1)
+        return engine.marginal(50)
+
+    marginal = benchmark(run)
+    assert np.isclose(marginal.sum(), 1.0)
+
+
+def test_shafershenoy_incremental_update(benchmark, tree):
+    engine = ShaferShenoyEngine(tree)
+    engine.marginal(50)  # warm the cache
+    state = [0]
+
+    def run():
+        state[0] ^= 1
+        engine.observe(1, state[0])
+        return engine.marginal(50)
+
+    marginal = benchmark(run)
+    assert np.isclose(marginal.sum(), 1.0)
+
+
+def test_mpe_query(benchmark, network):
+    engine = InferenceEngine.from_network(network)
+    engine.set_evidence({1: 1})
+    assignment, prob = benchmark(engine.mpe)
+    assert prob > 0

@@ -1,0 +1,37 @@
+"""Extension experiment: many-core projection (Section 8 outlook).
+
+Shape claim: the shared-lock collaborative scheduler loses ground to the
+work-stealing variant as core counts grow past the paper's 8, because its
+per-task lock cost scales with P.
+"""
+
+from common import record
+
+from repro.experiments import format_series_table
+from repro.experiments.manycore import run_manycore
+
+CORES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_manycore_projection(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_manycore(cores=CORES), rounds=1, iterations=1
+    )
+    record(
+        "extension_manycore",
+        format_series_table(
+            "Extension — JT1 speedup projected to many-core (Xeon-like)",
+            "scheduler",
+            CORES,
+            results,
+        ),
+    )
+    shared = results["collaborative (shared locks)"]
+    stealing = results["work-stealing (Section 8)"]
+    # The serialized global-list lock caps and then *degrades* the
+    # shared-lock scheduler ("lock contention will increase dramatically").
+    assert max(shared) < 8.0
+    assert shared[-1] < max(shared)
+    # Work stealing keeps scaling well past the paper's 8 cores.
+    assert stealing[-1] > 3.0 * shared[-1]
+    assert stealing[4] > 12.0  # 16 cores

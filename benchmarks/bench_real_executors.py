@@ -1,0 +1,62 @@
+"""Wall-clock benchmarks of the real (threaded) executors.
+
+These measure actual Python execution of evidence propagation — the
+functional twins of the simulated policies.  Because of the GIL the
+threaded numbers demonstrate overhead, not speedup; the figures' speedup
+curves come from the simulator benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jt.generation import synthetic_tree
+from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.serial import SerialExecutor
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tree = synthetic_tree(
+        64, clique_width=8, states=2, avg_children=3, seed=77
+    )
+    tree.initialize_potentials(np.random.default_rng(77))
+    graph = build_task_graph(tree)
+    return tree, graph
+
+
+def test_serial_executor_wall_clock(benchmark, workload):
+    tree, graph = workload
+    stats = benchmark(lambda: SerialExecutor().run(graph, PropagationState(tree)))
+    assert stats.tasks_executed == graph.num_tasks
+
+
+def test_collaborative_executor_wall_clock(benchmark, workload):
+    tree, graph = workload
+    executor = CollaborativeExecutor(num_threads=4, partition_threshold=4096)
+    stats = benchmark(lambda: executor.run(graph, PropagationState(tree)))
+    assert stats.tasks_executed == graph.num_tasks
+
+
+def test_level_parallel_executor_wall_clock(benchmark, workload):
+    tree, graph = workload
+    executor = LevelParallelExecutor(num_threads=4)
+    stats = benchmark(lambda: executor.run(graph, PropagationState(tree)))
+    assert stats.tasks_executed == graph.num_tasks
+
+
+def test_data_parallel_executor_wall_clock(benchmark, workload):
+    tree, graph = workload
+    executor = DataParallelExecutor(num_threads=4)
+    stats = benchmark(lambda: executor.run(graph, PropagationState(tree)))
+    assert stats.tasks_executed == graph.num_tasks
+
+
+def test_task_graph_construction_wall_clock(benchmark):
+    tree = synthetic_tree(
+        512, clique_width=15, states=2, avg_children=4, seed=3
+    )
+    graph = benchmark(lambda: build_task_graph(tree))
+    assert graph.num_tasks == 8 * (tree.num_cliques - 1)

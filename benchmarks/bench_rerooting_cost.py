@@ -1,0 +1,59 @@
+"""Section 7's rerooting-cost measurements.
+
+Paper claims: Algorithm 1 is O(w_C N) against the straightforward
+O(w_C N^2) method, and its runtime is negligible relative to evidence
+propagation (24 µs vs ~milliseconds-to-seconds overall).
+"""
+
+from common import record
+
+from repro.experiments import run_rerooting_cost
+
+SIZES = (64, 128, 256, 512)
+
+
+def _format(result) -> str:
+    lines = [
+        "Rerooting cost — Algorithm 1 vs brute force (measured wall clock)",
+        f"{'N':>5}  {'Alg.1 (ms)':>11}  {'brute (ms)':>11}  "
+        f"{'brute/Alg.1':>11}  {'modeled overhead':>17}",
+        "-" * 65,
+    ]
+    for n in SIZES:
+        fast = result.fast_seconds[n] * 1e3
+        brute = result.brute_seconds[n] * 1e3
+        frac = result.modeled_fraction[n]
+        lines.append(
+            f"{n:>5}  {fast:>11.3f}  {brute:>11.3f}  "
+            f"{brute / max(fast, 1e-9):>11.1f}  {frac:>16.2e}"
+        )
+    return "\n".join(lines)
+
+
+def test_rerooting_cost_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_rerooting_cost(sizes=SIZES), rounds=1, iterations=1
+    )
+    record("rerooting_cost", _format(result))
+
+    # O(N) vs O(N^2): the brute-force advantage ratio grows with N.
+    ratios = [
+        result.brute_seconds[n] / result.fast_seconds[n] for n in SIZES
+    ]
+    assert ratios[-1] > 4 * ratios[0] * 0.5  # superlinear growth, with slack
+    assert ratios[-1] > 20
+    # Rerooting overhead is negligible against propagation.
+    for n in SIZES:
+        assert result.modeled_fraction[n] < 1e-3
+
+
+def test_algorithm1_wall_clock(benchmark):
+    """Direct pytest-benchmark timing of Algorithm 1 on a 512-clique tree."""
+    from repro.jt.generation import synthetic_tree
+    from repro.jt.rerooting import select_root
+
+    tree = synthetic_tree(
+        512, clique_width=15, states=2, avg_children=4, seed=0
+    )
+    root, weight = benchmark(lambda: select_root(tree))
+    assert weight > 0

@@ -1,0 +1,24 @@
+"""Seed-robustness of the headline 7.4x speedup (not a paper figure)."""
+
+from common import record
+
+from repro.experiments.robustness import run_robustness
+
+SEEDS = tuple(range(5))
+
+
+def test_headline_speedup_is_seed_robust(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_robustness(seeds=SEEDS), rounds=1, iterations=1
+    )
+    lines = [
+        "Robustness — JT1 collaborative 8-core speedup across workload seeds",
+        "seed     " + "  ".join(f"{s:>5}" for s in result.seeds),
+        "speedup  " + "  ".join(f"{v:>5.2f}" for v in result.speedups),
+        f"mean {result.mean:.2f}, spread {result.spread:.2f}",
+    ]
+    record("robustness_seeds", "\n".join(lines))
+    # Every seed lands near the paper's 7.4, and the spread is small.
+    for speedup in result.speedups:
+        assert speedup > 7.0
+    assert result.spread < 0.5

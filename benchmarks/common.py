@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing: a registry of result tables.
+
+Each benchmark records the paper-style table it regenerates; the registry
+is dumped at the end of the pytest session (see ``conftest.py``) and also
+written to ``benchmarks/results/`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import OrderedDict
+
+RESULTS: "OrderedDict[str, str]" = OrderedDict()
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, table: str) -> None:
+    """Register a formatted result table under ``name`` and persist it."""
+    RESULTS[name] = table
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")

@@ -1,0 +1,19 @@
+"""Benchmark session hooks: print every recorded experiment table."""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from common import RESULTS  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not RESULTS:
+        return
+    terminalreporter.section("paper experiment reproductions")
+    for name, table in RESULTS.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(table)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Closing the loop: sample -> learn -> exact inference -> validate.
+
+Draws data from a ground-truth Bayesian network with forward sampling,
+refits the CPTs by smoothed maximum likelihood on the known structure,
+and compares the learned model's junction-tree posteriors against the
+ground truth and against likelihood-weighting estimates.
+
+Run:  python examples/learning_pipeline.py
+"""
+
+import numpy as np
+
+from repro import BayesianNetwork, InferenceEngine, random_network
+from repro.bn.learning import fit_cpts, log_likelihood
+from repro.bn.sampling import forward_sample, likelihood_weighting
+
+
+def main():
+    truth = random_network(
+        12, cardinality=2, max_parents=3, edge_probability=0.6, seed=7
+    )
+    print(f"ground truth: {truth.num_variables} variables, "
+          f"{len(truth.edges())} edges")
+
+    data = forward_sample(truth, 5000, seed=7)
+    print(f"sampled {len(data)} complete records")
+
+    learned = BayesianNetwork(list(truth.cardinalities))
+    for parent, child in truth.edges():
+        learned.add_edge(parent, child)
+    fit_cpts(learned, data, alpha=1.0)
+    print(f"log-likelihood of data under learned model: "
+          f"{log_likelihood(learned, data):,.0f}")
+
+    evidence = {0: 1, 5: 0}
+    target = 9
+
+    truth_engine = InferenceEngine.from_network(truth)
+    truth_engine.set_evidence(evidence)
+    truth_engine.propagate()
+    exact_truth = truth_engine.marginal(target)
+
+    learned_engine = InferenceEngine.from_network(learned)
+    learned_engine.set_evidence(evidence)
+    learned_engine.propagate()
+    exact_learned = learned_engine.marginal(target)
+
+    approx = likelihood_weighting(
+        truth, target, evidence, num_samples=4000, seed=7
+    )
+
+    print(f"\nposterior P(X{target} | X0=1, X5=0):")
+    print(f"  ground-truth model (exact JT):  {np.round(exact_truth, 4)}")
+    print(f"  learned model      (exact JT):  {np.round(exact_learned, 4)}")
+    print(f"  likelihood weighting estimate:  {np.round(approx, 4)}")
+    gap = float(np.abs(exact_truth - exact_learned).max())
+    print(f"\nlearned-vs-truth max gap: {gap:.4f} "
+          f"({'OK' if gap < 0.05 else 'needs more data'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Most-probable-explanation decoding over a noisy channel.
+
+A hidden Markov chain of 12 binary "transmitted bits" (each bit tends to
+repeat the previous one) is observed through a noisy channel that flips
+each bit with 20% probability.  MPE inference over the junction tree
+recovers the most probable transmitted sequence from the received one —
+Viterbi decoding expressed as max-product evidence propagation, built on
+the same junction-tree substrate as the paper's sum-product propagation.
+
+Run:  python examples/mpe_decoding.py
+"""
+
+import numpy as np
+
+from repro import BayesianNetwork, InferenceEngine, PotentialTable
+
+BITS = 12
+STAY = 0.85  # P(bit == previous bit)
+NOISE = 0.2  # channel flip probability
+
+
+def build_channel_model() -> BayesianNetwork:
+    """Variables 0..BITS-1: transmitted; BITS..2*BITS-1: received."""
+    bn = BayesianNetwork([2] * (2 * BITS))
+    for i in range(1, BITS):
+        bn.add_edge(i - 1, i)
+    for i in range(BITS):
+        bn.add_edge(i, BITS + i)
+
+    bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+    repeat = np.array([[STAY, 1 - STAY], [1 - STAY, STAY]])
+    for i in range(1, BITS):
+        bn.set_cpt(i, PotentialTable([i - 1, i], [2, 2], repeat))
+    flip = np.array([[1 - NOISE, NOISE], [NOISE, 1 - NOISE]])
+    for i in range(BITS):
+        bn.set_cpt(
+            BITS + i, PotentialTable([i, BITS + i], [2, 2], flip)
+        )
+    return bn
+
+
+def main():
+    rng = np.random.default_rng(1)
+    # Ground truth: two long runs, the regime the chain prior favours.
+    transmitted = [1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0]
+    received = [
+        bit ^ int(rng.random() < NOISE) for bit in transmitted
+    ]
+
+    bn = build_channel_model()
+    engine = InferenceEngine.from_network(bn)
+    engine.set_evidence({BITS + i: received[i] for i in range(BITS)})
+
+    assignment, prob = engine.mpe()
+    decoded = [assignment[i] for i in range(BITS)]
+
+    def row(label, bits):
+        return f"{label:<12} " + " ".join(str(b) for b in bits)
+
+    print(row("transmitted", transmitted))
+    print(row("received", received))
+    print(row("decoded", decoded))
+    errors_raw = sum(a != b for a, b in zip(transmitted, received))
+    errors_dec = sum(a != b for a, b in zip(transmitted, decoded))
+    print(f"\nchannel errors: {errors_raw}, decoding errors: {errors_dec}")
+    print(f"P(decoded sequence, received bits) = {prob:.3e}")
+
+    # Posterior bit-wise confidence from sum-product propagation.
+    engine.propagate()
+    confidence = [engine.marginal(i)[decoded[i]] for i in range(BITS)]
+    print(row("confidence", [f"{c:.2f}" for c in confidence]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: exact inference on a random Bayesian network.
+
+Builds a random 20-variable network, compiles it to a junction tree
+(moralize -> triangulate -> clique tree), reroots it with Algorithm 1,
+and answers posterior queries under evidence — serially and with the
+collaborative parallel scheduler, checking they agree.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CollaborativeExecutor, InferenceEngine, random_network
+
+
+def main():
+    # A random 20-variable binary network.
+    bn = random_network(
+        num_variables=20,
+        cardinality=2,
+        max_parents=3,
+        edge_probability=0.6,
+        seed=2009,
+    )
+    print(f"network: {bn.num_variables} variables, {len(bn.edges())} edges")
+
+    # Compile to a junction tree and reroot for the shortest critical path.
+    engine = InferenceEngine.from_network(bn)
+    print(
+        f"junction tree: {engine.jt.num_cliques} cliques, "
+        f"{engine.task_graph.num_tasks} propagation tasks, "
+        f"root clique {engine.jt.root}"
+    )
+
+    # Prior marginal of variable 7.
+    engine.propagate()
+    prior = engine.marginal(7)
+    print(f"P(X7)              = {np.round(prior, 4)}")
+
+    # Posterior after observing two variables.
+    engine.set_evidence({3: 1, 12: 0})
+    engine.propagate()
+    posterior = engine.marginal(7)
+    print(f"P(X7 | X3=1,X12=0) = {np.round(posterior, 4)}")
+    print(f"P(evidence)        = {engine.likelihood():.6f}")
+
+    # The same query through the parallel collaborative scheduler
+    # (Algorithm 2 of the paper) gives bitwise-identical results.
+    engine.propagate(CollaborativeExecutor(num_threads=4, partition_threshold=4096))
+    parallel = engine.marginal(7)
+    assert np.allclose(parallel, posterior)
+    stats = engine.last_stats
+    print(
+        f"parallel run: {stats.num_threads} threads, "
+        f"{stats.tasks_executed} tasks "
+        f"({stats.tasks_partitioned} partitioned), "
+        f"load imbalance {stats.load_imbalance():.3f}"
+    )
+    print("serial and parallel posteriors match.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Junction-tree rerooting for critical-path minimization (paper Section 4).
+
+Builds the Fig. 4 template tree — b + 1 chains meeting at a junction
+clique, rooted at the far end of branch 0 — runs Algorithm 1 to find the
+optimal root, and shows the critical-path weight and the simulated
+parallel propagation time before and after rerooting.
+
+Run:  python examples/rerooting_demo.py
+"""
+
+from repro import template_tree
+from repro.jt.rerooting import (
+    critical_path_weight,
+    reroot,
+    select_root,
+    select_root_bruteforce,
+)
+from repro.simcore import XEON, CollaborativePolicy
+from repro.tasks.dag import build_task_graph
+
+
+def main():
+    b = 4
+    tree = template_tree(b, num_cliques=512, clique_width=15)
+    print(
+        f"template tree: {tree.num_cliques} cliques, {b + 1} branches, "
+        f"rooted at the far end of branch 0"
+    )
+
+    before = critical_path_weight(tree)
+    new_root, after = select_root(tree)
+    brute_root, brute_weight = select_root_bruteforce(tree)
+    print(f"critical path weight, original root : {before:,.0f}")
+    print(f"critical path weight, Algorithm 1   : {after:,.0f}")
+    print(f"Algorithm 1 picked clique {new_root} "
+          f"(junction clique = {tree.num_cliques - 1})")
+    assert after == brute_weight, "Algorithm 1 disagrees with brute force"
+    print("matches the O(N^2) brute-force search.")
+
+    rerooted = reroot(tree, new_root)
+    policy = CollaborativePolicy(partition_threshold=None)
+    graph_orig = build_task_graph(tree)
+    graph_new = build_task_graph(rerooted)
+    print("\nsimulated evidence propagation (Xeon-like, partitioning off):")
+    print(f"{'cores':>5}  {'original (ms)':>13}  {'rerooted (ms)':>13}  {'Sp':>5}")
+    for p in (1, 2, 4, 8):
+        t0 = policy.simulate(graph_orig, XEON, p).makespan * 1e3
+        t1 = policy.simulate(graph_new, XEON, p).makespan * 1e3
+        print(f"{p:>5}  {t0:>13.2f}  {t1:>13.2f}  {t0 / t1:>5.2f}")
+    print("\nSp saturates at 2 once the core count exceeds b, "
+          "as in the paper's Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — Parallel Evidence Propagation on Multicore Processors.
+
+A full reproduction of Xia, Feng & Prasanna (PACT 2009): junction-tree
+rerooting for critical-path minimization, DAG task decomposition of evidence
+propagation, a collaborative work-sharing scheduler, and a calibrated
+multicore simulator that regenerates the paper's evaluation figures.
+
+Public API highlights
+---------------------
+* :class:`~repro.inference.engine.InferenceEngine` — end-to-end exact
+  inference (network -> junction tree -> reroot -> task DAG -> propagate).
+* :mod:`repro.bn` — Bayesian networks, moralization, triangulation.
+* :mod:`repro.jt` — junction trees, synthetic generators, rerooting.
+* :mod:`repro.sched` — serial/collaborative/baseline executors (threads).
+* :mod:`repro.simcore` — the discrete-event multicore simulator and
+  scheduling policies used for the speedup experiments.
+"""
+
+from repro.bn.generation import chain_network, naive_bayes_network, random_network
+from repro.bn.network import BayesianNetwork
+from repro.inference.engine import InferenceEngine
+from repro.inference.evidence import Evidence
+from repro.inference.shafershenoy import ShaferShenoyEngine
+from repro.jt.build import junction_tree_from_network
+from repro.jt.generation import paper_tree, synthetic_tree, template_tree
+from repro.jt.junction_tree import Clique, JunctionTree
+from repro.jt.rerooting import reroot, reroot_optimally, select_root
+from repro.potential.table import PotentialTable
+from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.serial import SerialExecutor
+from repro.sched.workstealing import WorkStealingExecutor
+from repro.tasks.dag import build_task_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayesianNetwork",
+    "random_network",
+    "chain_network",
+    "naive_bayes_network",
+    "PotentialTable",
+    "Clique",
+    "JunctionTree",
+    "junction_tree_from_network",
+    "template_tree",
+    "synthetic_tree",
+    "paper_tree",
+    "select_root",
+    "reroot",
+    "reroot_optimally",
+    "build_task_graph",
+    "Evidence",
+    "InferenceEngine",
+    "ShaferShenoyEngine",
+    "SerialExecutor",
+    "CollaborativeExecutor",
+    "LevelParallelExecutor",
+    "DataParallelExecutor",
+    "WorkStealingExecutor",
+]

@@ -1,0 +1,98 @@
+"""Builders for common conditional probability distributions.
+
+Convenience constructors producing :class:`~repro.potential.table.PotentialTable`
+CPTs in the ``parents + (child,)`` scope convention expected by
+:meth:`BayesianNetwork.set_cpt`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.potential.table import PotentialTable
+
+
+def uniform_cpd(
+    child: int, child_card: int
+) -> PotentialTable:
+    """A parentless uniform prior."""
+    return PotentialTable(
+        [child], [child_card], np.full(child_card, 1.0 / child_card)
+    )
+
+
+def tabular_cpd(
+    child: int,
+    child_card: int,
+    parents: Sequence[int],
+    parent_cards: Sequence[int],
+    rows: np.ndarray,
+) -> PotentialTable:
+    """CPT from an explicit row table.
+
+    ``rows`` has shape ``parent_cards + (child_card,)`` (or flat), each row
+    a distribution over the child's states.
+    """
+    scope = list(parents) + [child]
+    cards = list(parent_cards) + [child_card]
+    table = PotentialTable(scope, cards, np.asarray(rows, dtype=np.float64))
+    sums = table.values.sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValueError("each row must sum to 1")
+    return table
+
+
+def deterministic_cpd(
+    child: int,
+    child_card: int,
+    parents: Sequence[int],
+    parent_cards: Sequence[int],
+    fn: Callable[..., int],
+) -> PotentialTable:
+    """Deterministic CPT: ``child = fn(*parent_states)``."""
+    scope = list(parents) + [child]
+    cards = list(parent_cards) + [child_card]
+    values = np.zeros(cards)
+    for combo in product(*(range(c) for c in parent_cards)):
+        state = int(fn(*combo))
+        if not 0 <= state < child_card:
+            raise ValueError(
+                f"fn{combo} returned {state}, outside [0, {child_card})"
+            )
+        values[combo + (state,)] = 1.0
+    return PotentialTable(scope, cards, values)
+
+
+def noisy_or_cpd(
+    child: int,
+    parents: Sequence[int],
+    activation: Sequence[float],
+    leak: float = 0.0,
+) -> PotentialTable:
+    """Binary noisy-OR: each active parent independently triggers the child.
+
+    ``activation[i]`` is the probability parent ``i`` (when in state 1)
+    turns the child on; ``leak`` is the probability the child turns on
+    with no active parent.  All variables are binary.
+    """
+    if len(activation) != len(parents):
+        raise ValueError("need one activation probability per parent")
+    if not 0.0 <= leak < 1.0:
+        raise ValueError("leak must be in [0, 1)")
+    for p in activation:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("activation probabilities must be in [0, 1]")
+    scope = list(parents) + [child]
+    cards = [2] * len(scope)
+    values = np.zeros(cards)
+    for combo in product((0, 1), repeat=len(parents)):
+        p_off = (1.0 - leak)
+        for active, prob in zip(combo, activation):
+            if active:
+                p_off *= 1.0 - prob
+        values[combo + (0,)] = p_off
+        values[combo + (1,)] = 1.0 - p_off
+    return PotentialTable(scope, cards, values)

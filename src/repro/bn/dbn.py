@@ -1,0 +1,173 @@
+"""Dynamic Bayesian networks by 2-TBN unrolling.
+
+A :class:`DynamicBayesianNetwork` is specified as a prior over the slice-0
+variables plus a transition model (a two-slice template): intra-slice
+edges and inter-slice edges from slice ``t`` to ``t + 1``.  Unrolling to
+``T`` slices yields an ordinary :class:`BayesianNetwork` over
+``T * num_slice_variables`` variables, which feeds directly into the
+junction-tree inference stack — filtering and smoothing are then plain
+posterior queries on the unrolled network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.potential.table import PotentialTable
+
+
+class DynamicBayesianNetwork:
+    """A two-slice temporal template.
+
+    Parameters
+    ----------
+    slice_cardinalities:
+        Cardinalities of the per-slice variables ``0 .. k-1``.
+    """
+
+    def __init__(self, slice_cardinalities: Sequence[int]):
+        self.slice_cards = tuple(int(c) for c in slice_cardinalities)
+        if any(c < 2 for c in self.slice_cards):
+            raise ValueError("every variable needs at least 2 states")
+        self.k = len(self.slice_cards)
+        # Edges: intra (u, v) within a slice; inter (u, v) u@t -> v@t+1.
+        self.intra_edges: List[Tuple[int, int]] = []
+        self.inter_edges: List[Tuple[int, int]] = []
+        self._prior_cpts: Dict[int, PotentialTable] = {}
+        self._transition_cpts: Dict[int, PotentialTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Template construction
+    # ------------------------------------------------------------------ #
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.k:
+            raise ValueError(f"slice variable {v} out of range [0, {self.k})")
+
+    def add_intra_edge(self, parent: int, child: int) -> None:
+        """Edge within every slice (``parent@t -> child@t``)."""
+        self._check(parent)
+        self._check(child)
+        if parent == child:
+            raise ValueError("intra-slice self loops are not allowed")
+        self.intra_edges.append((parent, child))
+
+    def add_inter_edge(self, parent: int, child: int) -> None:
+        """Temporal edge (``parent@t -> child@t+1``); self-arcs allowed."""
+        self._check(parent)
+        self._check(child)
+        self.inter_edges.append((parent, child))
+
+    def set_prior_cpt(self, v: int, table: PotentialTable) -> None:
+        """CPT of ``v`` at slice 0, conditioned on its intra-slice parents.
+
+        Scope uses slice-variable ids (intra parents + ``v``).
+        """
+        self._check(v)
+        self._prior_cpts[v] = table
+
+    def set_transition_cpt(self, v: int, table: PotentialTable) -> None:
+        """CPT of ``v`` at slice ``t >= 1``.
+
+        Scope convention: intra-slice parents and ``v`` use their slice ids
+        ``0..k-1``; previous-slice parents use ``id + k``.
+        """
+        self._check(v)
+        self._transition_cpts[v] = table
+
+    # ------------------------------------------------------------------ #
+    # Unrolling
+    # ------------------------------------------------------------------ #
+
+    def variable_at(self, v: int, t: int) -> int:
+        """Unrolled id of slice-variable ``v`` at time ``t``."""
+        self._check(v)
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        return t * self.k + v
+
+    def unroll(self, num_slices: int) -> BayesianNetwork:
+        """An ordinary network over ``num_slices`` time slices."""
+        if num_slices < 1:
+            raise ValueError("num_slices must be >= 1")
+        if len(self._prior_cpts) != self.k:
+            raise ValueError("every slice variable needs a prior CPT")
+        if num_slices > 1 and len(self._transition_cpts) != self.k:
+            raise ValueError("every slice variable needs a transition CPT")
+        cards = list(self.slice_cards) * num_slices
+        bn = BayesianNetwork(cards)
+        for t in range(num_slices):
+            for parent, child in self.intra_edges:
+                bn.add_edge(self.variable_at(parent, t), self.variable_at(child, t))
+        for t in range(num_slices - 1):
+            for parent, child in self.inter_edges:
+                bn.add_edge(
+                    self.variable_at(parent, t), self.variable_at(child, t + 1)
+                )
+        # Slice-0 CPTs.
+        for v in range(self.k):
+            cpt = self._prior_cpts[v]
+            scope = [self.variable_at(u, 0) for u in cpt.variables]
+            bn.set_cpt(
+                self.variable_at(v, 0),
+                PotentialTable(scope, cpt.cardinalities, cpt.values),
+            )
+        # Transition CPTs for t >= 1: ids < k live at slice t, ids >= k at
+        # slice t-1.
+        for t in range(1, num_slices):
+            for v in range(self.k):
+                cpt = self._transition_cpts[v]
+                scope = []
+                for u in cpt.variables:
+                    if u < self.k:
+                        scope.append(self.variable_at(u, t))
+                    else:
+                        scope.append(self.variable_at(u - self.k, t - 1))
+                bn.set_cpt(
+                    self.variable_at(v, t),
+                    PotentialTable(scope, cpt.cardinalities, cpt.values),
+                )
+        return bn
+
+
+def make_hmm(
+    num_states: int,
+    num_observations: int,
+    initial: np.ndarray,
+    transition: np.ndarray,
+    emission: np.ndarray,
+) -> DynamicBayesianNetwork:
+    """A hidden Markov model as a DBN (state = var 0, observation = var 1).
+
+    ``transition[i, j] = P(state_{t+1}=j | state_t=i)``;
+    ``emission[i, o] = P(obs=o | state=i)``.
+    """
+    initial = np.asarray(initial, dtype=np.float64)
+    transition = np.asarray(transition, dtype=np.float64)
+    emission = np.asarray(emission, dtype=np.float64)
+    if initial.shape != (num_states,):
+        raise ValueError("initial must have one entry per state")
+    if transition.shape != (num_states, num_states):
+        raise ValueError("transition must be square over states")
+    if emission.shape != (num_states, num_observations):
+        raise ValueError("emission must be (states, observations)")
+    dbn = DynamicBayesianNetwork([num_states, num_observations])
+    dbn.add_intra_edge(0, 1)
+    dbn.add_inter_edge(0, 0)
+    dbn.set_prior_cpt(0, PotentialTable([0], [num_states], initial))
+    dbn.set_prior_cpt(
+        1,
+        PotentialTable([0, 1], [num_states, num_observations], emission),
+    )
+    # Transition: state@t depends on state@(t-1) (id 0 + k = 2).
+    dbn.set_transition_cpt(
+        0, PotentialTable([2, 0], [num_states, num_states], transition)
+    )
+    dbn.set_transition_cpt(
+        1,
+        PotentialTable([0, 1], [num_states, num_observations], emission),
+    )
+    return dbn

@@ -1,0 +1,70 @@
+"""Random Bayesian-network generators for synthetic workloads.
+
+The paper generates junction trees with Bayes Net Toolbox; these generators
+play the same role: controlled-size networks whose CPTs are strictly
+positive so propagation never divides by zero.
+"""
+
+from __future__ import annotations
+
+from repro.bn.network import BayesianNetwork
+from repro.util.rng import SeedLike, make_rng
+
+
+def random_network(
+    num_variables: int,
+    cardinality: int = 2,
+    max_parents: int = 3,
+    edge_probability: float = 0.3,
+    seed: SeedLike = None,
+) -> BayesianNetwork:
+    """A random DAG over ``num_variables`` variables with random CPTs.
+
+    Variables are created in topological order: each variable picks up to
+    ``max_parents`` parents among its predecessors, each with probability
+    ``edge_probability``, so the result is acyclic by construction.
+    """
+    if num_variables < 1:
+        raise ValueError("num_variables must be >= 1")
+    if max_parents < 0:
+        raise ValueError("max_parents must be >= 0")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    bn = BayesianNetwork([cardinality] * num_variables)
+    for child in range(1, num_variables):
+        limit = min(max_parents, child)
+        candidates = rng.permutation(child)[:limit]
+        for parent in candidates:
+            if rng.random() < edge_probability:
+                bn.add_edge(int(parent), child)
+    bn.randomize_cpts(rng)
+    return bn
+
+
+def chain_network(
+    num_variables: int, cardinality: int = 2, seed: SeedLike = None
+) -> BayesianNetwork:
+    """A Markov chain ``0 -> 1 -> ... -> n-1`` with random CPTs."""
+    if num_variables < 1:
+        raise ValueError("num_variables must be >= 1")
+    rng = make_rng(seed)
+    bn = BayesianNetwork([cardinality] * num_variables)
+    for v in range(num_variables - 1):
+        bn.add_edge(v, v + 1)
+    bn.randomize_cpts(rng)
+    return bn
+
+
+def naive_bayes_network(
+    num_features: int, cardinality: int = 2, seed: SeedLike = None
+) -> BayesianNetwork:
+    """A naive-Bayes star: class variable 0 with ``num_features`` children."""
+    if num_features < 1:
+        raise ValueError("num_features must be >= 1")
+    rng = make_rng(seed)
+    bn = BayesianNetwork([cardinality] * (num_features + 1))
+    for f in range(1, num_features + 1):
+        bn.add_edge(0, f)
+    bn.randomize_cpts(rng)
+    return bn

@@ -1,0 +1,26 @@
+"""Moralization: directed network -> undirected graph.
+
+The moral graph connects every variable to its parents and "marries" all
+co-parents; it is the input to triangulation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Set
+
+from repro.bn.network import BayesianNetwork
+
+
+def moralize(bn: BayesianNetwork) -> Dict[int, Set[int]]:
+    """Return the moral graph as an adjacency mapping ``v -> set of neighbours``."""
+    adj: Dict[int, Set[int]] = {v: set() for v in range(bn.num_variables)}
+    for child in range(bn.num_variables):
+        parents = bn.parents(child)
+        for p in parents:
+            adj[p].add(child)
+            adj[child].add(p)
+        for a, b in combinations(parents, 2):
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj

@@ -1,0 +1,159 @@
+"""Sampling from Bayesian networks.
+
+* :func:`forward_sample` — ancestral sampling of complete assignments.
+* :func:`likelihood_weighting` — importance-sampled posterior estimates
+  under evidence; a simple *approximate* inference baseline to contrast
+  with the exact junction-tree engine (the paper's opening distinction
+  between exact and approximate inference).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.util.rng import SeedLike, make_rng
+
+
+def _cpt_row(bn: BayesianNetwork, v: int, assignment: np.ndarray) -> np.ndarray:
+    """Conditional distribution of ``v`` given the assigned parents."""
+    cpt = bn.cpt(v)
+    indexer = []
+    for var in cpt.variables:
+        if var == v:
+            indexer.append(slice(None))
+        else:
+            indexer.append(int(assignment[var]))
+    return cpt.values[tuple(indexer)]
+
+
+def forward_sample(
+    bn: BayesianNetwork, num_samples: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Ancestral samples, shape ``(num_samples, num_variables)``."""
+    if num_samples < 0:
+        raise ValueError("num_samples must be non-negative")
+    if not bn.has_all_cpts():
+        raise ValueError("all CPTs must be set before sampling")
+    rng = make_rng(seed)
+    order = bn.topological_order()
+    out = np.zeros((num_samples, bn.num_variables), dtype=np.int64)
+    for i in range(num_samples):
+        for v in order:
+            probs = _cpt_row(bn, v, out[i])
+            out[i, v] = rng.choice(len(probs), p=probs / probs.sum())
+    return out
+
+
+def likelihood_weighting(
+    bn: BayesianNetwork,
+    target: int,
+    evidence: Optional[Mapping[int, int]] = None,
+    num_samples: int = 1000,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Estimate ``P(target | evidence)`` by likelihood weighting.
+
+    Evidence variables are clamped and contribute their CPT probability to
+    the sample weight; all other variables are forward-sampled.  Returns a
+    normalized estimate (uniform if all weights vanish).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    if not bn.has_all_cpts():
+        raise ValueError("all CPTs must be set before sampling")
+    evidence = dict(evidence or {})
+    if target in evidence:
+        point = np.zeros(bn.cardinalities[target])
+        point[evidence[target]] = 1.0
+        return point
+    rng = make_rng(seed)
+    order = bn.topological_order()
+    accum = np.zeros(bn.cardinalities[target])
+    assignment = np.zeros(bn.num_variables, dtype=np.int64)
+    for _ in range(num_samples):
+        weight = 1.0
+        for v in order:
+            probs = _cpt_row(bn, v, assignment)
+            probs = probs / probs.sum()
+            if v in evidence:
+                assignment[v] = evidence[v]
+                weight *= probs[evidence[v]]
+            else:
+                assignment[v] = rng.choice(len(probs), p=probs)
+        accum[assignment[target]] += weight
+    total = accum.sum()
+    if total <= 0:
+        return np.full(bn.cardinalities[target], 1.0 / bn.cardinalities[target])
+    return accum / total
+
+
+def empirical_marginal(
+    samples: np.ndarray, variable: int, cardinality: int
+) -> np.ndarray:
+    """Relative state frequencies of ``variable`` in a sample matrix."""
+    counts = np.bincount(samples[:, variable], minlength=cardinality)
+    return counts / max(len(samples), 1)
+
+
+def gibbs_sampling(
+    bn: BayesianNetwork,
+    target: int,
+    evidence: Optional[Mapping[int, int]] = None,
+    num_samples: int = 1000,
+    burn_in: int = 100,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Estimate ``P(target | evidence)`` by Gibbs sampling.
+
+    Each sweep resamples every unobserved variable from its full
+    conditional, which factorizes over the variable's own CPT and its
+    children's CPTs (the Markov blanket).  A second approximate-inference
+    baseline next to :func:`likelihood_weighting`.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    if burn_in < 0:
+        raise ValueError("burn_in must be non-negative")
+    if not bn.has_all_cpts():
+        raise ValueError("all CPTs must be set before sampling")
+    evidence = dict(evidence or {})
+    if target in evidence:
+        point = np.zeros(bn.cardinalities[target])
+        point[evidence[target]] = 1.0
+        return point
+    rng = make_rng(seed)
+    free = [v for v in range(bn.num_variables) if v not in evidence]
+
+    # Initialize with a forward sample conditioned crudely on evidence.
+    assignment = forward_sample(bn, 1, rng)[0]
+    for var, state in evidence.items():
+        assignment[var] = state
+
+    def conditional(v: int) -> np.ndarray:
+        card = bn.cardinalities[v]
+        probs = _cpt_row(bn, v, assignment).copy()
+        for child in bn.children(v):
+            cpt = bn.cpt(child)
+            indexer = []
+            for var in cpt.variables:
+                if var == v:
+                    indexer.append(slice(None))
+                else:
+                    indexer.append(int(assignment[var]))
+            probs = probs * cpt.values[tuple(indexer)]
+        total = probs.sum()
+        if total <= 0:
+            return np.full(card, 1.0 / card)
+        return probs / total
+
+    counts = np.zeros(bn.cardinalities[target])
+    for sweep in range(burn_in + num_samples):
+        for v in free:
+            probs = conditional(v)
+            assignment[v] = rng.choice(len(probs), p=probs)
+        if sweep >= burn_in:
+            counts[assignment[target]] += 1
+    return counts / counts.sum()

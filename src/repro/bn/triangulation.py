@@ -1,0 +1,103 @@
+"""Triangulation of the moral graph by greedy elimination.
+
+Exact inference needs a chordal graph; we eliminate variables one at a time,
+adding fill-in edges between the survivors of each eliminated variable's
+neighbourhood.  Two standard greedy criteria are provided:
+
+* ``min-fill`` — eliminate the variable adding the fewest fill-in edges,
+* ``min-degree`` — eliminate the variable with the fewest live neighbours,
+* ``min-weight`` — eliminate the variable whose induced clique has the
+  smallest potential-table size (product of cardinalities).
+
+:func:`elimination_cliques` returns the maximal elimination cliques, which
+seed junction-tree construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Set, Tuple
+
+HEURISTICS = ("min-fill", "min-degree", "min-weight")
+
+
+def _fill_in_count(adj: Dict[int, Set[int]], v: int) -> int:
+    """Number of missing edges among the live neighbours of ``v``."""
+    neighbours = list(adj[v])
+    missing = 0
+    for a, b in combinations(neighbours, 2):
+        if b not in adj[a]:
+            missing += 1
+    return missing
+
+
+def _clique_weight(
+    adj: Dict[int, Set[int]], v: int, cardinalities: Sequence[int]
+) -> float:
+    weight = float(cardinalities[v])
+    for u in adj[v]:
+        weight *= cardinalities[u]
+    return weight
+
+
+def triangulate(
+    adjacency: Dict[int, Set[int]],
+    cardinalities: Sequence[int],
+    heuristic: str = "min-fill",
+) -> Tuple[Dict[int, Set[int]], List[int]]:
+    """Triangulate ``adjacency`` (copied, not mutated).
+
+    Returns the chordal graph and the elimination order used.
+    """
+    if heuristic not in HEURISTICS:
+        raise ValueError(f"unknown heuristic {heuristic!r}; pick one of {HEURISTICS}")
+    # Work graph is consumed by elimination; result graph accumulates fill-in.
+    work = {v: set(ns) for v, ns in adjacency.items()}
+    result = {v: set(ns) for v, ns in adjacency.items()}
+    order: List[int] = []
+    remaining = set(work)
+    while remaining:
+        if heuristic == "min-fill":
+            v = min(remaining, key=lambda u: (_fill_in_count(work, u), u))
+        elif heuristic == "min-degree":
+            v = min(remaining, key=lambda u: (len(work[u]), u))
+        else:
+            v = min(
+                remaining,
+                key=lambda u: (_clique_weight(work, u, cardinalities), u),
+            )
+        neighbours = list(work[v])
+        for a, b in combinations(neighbours, 2):
+            if b not in work[a]:
+                work[a].add(b)
+                work[b].add(a)
+                result[a].add(b)
+                result[b].add(a)
+        for u in neighbours:
+            work[u].discard(v)
+        del work[v]
+        remaining.discard(v)
+        order.append(v)
+    return result, order
+
+
+def elimination_cliques(
+    chordal: Dict[int, Set[int]], order: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Maximal cliques induced by eliminating ``order`` in the chordal graph.
+
+    Each eliminated variable together with its not-yet-eliminated neighbours
+    forms a clique; cliques subsumed by an earlier one are dropped, so the
+    result is the set of maximal cliques of the chordal graph.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    candidates: List[Set[int]] = []
+    for v in order:
+        members = {v} | {u for u in chordal[v] if position[u] > position[v]}
+        candidates.append(members)
+    maximal: List[Set[int]] = []
+    for members in candidates:
+        if not any(members < other for other in candidates):
+            if members not in maximal:
+                maximal.append(members)
+    return [tuple(sorted(c)) for c in maximal]

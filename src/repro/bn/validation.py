@@ -1,0 +1,64 @@
+"""Whole-network validation.
+
+:func:`check_network` verifies everything inference assumes about a
+:class:`~repro.bn.network.BayesianNetwork`: acyclic structure, a CPT for
+every variable with the right scope and cardinalities, and normalization
+over the child axis.  Use it at module boundaries (e.g. after
+deserialization or hand construction) to fail fast with a precise message.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+
+
+def network_problems(bn: BayesianNetwork) -> List[str]:
+    """All detected problems, empty when the network is fully valid."""
+    problems: List[str] = []
+    try:
+        bn.topological_order()
+    except RuntimeError:
+        problems.append("structure contains a directed cycle")
+    for v in range(bn.num_variables):
+        try:
+            cpt = bn.cpt(v)
+        except KeyError:
+            problems.append(f"variable {v} has no CPT")
+            continue
+        expected = set(bn.parents(v)) | {v}
+        if set(cpt.variables) != expected:
+            problems.append(
+                f"variable {v}: CPT scope {sorted(cpt.variables)} != "
+                f"parents+self {sorted(expected)}"
+            )
+            continue
+        for var in cpt.variables:
+            if cpt.card_of(var) != bn.cardinalities[var]:
+                problems.append(
+                    f"variable {v}: CPT cardinality of {var} is "
+                    f"{cpt.card_of(var)}, network says "
+                    f"{bn.cardinalities[var]}"
+                )
+        axis = cpt.variables.index(v)
+        sums = cpt.values.sum(axis=axis)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            problems.append(
+                f"variable {v}: CPT rows sum to "
+                f"[{sums.min():.6f}, {sums.max():.6f}], expected 1.0"
+            )
+        if np.any(cpt.values < 0):
+            problems.append(f"variable {v}: CPT has negative entries")
+    return problems
+
+
+def check_network(bn: BayesianNetwork) -> None:
+    """Raise ``ValueError`` listing every problem, or return silently."""
+    problems = network_problems(bn)
+    if problems:
+        raise ValueError(
+            "invalid network:\n  " + "\n  ".join(problems)
+        )

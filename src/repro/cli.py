@@ -1,0 +1,309 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+* ``info`` — library version and module inventory.
+* ``demo`` — a short end-to-end inference demo on a random network.
+* ``experiment {fig5,fig6,fig7,fig8,fig9,rerooting-cost,all}`` —
+  regenerate the paper's evaluation tables.
+* ``query`` — build a random network, absorb evidence, print a marginal
+  or the most probable explanation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(
+        "Reproduction of: Xia, Feng, Prasanna — "
+        "'Parallel Evidence Propagation on Multicore Processors' (PACT 2009)"
+    )
+    print("subsystems: bn, potential, jt, tasks, sched, simcore, inference,")
+    print("            experiments, io")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import CollaborativeExecutor, InferenceEngine, random_network
+
+    bn = random_network(
+        args.variables, max_parents=3, edge_probability=0.6, seed=args.seed
+    )
+    engine = InferenceEngine.from_network(bn)
+    print(
+        f"{bn.num_variables}-variable network -> "
+        f"{engine.jt.num_cliques} cliques, "
+        f"{engine.task_graph.num_tasks} tasks"
+    )
+    engine.set_evidence({0: 1})
+    engine.propagate(CollaborativeExecutor(num_threads=args.threads))
+    target = bn.num_variables - 1
+    print(
+        f"P(X{target} | X0=1) = "
+        f"{np.round(engine.marginal(target), 4).tolist()}"
+    )
+    print(f"P(evidence) = {engine.likelihood():.6f}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro import InferenceEngine, random_network
+
+    bn = random_network(
+        args.variables, max_parents=3, edge_probability=0.6, seed=args.seed
+    )
+    engine = InferenceEngine.from_network(bn)
+    evidence = {}
+    for item in args.evidence or []:
+        var, _, state = item.partition("=")
+        evidence[int(var)] = int(state)
+    engine.set_evidence(evidence)
+    if args.mpe:
+        assignment, prob = engine.mpe()
+        states = " ".join(
+            f"X{v}={assignment[v]}" for v in sorted(assignment)
+        )
+        print(f"MPE: {states}")
+        print(f"P = {prob:.6g}")
+    else:
+        engine.propagate()
+        print(
+            f"P(X{args.target} | evidence) = "
+            f"{np.round(engine.marginal(args.target), 6).tolist()}"
+        )
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro import models
+    from repro.inference.engine import InferenceEngine
+    from repro.inference.sensitivity import rank_findings
+
+    builders = {
+        "asia": models.asia,
+        "sprinkler": models.sprinkler,
+        "cancer": models.cancer,
+        "student": models.student,
+        "car-start": models.car_start,
+    }
+    bn, names = builders[args.name]()
+    by_name = {label: var for var, label in names.items()}
+    engine = InferenceEngine.from_network(bn)
+    evidence = {}
+    for item in args.evidence or []:
+        label, _, state = item.partition("=")
+        if label not in by_name:
+            print(f"unknown variable {label!r}; variables: "
+                  f"{', '.join(sorted(by_name))}")
+            return 1
+        evidence[by_name[label]] = int(state)
+    engine.set_evidence(evidence)
+    engine.propagate()
+    print(f"{args.name}: {bn.num_variables} variables, "
+          f"{engine.jt.num_cliques} cliques")
+    if evidence:
+        shown = ", ".join(
+            f"{names[v]}={s}" for v, s in evidence.items()
+        )
+        print(f"evidence: {shown}  (P = {engine.likelihood():.6f})")
+    for var in sorted(names):
+        if var in evidence:
+            continue
+        marginal = engine.marginal(var)
+        states = " ".join(f"{p:.4f}" for p in marginal)
+        print(f"  P({names[var]:<12}) = [{states}]")
+    if len(evidence) >= 2 and args.explain is not None:
+        target = by_name.get(args.explain)
+        if target is None or target in evidence:
+            print(f"cannot explain {args.explain!r}")
+            return 1
+        print(f"\nevidence ranked by impact on P({args.explain}):")
+        for var, impact in rank_findings(engine.jt, target, evidence):
+            print(f"  {names[var]:<12} leave-one-out KL = {impact:.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (
+        format_series_table,
+        run_fig5,
+        run_fig6,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        run_rerooting_cost,
+    )
+
+    which = args.figure
+    todo = (
+        ["fig5", "fig6", "fig7", "fig8", "fig9", "rerooting-cost", "manycore"]
+        if which == "all"
+        else [which]
+    )
+    cores = (1, 2, 4, 8)
+    if "fig5" in todo:
+        for platform, rows in run_fig5(cores=cores).items():
+            print(
+                format_series_table(
+                    f"Fig. 5 — rerooting speedup ({platform})",
+                    "b",
+                    cores,
+                    {str(b): sp for b, sp in rows.items()},
+                )
+            )
+            print()
+    if "fig6" in todo:
+        procs = (1, 2, 4, 6, 8)
+        print(
+            format_series_table(
+                "Fig. 6 — PNL-like execution time (s) on IBM P655-like",
+                "workload",
+                procs,
+                run_fig6(processors=procs),
+                fmt="{:.3f}",
+            )
+        )
+        print()
+    if "fig7" in todo:
+        for platform, rows in run_fig7(cores=cores).items():
+            print(
+                format_series_table(
+                    f"Fig. 7 — speedup ({platform})",
+                    "workload/method",
+                    cores,
+                    rows,
+                )
+            )
+            print()
+    if "fig8" in todo:
+        result = run_fig8()
+        print("Fig. 8 — load balance & overhead (JT1, Opteron-like)")
+        for p in sorted(result.sched_ratio):
+            print(
+                f"  P={p}: imbalance {result.load_imbalance[p]:.3f}, "
+                f"sched ratio {result.sched_ratio[p] * 100:.3f}%"
+            )
+        print()
+    if "fig9" in todo:
+        for panel, rows in run_fig9(cores=cores).items():
+            print(
+                format_series_table(
+                    f"Fig. 9({panel})", "configuration", cores, rows
+                )
+            )
+            print()
+    if "rerooting-cost" in todo:
+        result = run_rerooting_cost()
+        print("Rerooting cost — Algorithm 1 vs brute force")
+        for n in sorted(result.fast_seconds):
+            print(
+                f"  N={n}: Alg.1 {result.fast_seconds[n] * 1e3:.3f} ms, "
+                f"brute {result.brute_seconds[n] * 1e3:.3f} ms, "
+                f"modeled overhead {result.modeled_fraction[n]:.2e}"
+            )
+        print()
+    if "manycore" in todo:
+        from repro.experiments.manycore import run_manycore
+
+        many_cores = (1, 2, 4, 8, 16, 32, 64)
+        print(
+            format_series_table(
+                "Many-core projection (Section 8 outlook, fine-grained "
+                "workload)",
+                "scheduler",
+                many_cores,
+                run_manycore(cores=many_cores),
+            )
+        )
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel evidence propagation (PACT 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and module inventory")
+
+    demo = sub.add_parser("demo", help="end-to-end inference demo")
+    demo.add_argument("--variables", type=int, default=20)
+    demo.add_argument("--threads", type=int, default=4)
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser("query", help="marginal or MPE query")
+    query.add_argument("--variables", type=int, default=15)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--target", type=int, default=1)
+    query.add_argument(
+        "--evidence",
+        nargs="*",
+        metavar="VAR=STATE",
+        help="evidence assignments, e.g. 0=1 3=0",
+    )
+    query.add_argument(
+        "--mpe", action="store_true", help="most probable explanation"
+    )
+
+    model = sub.add_parser("model", help="query a classic example network")
+    model.add_argument(
+        "name",
+        choices=["asia", "sprinkler", "cancer", "student", "car-start"],
+    )
+    model.add_argument(
+        "--evidence",
+        nargs="*",
+        metavar="NAME=STATE",
+        help="evidence by variable name, e.g. smoke=1 xray=1",
+    )
+    model.add_argument(
+        "--explain",
+        metavar="NAME",
+        help="rank the evidence by impact on this variable's posterior",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper experiment"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "rerooting-cost",
+            "manycore",
+            "all",
+        ],
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "query": _cmd_query,
+        "model": _cmd_model,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Experiment runners that regenerate every figure of the paper's evaluation.
+
+Each ``run_figN`` function reproduces the corresponding figure's data series
+using the synthetic workloads and the multicore simulator; formatting
+helpers in :mod:`repro.experiments.tables` turn them into the text tables
+printed by the benchmark harness and recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.rerooting_cost import run_rerooting_cost
+from repro.experiments.manycore import run_manycore
+from repro.experiments.robustness import run_robustness
+from repro.experiments.tables import format_series_table
+
+__all__ = [
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_rerooting_cost",
+    "run_manycore",
+    "run_robustness",
+    "format_series_table",
+]

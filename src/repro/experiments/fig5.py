@@ -1,0 +1,52 @@
+"""Fig. 5: speedup from junction-tree rerooting.
+
+The workload is the Fig. 4 template tree — ``b + 1`` equal branches joined
+at a junction clique, rooted at the far end of branch 0.  We propagate
+evidence in both the original and the Algorithm-1-rerooted tree under the
+collaborative scheduler *with task partitioning disabled* (as in the paper)
+and report ``Sp = t_original / t_rerooted`` per core count.
+
+Expected shape: Sp saturates at 2 once the thread count exceeds ``b``
+(branch 0 alone is then the critical path), so larger ``b`` needs more
+threads to reach the maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.jt.generation import template_tree
+from repro.jt.rerooting import reroot, select_root
+from repro.simcore.policies import CollaborativePolicy
+from repro.simcore.profiles import OPTERON, XEON, PlatformProfile
+from repro.tasks.dag import build_task_graph
+
+
+def run_fig5(
+    branch_counts: Sequence[int] = (1, 2, 4, 8),
+    cores: Sequence[int] = tuple(range(1, 9)),
+    platforms: Sequence[PlatformProfile] = (XEON, OPTERON),
+    num_cliques: int = 512,
+    clique_width: int = 15,
+) -> Dict[str, Dict[int, List[float]]]:
+    """Rerooting speedups: ``{platform: {b: [Sp at each core count]}}``."""
+    policy = CollaborativePolicy(partition_threshold=None)
+    results: Dict[str, Dict[int, List[float]]] = {}
+    for profile in platforms:
+        per_b: Dict[int, List[float]] = {}
+        for b in branch_counts:
+            original = template_tree(
+                b, num_cliques=num_cliques, clique_width=clique_width
+            )
+            new_root, _ = select_root(original)
+            rerooted = reroot(original, new_root)
+            graph_orig = build_task_graph(original)
+            graph_new = build_task_graph(rerooted)
+            speedups = []
+            for p in cores:
+                t_orig = policy.simulate(graph_orig, profile, p).makespan
+                t_new = policy.simulate(graph_new, profile, p).makespan
+                speedups.append(t_orig / t_new)
+            per_b[b] = speedups
+        results[profile.name] = per_b
+    return results

@@ -1,0 +1,38 @@
+"""Fig. 6: scalability of PNL-style centralized exact inference.
+
+The paper ran Intel PNL's parallel junction-tree inference on an IBM P655
+multiprocessor and observed execution time *increasing* beyond 4
+processors.  We reproduce the experiment with the centralized scheduling
+policy (serial dispatcher whose per-task coordination cost grows with both
+processor count and message size) on the P655-like platform profile, over
+junction trees 1-3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.jt.generation import paper_tree
+from repro.jt.rerooting import reroot_optimally
+from repro.simcore.policies import CentralizedPolicy
+from repro.simcore.profiles import IBM_P655, PlatformProfile
+from repro.tasks.dag import build_task_graph
+
+
+def run_fig6(
+    trees: Sequence[int] = (1, 2, 3),
+    processors: Sequence[int] = (1, 2, 4, 6, 8),
+    profile: PlatformProfile = IBM_P655,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Execution times: ``{"Junction tree N": [seconds per proc count]}``."""
+    policy = CentralizedPolicy()
+    results: Dict[str, List[float]] = {}
+    for which in trees:
+        tree, _, _ = reroot_optimally(paper_tree(which, seed=seed))
+        graph = build_task_graph(tree)
+        times = [
+            policy.simulate(graph, profile, p).makespan for p in processors
+        ]
+        results[f"Junction tree {which}"] = times
+    return results

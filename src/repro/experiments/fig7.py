@@ -1,0 +1,57 @@
+"""Fig. 7: scalability of the three parallel methods on both platforms.
+
+For junction trees 1-3 and both x86 platform profiles, we simulate the
+OpenMP baseline, the data-parallel baseline and the proposed collaborative
+scheduler at 1-8 cores and report speedup over each method's own
+single-core run (as the paper plots it).
+
+Headline checks: the proposed method is near-linear (7.4x on Xeon / 7.1x
+on Opteron at 8 cores on JT1) and roughly 2x the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.jt.generation import paper_tree
+from repro.jt.rerooting import reroot_optimally
+from repro.simcore.policies import (
+    CollaborativePolicy,
+    DataParallelPolicy,
+    OpenMPPolicy,
+)
+from repro.simcore.profiles import OPTERON, XEON, PlatformProfile
+from repro.tasks.dag import build_task_graph
+
+METHODS = {
+    "openmp": OpenMPPolicy,
+    "data-parallel": DataParallelPolicy,
+    "collaborative": CollaborativePolicy,
+}
+
+
+def run_fig7(
+    trees: Sequence[int] = (1, 2, 3),
+    cores: Sequence[int] = (1, 2, 4, 8),
+    platforms: Sequence[PlatformProfile] = (XEON, OPTERON),
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Speedups: ``{platform: {"JTn/method": [speedup per core count]}}``."""
+    results: Dict[str, Dict[str, List[float]]] = {}
+    graphs = {}
+    for which in trees:
+        tree, _, _ = reroot_optimally(paper_tree(which, seed=seed))
+        graphs[which] = build_task_graph(tree)
+    for profile in platforms:
+        rows: Dict[str, List[float]] = {}
+        for which in trees:
+            graph = graphs[which]
+            for name, policy_cls in METHODS.items():
+                policy = policy_cls()
+                base = policy.simulate(graph, profile, 1).makespan
+                rows[f"JT{which}/{name}"] = [
+                    base / policy.simulate(graph, profile, p).makespan
+                    for p in cores
+                ]
+        results[profile.name] = rows
+    return results

@@ -1,0 +1,46 @@
+"""Fig. 8: load balance and scheduling overhead of the collaborative scheduler.
+
+On junction tree 1 (Opteron profile, as in the paper), for each thread
+count we report (a) the per-thread computation time — near-equal bars mean
+the min-workload Allocate module balances the load — and (b) the
+scheduling overhead as a fraction of busy time, which the paper bounds at
+0.9 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.jt.generation import paper_tree
+from repro.jt.rerooting import reroot_optimally
+from repro.simcore.policies import CollaborativePolicy
+from repro.simcore.profiles import OPTERON, PlatformProfile
+from repro.tasks.dag import build_task_graph
+
+
+@dataclass
+class Fig8Result:
+    """Per-thread-count load-balance and overhead data."""
+
+    compute_per_thread: Dict[int, List[float]] = field(default_factory=dict)
+    sched_ratio: Dict[int, float] = field(default_factory=dict)
+    load_imbalance: Dict[int, float] = field(default_factory=dict)
+
+
+def run_fig8(
+    which_tree: int = 1,
+    thread_counts: Sequence[int] = tuple(range(1, 9)),
+    profile: PlatformProfile = OPTERON,
+    seed: int = 0,
+) -> Fig8Result:
+    tree, _, _ = reroot_optimally(paper_tree(which_tree, seed=seed))
+    graph = build_task_graph(tree)
+    policy = CollaborativePolicy()
+    result = Fig8Result()
+    for p in thread_counts:
+        sim = policy.simulate(graph, profile, p)
+        result.compute_per_thread[p] = list(sim.compute_time)
+        result.sched_ratio[p] = sim.sched_ratio()
+        result.load_imbalance[p] = sim.load_imbalance()
+    return result

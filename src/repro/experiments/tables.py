@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def format_series_table(
+    title: str,
+    column_header: str,
+    columns: Sequence,
+    rows: Dict[str, Sequence[float]],
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` (label -> values per column) as an aligned table.
+
+    ``columns`` typically holds core counts; each row is one curve of the
+    figure being reproduced.
+    """
+    label_width = max(
+        [len(column_header)] + [len(str(label)) for label in rows]
+    )
+    col_cells = [str(c) for c in columns]
+    value_rows = {
+        label: [fmt.format(v) for v in values] for label, values in rows.items()
+    }
+    col_widths = [
+        max([len(col_cells[i])] + [len(vals[i]) for vals in value_rows.values()])
+        for i in range(len(columns))
+    ]
+    lines = [title]
+    header = column_header.ljust(label_width) + "  " + "  ".join(
+        c.rjust(w) for c, w in zip(col_cells, col_widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, vals in value_rows.items():
+        lines.append(
+            str(label).ljust(label_width)
+            + "  "
+            + "  ".join(v.rjust(w) for v, w in zip(vals, col_widths))
+        )
+    return "\n".join(lines)

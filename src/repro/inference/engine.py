@@ -1,0 +1,181 @@
+"""The user-facing inference engine.
+
+Typical use::
+
+    from repro import InferenceEngine, random_network
+
+    bn = random_network(40, seed=7)
+    engine = InferenceEngine.from_network(bn)
+    engine.set_evidence({3: 1, 17: 0})
+    engine.propagate()
+    posterior = engine.marginal(5)
+
+The engine handles junction-tree construction, critical-path-minimizing
+rerooting (Algorithm 1), task-graph construction, and executor dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.inference.evidence import Evidence
+from repro.jt.build import junction_tree_from_network
+from repro.jt.junction_tree import JunctionTree
+from repro.jt.rerooting import reroot_optimally
+from repro.sched.serial import SerialExecutor
+from repro.sched.stats import ExecutionStats
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+
+class InferenceEngine:
+    """Exact inference over a junction tree with pluggable executors.
+
+    Parameters
+    ----------
+    junction_tree:
+        A junction tree whose potentials are already initialized.
+    reroot:
+        When True (default), apply Algorithm 1 and reroot the tree at the
+        clique minimizing the weighted critical path before building the
+        task graph.
+    """
+
+    def __init__(self, junction_tree: JunctionTree, reroot: bool = True):
+        if len(junction_tree.potentials) != junction_tree.num_cliques:
+            raise ValueError(
+                "junction tree needs potentials; call initialize_potentials() "
+                "or build via InferenceEngine.from_network"
+            )
+        self.original_root = junction_tree.root
+        if reroot:
+            junction_tree, root, weight = reroot_optimally(junction_tree)
+            self.critical_path_weight = weight
+        else:
+            from repro.jt.rerooting import critical_path_weight
+
+            self.critical_path_weight = critical_path_weight(junction_tree)
+        self.jt = junction_tree
+        self.task_graph: TaskGraph = build_task_graph(self.jt)
+        self.evidence = Evidence()
+        self._state: Optional[PropagationState] = None
+        self.last_stats: Optional[ExecutionStats] = None
+
+    @classmethod
+    def from_network(
+        cls,
+        bn: BayesianNetwork,
+        reroot: bool = True,
+        heuristic: str = "min-fill",
+    ) -> "InferenceEngine":
+        """Build the junction tree from a Bayesian network, then the engine."""
+        return cls(junction_tree_from_network(bn, heuristic), reroot=reroot)
+
+    # ------------------------------------------------------------------ #
+    # Evidence
+    # ------------------------------------------------------------------ #
+
+    def set_evidence(self, assignments: Union[Evidence, Mapping[int, int]]):
+        """Replace the evidence set; invalidates previous propagation."""
+        if isinstance(assignments, Evidence):
+            self.evidence = Evidence(assignments.as_dict())
+            for var, weights in assignments.soft_as_dict().items():
+                self.evidence.observe_soft(var, weights)
+        else:
+            self.evidence = Evidence(assignments)
+        self._state = None
+        return self
+
+    def observe(self, variable: int, state: int) -> "InferenceEngine":
+        """Add one observation; invalidates previous propagation."""
+        self.evidence.observe(variable, state)
+        self._state = None
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Propagation and queries
+    # ------------------------------------------------------------------ #
+
+    def observe_soft(self, variable: int, weights) -> "InferenceEngine":
+        """Attach virtual (likelihood) evidence; invalidates previous results."""
+        self.evidence.observe_soft(variable, weights)
+        self._state = None
+        return self
+
+    def propagate(self, executor=None) -> PropagationState:
+        """Run two-phase evidence propagation; returns the calibrated state.
+
+        ``executor`` is any object with ``run(task_graph, state)``; defaults
+        to :class:`~repro.sched.serial.SerialExecutor`.
+        """
+        cards = self._cardinalities()
+        assignments = self.evidence.checked_against(cards)
+        state = PropagationState(
+            self.jt, assignments, self.evidence.soft_as_dict()
+        )
+        executor = executor or SerialExecutor()
+        self.last_stats = executor.run(self.task_graph, state)
+        self._state = state
+        return state
+
+    def _cardinalities(self):
+        cards: Dict[int, int] = {}
+        for clique in self.jt.cliques:
+            for var, card in zip(clique.variables, clique.cardinalities):
+                cards[var] = card
+        size = max(cards) + 1 if cards else 0
+        vec = [0] * size
+        for var, card in cards.items():
+            vec[var] = card
+        return vec
+
+    def _require_state(self) -> PropagationState:
+        if self._state is None:
+            raise RuntimeError(
+                "no propagation results; call propagate() after setting evidence"
+            )
+        return self._state
+
+    def marginal(self, variable: int) -> np.ndarray:
+        """Posterior ``P(variable | evidence)``; requires propagate() first."""
+        return self._require_state().marginal(variable)
+
+    def marginals_all(self) -> Dict[int, np.ndarray]:
+        """Posterior of every variable in the tree, keyed by variable id."""
+        state = self._require_state()
+        variables = set()
+        for clique in self.jt.cliques:
+            variables.update(clique.variables)
+        return {v: state.marginal(v) for v in sorted(variables)}
+
+    def clique_marginal(self, clique: int):
+        """Normalized joint over one clique's scope."""
+        return self._require_state().clique_marginal(clique)
+
+    def likelihood(self) -> float:
+        """Probability of the evidence, ``P(e)``."""
+        return self._require_state().likelihood()
+
+    def mpe(self):
+        """Most probable explanation under the current evidence.
+
+        Returns ``(assignment, probability)``; runs its own max-product
+        pass, independent of :meth:`propagate`.
+        """
+        from repro.inference.mpe import max_propagate
+
+        cards = self._cardinalities()
+        assignments = self.evidence.checked_against(cards)
+        return max_propagate(
+            self.jt, assignments, self.evidence.soft_as_dict()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceEngine(cliques={self.jt.num_cliques}, "
+            f"tasks={self.task_graph.num_tasks}, root={self.jt.root})"
+        )

@@ -1,0 +1,100 @@
+"""Evidence: observed variable assignments (hard and soft) to propagate.
+
+*Hard* evidence instantiates a variable to one state.  *Soft* (virtual /
+likelihood) evidence attaches a non-negative weight per state — the
+classic Pearl virtual-evidence node — and is absorbed by multiplying the
+weight vector into a clique containing the variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+class Evidence:
+    """A set of instantiated variables ``{variable: state}`` plus soft findings.
+
+    Thin validated mapping; :meth:`checked_against` verifies states are in
+    range for a given cardinality vector before propagation starts.
+    """
+
+    def __init__(self, assignments: Mapping[int, int] = None):
+        self._assignments: Dict[int, int] = {}
+        self._soft: Dict[int, np.ndarray] = {}
+        for var, state in (assignments or {}).items():
+            self.observe(int(var), int(state))
+
+    def observe(self, variable: int, state: int) -> None:
+        """Record ``variable = state``; re-observing overwrites."""
+        if variable < 0:
+            raise ValueError(f"variable id must be non-negative, got {variable}")
+        if state < 0:
+            raise ValueError(f"state must be non-negative, got {state}")
+        self._assignments[variable] = state
+
+    def observe_soft(self, variable: int, weights: Sequence[float]) -> None:
+        """Attach a likelihood vector to ``variable`` (virtual evidence).
+
+        ``weights`` must be non-negative with at least one positive entry;
+        it need not be normalized.  Re-observing overwrites.
+        """
+        if variable < 0:
+            raise ValueError(f"variable id must be non-negative, got {variable}")
+        arr = np.asarray(weights, dtype=np.float64)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError("soft evidence needs a 1-D vector of >= 2 weights")
+        if np.any(arr < 0) or not np.any(arr > 0):
+            raise ValueError(
+                "soft-evidence weights must be non-negative with a positive entry"
+            )
+        self._soft[variable] = arr
+
+    def retract(self, variable: int) -> None:
+        """Remove an observation (hard or soft); missing variables ignored."""
+        self._assignments.pop(variable, None)
+        self._soft.pop(variable, None)
+
+    def checked_against(self, cardinalities) -> Dict[int, int]:
+        """Validate and return a plain dict of hard assignments."""
+        for var, state in self._assignments.items():
+            if var >= len(cardinalities):
+                raise ValueError(f"evidence variable {var} does not exist")
+            if state >= cardinalities[var]:
+                raise ValueError(
+                    f"evidence state {state} out of range for variable {var} "
+                    f"with {cardinalities[var]} states"
+                )
+        for var, weights in self._soft.items():
+            if var >= len(cardinalities):
+                raise ValueError(f"evidence variable {var} does not exist")
+            if weights.size != cardinalities[var]:
+                raise ValueError(
+                    f"soft evidence for variable {var} has {weights.size} "
+                    f"weights, variable has {cardinalities[var]} states"
+                )
+        return dict(self._assignments)
+
+    def soft_as_dict(self) -> Dict[int, np.ndarray]:
+        """Copy of the soft findings, ``{variable: weight vector}``."""
+        return {var: weights.copy() for var, weights in self._soft.items()}
+
+    @property
+    def has_soft(self) -> bool:
+        return bool(self._soft)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._assignments.items())
+
+    def __contains__(self, variable: int) -> bool:
+        return variable in self._assignments
+
+    def __repr__(self) -> str:
+        return f"Evidence({self._assignments})"

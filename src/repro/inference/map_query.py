@@ -1,0 +1,79 @@
+"""Marginal MAP queries: maximize over a subset, sum over the rest.
+
+Marginal MAP — ``argmax_M Σ_R P(M, R, e)`` — is harder than both plain
+marginals and full MPE (max and sum do not commute), and junction-tree
+propagation alone cannot answer it unless the MAP variables happen to be
+eliminated last.  For small MAP sets the standard exact approach is
+enumeration: evaluate the evidence likelihood with each joint MAP
+assignment clamped.  The lazy Shafer-Shenoy engine makes the sweep cheap —
+between assignments only the MAP hosts' outbound messages invalidate.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.inference.shafershenoy import ShaferShenoyEngine
+from repro.jt.junction_tree import JunctionTree
+
+
+def marginal_map(
+    jt: JunctionTree,
+    map_variables: Sequence[int],
+    evidence: Optional[Mapping[int, int]] = None,
+) -> Tuple[Dict[int, int], float]:
+    """Exact marginal MAP by enumeration over the MAP variables.
+
+    Returns ``(assignment, score)`` where ``score = P(assignment, e)``
+    (unnormalized by ``P(e)``).  Complexity is exponential in
+    ``len(map_variables)`` — intended for small MAP sets.
+    """
+    map_variables = [int(v) for v in map_variables]
+    if not map_variables:
+        raise ValueError("need at least one MAP variable")
+    if len(set(map_variables)) != len(map_variables):
+        raise ValueError("MAP variables must be distinct")
+    evidence = dict(evidence or {})
+    overlap = set(map_variables) & set(evidence)
+    if overlap:
+        raise ValueError(f"MAP variables {sorted(overlap)} are observed")
+
+    engine = ShaferShenoyEngine(jt)
+    cards = []
+    for v in map_variables:
+        host = jt.clique_containing([v])
+        cards.append(jt.cliques[host].card_of(v))
+    for var, state in evidence.items():
+        engine.observe(var, state)
+
+    best_score = float("-inf")
+    best_assignment: Dict[int, int] = {}
+    for combo in product(*(range(c) for c in cards)):
+        for var, state in zip(map_variables, combo):
+            engine.observe(var, state)
+        score = engine.likelihood()
+        if score > best_score:
+            best_score = score
+            best_assignment = dict(zip(map_variables, combo))
+    for var in map_variables:
+        engine.retract(var)
+    return best_assignment, best_score
+
+
+def marginal_map_bruteforce(
+    joint, map_variables: Sequence[int], evidence=None
+) -> Tuple[Dict[int, int], float]:
+    """Oracle: marginal MAP from an explicit joint table."""
+    from repro.potential.primitives import marginalize
+
+    table = joint.reduce(evidence) if evidence else joint
+    marg = marginalize(table, tuple(map_variables))
+    import numpy as np
+
+    flat = int(np.argmax(marg.values.reshape(-1)))
+    coords = np.unravel_index(flat, marg.cardinalities)
+    assignment = {
+        var: int(c) for var, c in zip(marg.variables, coords)
+    }
+    return assignment, float(marg.values.reshape(-1)[flat])

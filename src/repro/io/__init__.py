@@ -1,0 +1,23 @@
+"""Serialization of networks and junction trees (JSON-based)."""
+
+from repro.io.json_io import (
+    load_network,
+    load_tree,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+]

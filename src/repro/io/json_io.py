@@ -1,0 +1,163 @@
+"""JSON serialization for Bayesian networks and junction trees.
+
+The format is deliberately simple and versioned:
+
+Network document::
+
+    {"format": "repro-network", "version": 1,
+     "cardinalities": [2, 2, ...],
+     "edges": [[parent, child], ...],
+     "cpts": {"0": {"scope": [...], "values": [...]}, ...}}
+
+Junction-tree document::
+
+    {"format": "repro-junction-tree", "version": 1,
+     "cliques": [{"variables": [...], "cardinalities": [...]}, ...],
+     "parent": [null, 0, ...],
+     "potentials": {"0": [...], ...}}   # optional, flat C-order values
+
+Potential values are stored as flat lists in C order of the stored scope.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.jt.junction_tree import Clique, JunctionTree
+from repro.potential.table import PotentialTable
+
+NETWORK_FORMAT = "repro-network"
+TREE_FORMAT = "repro-junction-tree"
+VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _check_header(doc: Dict, expected: str) -> None:
+    if doc.get("format") != expected:
+        raise ValueError(
+            f"expected a {expected!r} document, got {doc.get('format')!r}"
+        )
+    if doc.get("version") != VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Bayesian networks
+# ---------------------------------------------------------------------- #
+
+
+def network_to_dict(bn: BayesianNetwork) -> Dict:
+    """Serialize a network (structure + all CPTs) to a JSON-able dict."""
+    if not bn.has_all_cpts():
+        raise ValueError("network must have all CPTs set before serialization")
+    cpts = {}
+    for v in range(bn.num_variables):
+        cpt = bn.cpt(v)
+        cpts[str(v)] = {
+            "scope": list(cpt.variables),
+            "values": cpt.values.reshape(-1).tolist(),
+        }
+    return {
+        "format": NETWORK_FORMAT,
+        "version": VERSION,
+        "cardinalities": list(bn.cardinalities),
+        "edges": [[p, c] for p, c in bn.edges()],
+        "cpts": cpts,
+    }
+
+
+def network_from_dict(doc: Dict) -> BayesianNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    _check_header(doc, NETWORK_FORMAT)
+    bn = BayesianNetwork(doc["cardinalities"])
+    for parent, child in doc["edges"]:
+        bn.add_edge(int(parent), int(child))
+    for key, entry in doc["cpts"].items():
+        v = int(key)
+        scope = [int(u) for u in entry["scope"]]
+        cards = [bn.cardinalities[u] for u in scope]
+        bn.set_cpt(
+            v, PotentialTable(scope, cards, np.array(entry["values"]))
+        )
+    if not bn.has_all_cpts():
+        raise ValueError("document is missing CPTs for some variables")
+    return bn
+
+
+def save_network(bn: BayesianNetwork, path: PathLike) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(bn)))
+
+
+def load_network(path: PathLike) -> BayesianNetwork:
+    """Read a network from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- #
+# Junction trees
+# ---------------------------------------------------------------------- #
+
+
+def tree_to_dict(jt: JunctionTree, include_potentials: bool = True) -> Dict:
+    """Serialize a junction tree, optionally with its potentials."""
+    doc = {
+        "format": TREE_FORMAT,
+        "version": VERSION,
+        "cliques": [
+            {
+                "variables": list(c.variables),
+                "cardinalities": list(c.cardinalities),
+            }
+            for c in jt.cliques
+        ],
+        "parent": list(jt.parent),
+    }
+    if include_potentials and jt.potentials:
+        if len(jt.potentials) != jt.num_cliques:
+            raise ValueError("cannot serialize a partially-initialized tree")
+        doc["potentials"] = {
+            str(i): jt.potential(i).values.reshape(-1).tolist()
+            for i in range(jt.num_cliques)
+        }
+    return doc
+
+
+def tree_from_dict(doc: Dict) -> JunctionTree:
+    """Rebuild a junction tree from :func:`tree_to_dict` output."""
+    _check_header(doc, TREE_FORMAT)
+    cliques = [
+        Clique(i, entry["variables"], entry["cardinalities"])
+        for i, entry in enumerate(doc["cliques"])
+    ]
+    jt = JunctionTree(cliques, doc["parent"])
+    potentials = doc.get("potentials")
+    if potentials:
+        for key, values in potentials.items():
+            i = int(key)
+            clique = jt.cliques[i]
+            jt.set_potential(
+                i,
+                PotentialTable(
+                    clique.variables, clique.cardinalities, np.array(values)
+                ),
+            )
+    return jt
+
+
+def save_tree(
+    jt: JunctionTree, path: PathLike, include_potentials: bool = True
+) -> None:
+    """Write a junction tree to a JSON file."""
+    Path(path).write_text(json.dumps(tree_to_dict(jt, include_potentials)))
+
+
+def load_tree(path: PathLike) -> JunctionTree:
+    """Read a junction tree from a JSON file."""
+    return tree_from_dict(json.loads(Path(path).read_text()))

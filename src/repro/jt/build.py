@@ -1,0 +1,94 @@
+"""Bayesian network -> junction tree conversion.
+
+Pipeline: moralize, triangulate, extract maximal elimination cliques, connect
+them with a maximum-weight spanning tree over separator sizes (which yields a
+valid junction tree satisfying the running intersection property), then
+absorb each CPT into one covering clique.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bn.moralization import moralize
+from repro.bn.network import BayesianNetwork
+from repro.bn.triangulation import elimination_cliques, triangulate
+from repro.jt.junction_tree import Clique, JunctionTree
+from repro.potential.primitives import extend
+from repro.potential.table import PotentialTable
+
+
+def _max_spanning_tree(
+    cliques: List[Tuple[int, ...]]
+) -> List[Optional[int]]:
+    """Parent array of a maximum-separator-size spanning tree (Prim).
+
+    Junction-tree theory: any maximum-weight spanning tree of the clique
+    graph, weighted by pairwise intersection size, satisfies the running
+    intersection property.  Ties are broken by lower clique index for
+    determinism.  The root is clique 0.
+    """
+    n = len(cliques)
+    sets = [set(c) for c in cliques]
+    parent: List[Optional[int]] = [None] * n
+    in_tree = [False] * n
+    best_weight = [-1] * n
+    best_parent = [0] * n
+    in_tree[0] = True
+    for j in range(1, n):
+        best_weight[j] = len(sets[0] & sets[j])
+    for _ in range(n - 1):
+        pick = -1
+        for j in range(n):
+            if not in_tree[j] and (pick == -1 or best_weight[j] > best_weight[pick]):
+                pick = j
+        in_tree[pick] = True
+        parent[pick] = best_parent[pick]
+        for j in range(n):
+            if not in_tree[j]:
+                w = len(sets[pick] & sets[j])
+                if w > best_weight[j]:
+                    best_weight[j] = w
+                    best_parent[j] = pick
+    return parent
+
+
+def junction_tree_from_network(
+    bn: BayesianNetwork, heuristic: str = "min-fill"
+) -> JunctionTree:
+    """Build a junction tree for ``bn`` with CPTs absorbed into potentials.
+
+    After a full two-phase propagation the tree is calibrated: each clique
+    potential is the (unnormalized) marginal over its scope.
+    """
+    moral = moralize(bn)
+    chordal, order = triangulate(moral, bn.cardinalities, heuristic)
+    scopes = elimination_cliques(chordal, order)
+    if not scopes:
+        raise ValueError("network produced no cliques")
+    parent = _max_spanning_tree(scopes)
+    cliques = [
+        Clique(i, scope, [bn.cardinalities[v] for v in scope])
+        for i, scope in enumerate(scopes)
+    ]
+    jt = JunctionTree(cliques, parent)
+
+    # Every clique starts as the identity potential; each CPT multiplies into
+    # exactly one covering clique (family coverage holds because moralization
+    # connects each variable to all its parents).
+    jt.initialize_potentials()
+    for v in range(bn.num_variables):
+        cpt = bn.cpt(v)
+        host = jt.clique_containing(cpt.variables)
+        clique = jt.cliques[host]
+        extended = extend(cpt, clique.variables, clique.cardinalities)
+        current = jt.potential(host)
+        jt.set_potential(
+            host,
+            PotentialTable(
+                clique.variables,
+                clique.cardinalities,
+                current.values * extended.values,
+            ),
+        )
+    return jt

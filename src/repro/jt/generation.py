@@ -1,0 +1,261 @@
+"""Synthetic junction-tree generators matching the paper's workloads.
+
+The paper evaluates on junction trees produced with Bayes Net Toolbox,
+controlled by four parameters: clique count ``N``, clique width ``w_C``,
+number of variable states ``r`` and average clique degree ``k``.  The
+generators here produce structurally valid junction trees (running
+intersection property holds by construction) with the same knobs:
+
+* :func:`template_tree` — the Fig. 4 rerooting template: ``b + 1`` equal
+  chains meeting at a junction clique, rooted at the far end of branch 0.
+* :func:`synthetic_tree` — random tree with target average degree.
+* :func:`parameter_sweep_tree` — convenience wrapper used by the Fig. 9
+  parameter sweeps.
+* :func:`paper_tree` — the three named workloads JT1/JT2/JT3 of Section 7.
+
+Trees are generated *without* potential tables (the big paper workloads,
+e.g. width-20 binary cliques, would need gigabytes); call
+``tree.initialize_potentials(rng)`` when actual numeric propagation is
+wanted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jt.junction_tree import Clique, JunctionTree
+from repro.util.rng import SeedLike, make_rng
+
+
+class _ScopeFactory:
+    """Allocates clique scopes that satisfy the running intersection property.
+
+    A child clique keeps ``separator_width`` variables of its parent's scope
+    and introduces fresh variables for the rest, so every variable's
+    occurrence set is a connected subtree.
+    """
+
+    def __init__(self, states: int):
+        self.states = states
+        self._next_var = 0
+
+    def fresh(self, count: int) -> List[int]:
+        out = list(range(self._next_var, self._next_var + count))
+        self._next_var += count
+        return out
+
+    def root_scope(self, width: int) -> List[int]:
+        return self.fresh(width)
+
+    def child_scope(
+        self,
+        parent_scope: List[int],
+        width: int,
+        separator_width: int,
+        rng=None,
+    ) -> List[int]:
+        keep = min(separator_width, len(parent_scope), width)
+        if keep < 1:
+            raise ValueError("separator width must be at least 1")
+        if rng is None:
+            shared = list(parent_scope[-keep:])
+        else:
+            idx = sorted(rng.choice(len(parent_scope), size=keep, replace=False))
+            shared = [parent_scope[i] for i in idx]
+        return shared + self.fresh(width - keep)
+
+
+def _build_tree(
+    scopes: List[List[int]], parent: List[Optional[int]], states: int
+) -> JunctionTree:
+    cliques = [
+        Clique(i, scope, [states] * len(scope)) for i, scope in enumerate(scopes)
+    ]
+    return JunctionTree(cliques, parent)
+
+
+def template_tree(
+    num_branches: int,
+    num_cliques: int = 512,
+    clique_width: int = 15,
+    states: int = 2,
+) -> JunctionTree:
+    """The Fig. 4 rerooting template.
+
+    ``num_branches`` is the paper's ``b``: the tree has ``b + 1`` chains of
+    (approximately) equal length joined at a junction clique ``R``.  The
+    returned tree is rooted at the far end of branch 0, so the critical path
+    initially spans two full branches; rerooting at ``R`` halves it.
+
+    The junction clique is returned at index ``num_cliques - 1`` for easy
+    lookup; use :func:`repro.jt.rerooting.select_root` to find it.
+    """
+    if num_branches < 1:
+        raise ValueError("num_branches must be >= 1")
+    total_branches = num_branches + 1
+    if num_cliques < total_branches + 1:
+        raise ValueError(
+            f"need at least {total_branches + 1} cliques for {total_branches} branches"
+        )
+    factory = _ScopeFactory(states)
+    chain_budget = num_cliques - 1  # everything except the junction clique
+    base_len, extra = divmod(chain_budget, total_branches)
+    lengths = [
+        base_len + (1 if i < extra else 0) for i in range(total_branches)
+    ]
+
+    scopes: List[List[int]] = []
+    parent: List[Optional[int]] = []
+
+    # Junction clique placed last so branch cliques occupy 0..num_cliques-2.
+    junction_index = num_cliques - 1
+
+    # Branch 0 runs from the root (index 0) down to the junction.  We build
+    # it root-first: clique 0 is the tree root, each next clique chains off
+    # the previous, and the junction clique chains off branch 0's last clique.
+    branch0 = lengths[0]
+    scopes.append(factory.root_scope(clique_width))
+    parent.append(None)
+    for i in range(1, branch0):
+        scopes.append(
+            factory.child_scope(scopes[i - 1], clique_width, clique_width - 1)
+        )
+        parent.append(i - 1)
+
+    junction_parent = branch0 - 1
+    junction_vars = factory.child_scope(
+        scopes[junction_parent], clique_width, clique_width - 1
+    )
+
+    # Remaining branches hang off the junction clique.
+    next_index = branch0
+    for length in lengths[1:]:
+        prev_scope = junction_vars
+        prev_index = junction_index
+        for _ in range(length):
+            scopes.append(
+                factory.child_scope(prev_scope, clique_width, clique_width - 1)
+            )
+            parent.append(prev_index)
+            prev_scope = scopes[-1]
+            prev_index = next_index
+            next_index += 1
+
+    scopes.append(junction_vars)
+    parent.append(junction_parent)
+    tree = _build_tree(scopes, parent, states)
+    if tree.num_cliques != num_cliques:
+        raise AssertionError("template generator produced wrong clique count")
+    return tree
+
+
+def synthetic_tree(
+    num_cliques: int,
+    clique_width: int,
+    states: int = 2,
+    avg_children: int = 4,
+    separator_width: Optional[int] = None,
+    width_jitter: Optional[int] = None,
+    seed: SeedLike = None,
+) -> JunctionTree:
+    """Random junction tree with a target *average* clique degree and width.
+
+    ``avg_children`` is the paper's ``k``, the "average number of children"
+    of a clique (Fig. 9(d)).  Internal cliques draw their child count from a
+    Poisson distribution with that mean; construction is breadth-first so
+    depth grows logarithmically, giving the structural parallelism the paper
+    exploits.
+
+    ``clique_width`` is an *average*, as in the paper's workload descriptions
+    ("the average clique width was 20"): individual widths are drawn
+    uniformly from ``[clique_width - width_jitter, clique_width +
+    width_jitter]``.  ``width_jitter`` defaults to ``clique_width // 5`` and
+    may be 0 for uniform widths.  The resulting size variance between
+    potential tables is what makes task partitioning matter: without it, a
+    level's largest clique stalls every other core.
+    """
+    if num_cliques < 1:
+        raise ValueError("num_cliques must be >= 1")
+    if clique_width < 1:
+        raise ValueError("clique_width must be >= 1")
+    if avg_children < 1 and num_cliques > 1:
+        raise ValueError("avg_children must be >= 1 for a tree with > 1 clique")
+    rng = make_rng(seed)
+    if width_jitter is None:
+        width_jitter = clique_width // 5
+    if width_jitter < 0 or width_jitter >= clique_width:
+        raise ValueError("width_jitter must be in [0, clique_width)")
+    factory = _ScopeFactory(states)
+
+    def draw_width() -> int:
+        if width_jitter == 0:
+            return clique_width
+        return int(
+            rng.integers(clique_width - width_jitter, clique_width + width_jitter + 1)
+        )
+
+    def sep_for(width: int, parent_width: int) -> int:
+        if separator_width is not None:
+            cap = min(separator_width, width, parent_width)
+        else:
+            cap = min(width, parent_width) - 1
+        return max(1, cap)
+
+    scopes = [factory.root_scope(draw_width())]
+    parent: List[Optional[int]] = [None]
+    frontier = [0]
+    mean_children = max(avg_children, 1)
+    while len(scopes) < num_cliques:
+        if frontier:
+            node = frontier.pop(0)
+            want = int(rng.poisson(mean_children))
+        else:
+            # Frontier died out before the budget was spent; attach a new
+            # chain to a random existing clique.
+            node = int(rng.integers(len(scopes)))
+            want = 1
+        want = min(want, num_cliques - len(scopes))
+        for _ in range(want):
+            width = draw_width()
+            keep = sep_for(width, len(scopes[node]))
+            scopes.append(
+                factory.child_scope(scopes[node], width, keep, rng)
+            )
+            parent.append(node)
+            frontier.append(len(scopes) - 1)
+    return _build_tree(scopes, parent, states)
+
+
+def parameter_sweep_tree(
+    num_cliques: int = 512,
+    clique_width: int = 20,
+    states: int = 2,
+    avg_children: int = 4,
+    seed: SeedLike = 0,
+) -> JunctionTree:
+    """A JT1-style tree with one parameter varied (Fig. 9 sweeps)."""
+    return synthetic_tree(
+        num_cliques=num_cliques,
+        clique_width=clique_width,
+        states=states,
+        avg_children=avg_children,
+        seed=seed,
+    )
+
+
+# (num_cliques, clique_width, states, avg_children) of the Section 7 workloads.
+PAPER_TREES = {
+    1: (512, 20, 2, 4),
+    2: (256, 15, 3, 4),
+    3: (128, 10, 3, 2),
+}
+
+
+def paper_tree(which: int, seed: SeedLike = 0) -> JunctionTree:
+    """Junction tree 1, 2 or 3 from Section 7 of the paper."""
+    if which not in PAPER_TREES:
+        raise ValueError(f"paper defines junction trees 1-3, got {which}")
+    n, w, r, k = PAPER_TREES[which]
+    return synthetic_tree(
+        num_cliques=n, clique_width=w, states=r, avg_children=k, seed=seed
+    )

@@ -1,0 +1,84 @@
+"""Human-readable renderings of junction trees and task graphs.
+
+ASCII trees for terminal inspection and Graphviz DOT export for real
+figures; both are pure string builders with no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jt.junction_tree import JunctionTree
+from repro.tasks.task import TaskGraph
+
+
+def render_tree(jt: JunctionTree, max_vars: int = 6) -> str:
+    """ASCII rendering, one clique per line, children indented.
+
+    Scopes longer than ``max_vars`` are elided.
+    """
+    lines: List[str] = []
+
+    def scope_of(i: int) -> str:
+        variables = jt.cliques[i].variables
+        if len(variables) > max_vars:
+            head = ", ".join(str(v) for v in variables[:max_vars])
+            return f"{{{head}, ... +{len(variables) - max_vars}}}"
+        return "{" + ", ".join(str(v) for v in variables) + "}"
+
+    def walk(node: int, prefix: str, is_last: bool) -> None:
+        connector = "" if node == jt.root else ("`-- " if is_last else "|-- ")
+        lines.append(f"{prefix}{connector}C{node} {scope_of(node)}")
+        child_prefix = prefix if node == jt.root else (
+            prefix + ("    " if is_last else "|   ")
+        )
+        children = jt.children[node]
+        for pos, child in enumerate(children):
+            walk(child, child_prefix, pos == len(children) - 1)
+
+    walk(jt.root, "", True)
+    return "\n".join(lines)
+
+
+def tree_to_dot(jt: JunctionTree, show_separators: bool = True) -> str:
+    """Graphviz DOT for a junction tree (cliques as boxes, separator labels)."""
+    lines = ["graph junction_tree {", "  node [shape=box];"]
+    for clique in jt.cliques:
+        scope = ",".join(str(v) for v in clique.variables)
+        lines.append(
+            f'  c{clique.index} [label="C{clique.index}\\n{{{scope}}}"];'
+        )
+    for child in range(jt.num_cliques):
+        parent = jt.parent[child]
+        if parent is None:
+            continue
+        if show_separators:
+            sep = ",".join(str(v) for v in jt.separator(child, parent))
+            lines.append(f'  c{parent} -- c{child} [label="{{{sep}}}"];')
+        else:
+            lines.append(f"  c{parent} -- c{child};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def task_graph_to_dot(graph: TaskGraph) -> str:
+    """Graphviz DOT for a task dependency graph, coloured by phase."""
+    colors = {"collect": "lightblue", "distribute": "lightsalmon"}
+    lines = [
+        "digraph task_graph {",
+        "  rankdir=TB;",
+        '  node [shape=ellipse, style=filled];',
+    ]
+    for task in graph.tasks:
+        label = (
+            f"{task.kind.value[:4]}\\n{task.phase[:4]} e{task.edge}"
+        )
+        lines.append(
+            f'  t{task.tid} [label="{label}", '
+            f'fillcolor="{colors.get(task.phase, "white")}"];'
+        )
+    for tid, succs in enumerate(graph.succs):
+        for s in succs:
+            lines.append(f"  t{tid} -> t{s};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Descriptive statistics of junction trees.
+
+Treewidth, table-memory footprint, separator sizes, depth — the numbers a
+practitioner checks before deciding whether exact inference is feasible
+and how well it will parallelize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.jt.junction_tree import JunctionTree
+
+
+@dataclass
+class TreeStats:
+    """Summary numbers for one junction tree."""
+
+    num_cliques: int
+    treewidth: int
+    max_clique_size: int
+    total_table_entries: int
+    max_separator_size: int
+    depth: int
+    num_leaves: int
+    avg_children: float
+    width_histogram: Dict[int, int] = field(default_factory=dict)
+
+
+def treewidth(jt: JunctionTree) -> int:
+    """Largest clique width minus one (the induced treewidth bound)."""
+    return max(c.width for c in jt.cliques) - 1
+
+
+def total_table_entries(jt: JunctionTree) -> int:
+    """Sum of potential-table entries over all cliques (memory proxy)."""
+    return sum(c.table_size for c in jt.cliques)
+
+
+def separator_sizes(jt: JunctionTree) -> List[int]:
+    """Entry counts of every separator table, one per tree edge."""
+    sizes = []
+    for child in range(jt.num_cliques):
+        parent = jt.parent[child]
+        if parent is None:
+            continue
+        size = 1
+        for card in jt.separator_cards(child, parent):
+            size *= card
+        sizes.append(size)
+    return sizes
+
+
+def tree_depth(jt: JunctionTree) -> int:
+    """Edges on the longest root-to-leaf path."""
+    return max((jt.depth_of(leaf) for leaf in jt.leaves()), default=0)
+
+
+def width_histogram(jt: JunctionTree) -> Dict[int, int]:
+    """Clique count per width."""
+    hist: Dict[int, int] = {}
+    for clique in jt.cliques:
+        hist[clique.width] = hist.get(clique.width, 0) + 1
+    return hist
+
+
+def summarize_tree(jt: JunctionTree) -> TreeStats:
+    """All statistics in one pass."""
+    internal = [i for i in range(jt.num_cliques) if jt.children[i]]
+    avg_children = (
+        sum(len(jt.children[i]) for i in internal) / len(internal)
+        if internal
+        else 0.0
+    )
+    seps = separator_sizes(jt)
+    return TreeStats(
+        num_cliques=jt.num_cliques,
+        treewidth=treewidth(jt),
+        max_clique_size=max(c.table_size for c in jt.cliques),
+        total_table_entries=total_table_entries(jt),
+        max_separator_size=max(seps, default=0),
+        depth=tree_depth(jt),
+        num_leaves=len(jt.leaves()),
+        avg_children=avg_children,
+        width_histogram=width_histogram(jt),
+    )

@@ -1,0 +1,60 @@
+"""Structural validation of junction trees.
+
+Used by tests and by :func:`repro.jt.build.junction_tree_from_network` users
+to confirm a tree is a *valid* junction tree: proper rooted-tree shape plus
+the running intersection property (for every variable, the cliques
+containing it form a connected subtree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.jt.junction_tree import JunctionTree
+
+
+def check_tree_structure(jt: JunctionTree) -> None:
+    """Raise ``ValueError`` if the parent/children arrays are inconsistent."""
+    n = jt.num_cliques
+    roots = [i for i, p in enumerate(jt.parent) if p is None]
+    if len(roots) != 1 or roots[0] != jt.root:
+        raise ValueError(f"bad root bookkeeping: roots={roots}, root={jt.root}")
+    for i, p in enumerate(jt.parent):
+        if p is not None and i not in jt.children[p]:
+            raise ValueError(f"clique {i} missing from children of {p}")
+    child_count = sum(len(c) for c in jt.children)
+    if child_count != n - 1:
+        raise ValueError(f"tree has {child_count} edges, expected {n - 1}")
+    if len(jt.preorder()) != n:
+        raise ValueError("tree is not connected")
+    for position, clique in enumerate(jt.cliques):
+        if clique.index != position:
+            raise ValueError(
+                f"clique at position {position} has index {clique.index}"
+            )
+
+
+def check_running_intersection(jt: JunctionTree) -> None:
+    """Raise ``ValueError`` unless the running intersection property holds."""
+    occurrences: Dict[int, List[int]] = {}
+    for clique in jt.cliques:
+        for var in clique.variables:
+            occurrences.setdefault(var, []).append(clique.index)
+    adj = jt.undirected_adjacency()
+    for var, members in occurrences.items():
+        member_set: Set[int] = set(members)
+        # BFS restricted to member cliques must reach all of them.
+        start = members[0]
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adj[node]:
+                if nxt in member_set and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        if seen != member_set:
+            raise ValueError(
+                f"variable {var} occurs in a disconnected clique set "
+                f"{sorted(member_set)}"
+            )

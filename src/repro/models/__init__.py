@@ -1,0 +1,17 @@
+"""Classic example networks, ready for inference.
+
+Small hand-specified Bayesian networks from the literature, each returning
+a fully parameterized :class:`~repro.bn.network.BayesianNetwork` plus a
+name table.  Useful for demos, documentation and as fixed test vectors
+(several posteriors are known to three decimals).
+"""
+
+from repro.models.classic import (
+    asia,
+    cancer,
+    car_start,
+    sprinkler,
+    student,
+)
+
+__all__ = ["asia", "sprinkler", "cancer", "student", "car_start"]

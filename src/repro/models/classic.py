@@ -1,0 +1,214 @@
+"""Hand-specified classic networks.
+
+Each builder returns ``(network, names)`` where ``names`` maps variable
+ids to human-readable labels.  All variables are binary unless noted;
+state 1 means "true"/"present".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.bn.cpd import tabular_cpd
+from repro.bn.network import BayesianNetwork
+
+Model = Tuple[BayesianNetwork, Dict[int, str]]
+
+
+def asia() -> Model:
+    """The Lauritzen-Spiegelhalter (1988) chest-clinic network.
+
+    Reference [1] of the reproduced paper.  Eight binary variables:
+    asia, tub, smoke, lung, bronc, either, xray, dysp.
+    """
+    names = {
+        0: "asia", 1: "tub", 2: "smoke", 3: "lung",
+        4: "bronc", 5: "either", 6: "xray", 7: "dysp",
+    }
+    bn = BayesianNetwork([2] * 8)
+    bn.add_edge(0, 1)
+    bn.add_edge(2, 3)
+    bn.add_edge(2, 4)
+    bn.add_edge(1, 5)
+    bn.add_edge(3, 5)
+    bn.add_edge(5, 6)
+    bn.add_edge(5, 7)
+    bn.add_edge(4, 7)
+    bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.99, 0.01])))
+    bn.set_cpt(2, tabular_cpd(2, 2, [], [], np.array([0.5, 0.5])))
+    bn.set_cpt(
+        1, tabular_cpd(1, 2, [0], [2], np.array([[0.99, 0.01], [0.95, 0.05]]))
+    )
+    bn.set_cpt(
+        3, tabular_cpd(3, 2, [2], [2], np.array([[0.99, 0.01], [0.90, 0.10]]))
+    )
+    bn.set_cpt(
+        4, tabular_cpd(4, 2, [2], [2], np.array([[0.70, 0.30], [0.40, 0.60]]))
+    )
+    bn.set_cpt(
+        5,
+        tabular_cpd(
+            5, 2, [1, 3], [2, 2],
+            np.array([[[1.0, 0.0], [0.0, 1.0]], [[0.0, 1.0], [0.0, 1.0]]]),
+        ),
+    )
+    bn.set_cpt(
+        6, tabular_cpd(6, 2, [5], [2], np.array([[0.95, 0.05], [0.02, 0.98]]))
+    )
+    bn.set_cpt(
+        7,
+        tabular_cpd(
+            7, 2, [5, 4], [2, 2],
+            np.array([[[0.90, 0.10], [0.20, 0.80]],
+                      [[0.30, 0.70], [0.10, 0.90]]]),
+        ),
+    )
+    return bn, names
+
+
+def sprinkler() -> Model:
+    """Pearl's rain/sprinkler/wet-grass network (4 variables)."""
+    names = {0: "cloudy", 1: "sprinkler", 2: "rain", 3: "wet_grass"}
+    bn = BayesianNetwork([2] * 4)
+    bn.add_edge(0, 1)
+    bn.add_edge(0, 2)
+    bn.add_edge(1, 3)
+    bn.add_edge(2, 3)
+    bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.5, 0.5])))
+    bn.set_cpt(
+        1, tabular_cpd(1, 2, [0], [2], np.array([[0.5, 0.5], [0.9, 0.1]]))
+    )
+    bn.set_cpt(
+        2, tabular_cpd(2, 2, [0], [2], np.array([[0.8, 0.2], [0.2, 0.8]]))
+    )
+    bn.set_cpt(
+        3,
+        tabular_cpd(
+            3, 2, [1, 2], [2, 2],
+            np.array([[[1.0, 0.0], [0.1, 0.9]],
+                      [[0.1, 0.9], [0.01, 0.99]]]),
+        ),
+    )
+    return bn, names
+
+
+def cancer() -> Model:
+    """The five-variable Cancer network (Korb & Nicholson)."""
+    names = {
+        0: "pollution", 1: "smoker", 2: "cancer", 3: "xray", 4: "dyspnoea"
+    }
+    bn = BayesianNetwork([2] * 5)
+    bn.add_edge(0, 2)
+    bn.add_edge(1, 2)
+    bn.add_edge(2, 3)
+    bn.add_edge(2, 4)
+    # State 1 of pollution means "high".
+    bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.9, 0.1])))
+    bn.set_cpt(1, tabular_cpd(1, 2, [], [], np.array([0.7, 0.3])))
+    bn.set_cpt(
+        2,
+        tabular_cpd(
+            2, 2, [0, 1], [2, 2],
+            np.array([[[0.999, 0.001], [0.97, 0.03]],
+                      [[0.95, 0.05], [0.92, 0.08]]]),
+        ),
+    )
+    bn.set_cpt(
+        3, tabular_cpd(3, 2, [2], [2], np.array([[0.8, 0.2], [0.1, 0.9]]))
+    )
+    bn.set_cpt(
+        4, tabular_cpd(4, 2, [2], [2], np.array([[0.7, 0.3], [0.35, 0.65]]))
+    )
+    return bn, names
+
+
+def student() -> Model:
+    """Koller & Friedman's student network (multi-state variables).
+
+    difficulty(2), intelligence(2), grade(3), sat(2), letter(2).
+    """
+    names = {
+        0: "difficulty", 1: "intelligence", 2: "grade", 3: "sat", 4: "letter"
+    }
+    bn = BayesianNetwork([2, 2, 3, 2, 2])
+    bn.add_edge(0, 2)
+    bn.add_edge(1, 2)
+    bn.add_edge(1, 3)
+    bn.add_edge(2, 4)
+    bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.6, 0.4])))
+    bn.set_cpt(1, tabular_cpd(1, 2, [], [], np.array([0.7, 0.3])))
+    bn.set_cpt(
+        2,
+        tabular_cpd(
+            2, 3, [0, 1], [2, 2],
+            np.array([[[0.3, 0.4, 0.3], [0.9, 0.08, 0.02]],
+                      [[0.05, 0.25, 0.7], [0.5, 0.3, 0.2]]]),
+        ),
+    )
+    bn.set_cpt(
+        3, tabular_cpd(3, 2, [1], [2], np.array([[0.95, 0.05], [0.2, 0.8]]))
+    )
+    bn.set_cpt(
+        4,
+        tabular_cpd(
+            4, 2, [2], [3],
+            np.array([[0.1, 0.9], [0.4, 0.6], [0.99, 0.01]]),
+        ),
+    )
+    return bn, names
+
+
+def car_start() -> Model:
+    """A nine-variable car-diagnosis network (battery/fuel/starter style)."""
+    names = {
+        0: "battery_age", 1: "battery_ok", 2: "alternator_ok",
+        3: "charging_ok", 4: "fuel", 5: "starter_ok",
+        6: "engine_cranks", 7: "engine_starts", 8: "lights_on",
+    }
+    bn = BayesianNetwork([2] * 9)
+    bn.add_edge(0, 1)
+    bn.add_edge(2, 3)
+    bn.add_edge(1, 3)
+    bn.add_edge(3, 6)
+    bn.add_edge(5, 6)
+    bn.add_edge(6, 7)
+    bn.add_edge(4, 7)
+    bn.add_edge(1, 8)
+    # battery_age: state 1 = old.
+    bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.7, 0.3])))
+    bn.set_cpt(
+        1, tabular_cpd(1, 2, [0], [2], np.array([[0.03, 0.97], [0.3, 0.7]]))
+    )
+    bn.set_cpt(2, tabular_cpd(2, 2, [], [], np.array([0.05, 0.95])))
+    bn.set_cpt(
+        3,
+        tabular_cpd(
+            3, 2, [2, 1], [2, 2],
+            np.array([[[0.99, 0.01], [0.8, 0.2]],
+                      [[0.7, 0.3], [0.02, 0.98]]]),
+        ),
+    )
+    bn.set_cpt(4, tabular_cpd(4, 2, [], [], np.array([0.05, 0.95])))
+    bn.set_cpt(5, tabular_cpd(5, 2, [], [], np.array([0.02, 0.98])))
+    bn.set_cpt(
+        6,
+        tabular_cpd(
+            6, 2, [3, 5], [2, 2],
+            np.array([[[0.98, 0.02], [0.6, 0.4]],
+                      [[0.95, 0.05], [0.05, 0.95]]]),
+        ),
+    )
+    bn.set_cpt(
+        7,
+        tabular_cpd(
+            7, 2, [6, 4], [2, 2],
+            np.array([[[1.0, 0.0], [0.99, 0.01]],
+                      [[0.99, 0.01], [0.02, 0.98]]]),
+        ),
+    )
+    bn.set_cpt(
+        8, tabular_cpd(8, 2, [1], [2], np.array([[0.9, 0.1], [0.05, 0.95]]))
+    )
+    return bn, names

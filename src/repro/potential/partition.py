@@ -1,0 +1,125 @@
+"""Chunked execution of node-level primitives.
+
+The paper's Partition module (Section 6) splits a large task into subtasks
+that each process a slice of the potential table; the final subtask combines
+the partial results (concatenation for extend/multiply/divide, addition for
+marginalization).  The functions here compute exactly one such slice, so the
+real threaded scheduler and the multicore simulator can share the same
+partitioning semantics.
+
+Slices are expressed over the *flat* (C-order) index space of a table:
+
+* For extend/multiply/divide the **output** index space is partitioned and
+  each chunk is computed independently; the combiner concatenates.
+* For marginalization the **input** index space is partitioned; each chunk
+  produces a partial output table and the combiner adds them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.potential.table import PotentialTable
+
+
+def chunk_ranges(total: int, max_chunk: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into contiguous ``[lo, hi)`` chunks.
+
+    Each chunk has at most ``max_chunk`` elements; the split is as even as
+    possible so subtask weights are balanced.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if max_chunk < 1:
+        raise ValueError(f"max_chunk must be >= 1, got {max_chunk}")
+    if total == 0:
+        return []
+    pieces = -(-total // max_chunk)  # ceil division
+    base, extra = divmod(total, pieces)
+    ranges = []
+    lo = 0
+    for i in range(pieces):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _flat_to_sub(table: PotentialTable, flat: np.ndarray, keep: Sequence[int]):
+    """Map flat indices of ``table`` to flat indices of the ``keep`` sub-scope."""
+    if not keep:
+        # Empty separator: everything folds into the single scalar entry.
+        return np.zeros(flat.size, dtype=np.intp), ()
+    coords = np.unravel_index(flat, table.cardinalities)
+    keep_axes = [table.variables.index(v) for v in keep]
+    keep_cards = tuple(table.cardinalities[a] for a in keep_axes)
+    keep_coords = tuple(coords[a] for a in keep_axes)
+    return np.ravel_multi_index(keep_coords, keep_cards), keep_cards
+
+
+def marginalize_chunk(
+    table: PotentialTable, onto: Sequence[int], lo: int, hi: int
+) -> PotentialTable:
+    """Partial marginalization over input entries ``[lo, hi)``.
+
+    Returns a table over ``onto`` holding the partial sums contributed by the
+    chunk; summing the chunk tables over a full partition of the input yields
+    :func:`repro.potential.primitives.marginalize` exactly.
+    """
+    onto = tuple(int(v) for v in onto)
+    if not 0 <= lo <= hi <= table.size:
+        raise ValueError(f"chunk [{lo}, {hi}) out of range for size {table.size}")
+    flat = np.arange(lo, hi)
+    sub_flat, sub_cards = _flat_to_sub(table, flat, onto)
+    out = np.zeros(int(np.prod(sub_cards)) if sub_cards else 1)
+    np.add.at(out, sub_flat, table.values.reshape(-1)[lo:hi])
+    cards = [table.card_of(v) for v in onto]
+    return PotentialTable(onto, cards, out)
+
+
+def extend_chunk(
+    table: PotentialTable,
+    variables: Sequence[int],
+    cardinalities: Sequence[int],
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Entries ``[lo, hi)`` of the flat extended table.
+
+    Concatenating the chunks of a full partition reproduces
+    :func:`repro.potential.primitives.extend`.
+    """
+    variables = tuple(int(v) for v in variables)
+    cardinalities = tuple(int(c) for c in cardinalities)
+    total = int(np.prod(cardinalities)) if cardinalities else 1
+    if not 0 <= lo <= hi <= total:
+        raise ValueError(f"chunk [{lo}, {hi}) out of range for size {total}")
+    flat = np.arange(lo, hi)
+    coords = np.unravel_index(flat, cardinalities)
+    src_axes = [variables.index(v) for v in table.variables]
+    src_coords = tuple(coords[a] for a in src_axes)
+    if src_coords:
+        src_flat = np.ravel_multi_index(src_coords, table.cardinalities)
+    else:
+        src_flat = np.zeros(hi - lo, dtype=np.intp)
+    return table.values.reshape(-1)[src_flat]
+
+
+def multiply_chunk(
+    a_flat: np.ndarray, b_flat: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Entries ``[lo, hi)`` of the pointwise product of two aligned tables."""
+    return a_flat[lo:hi] * b_flat[lo:hi]
+
+
+def divide_chunk(
+    num_flat: np.ndarray, den_flat: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Entries ``[lo, hi)`` of the pointwise ratio (0/0 = 0) of aligned tables."""
+    num = num_flat[lo:hi]
+    den = den_flat[lo:hi]
+    out = np.zeros_like(num)
+    np.divide(num, den, out=out, where=den != 0)
+    return out

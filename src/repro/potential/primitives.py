@@ -1,0 +1,162 @@
+"""The four node-level primitives of evidence propagation.
+
+Propagating evidence from clique Y to clique X through separator S is
+
+    psi_S_new = marginalize(psi_Y, S)
+    ratio     = divide(psi_S_new, psi_S_old)
+    psi_X_new = multiply(psi_X, extend(ratio, scope(X)))
+
+(Eq. 1 of the paper).  Each primitive here is a pure function of potential
+tables; :func:`primitive_flops` gives the operation-count estimate used both
+for task weights in the scheduler and for the multicore cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.potential.table import PotentialTable
+
+
+class PrimitiveKind(enum.Enum):
+    """The four node-level primitive types from the paper."""
+
+    MARGINALIZE = "marginalize"
+    EXTEND = "extend"
+    MULTIPLY = "multiply"
+    DIVIDE = "divide"
+    # COMBINE is not a paper primitive; it is the merge step produced by the
+    # task-partitioning module (the last subtask T_hat_n that concatenates or
+    # adds the partial results of its sibling subtasks).
+    COMBINE = "combine"
+
+
+def marginalize(table: PotentialTable, onto: Sequence[int]) -> PotentialTable:
+    """Sum ``table`` down to the scope ``onto`` (a subset of its variables).
+
+    The result's axes follow the order of ``onto``.
+    """
+    onto = tuple(int(v) for v in onto)
+    missing = set(onto) - set(table.variables)
+    if missing:
+        raise ValueError(f"marginalize target has unknown variables {missing}")
+    drop_axes = tuple(
+        i for i, v in enumerate(table.variables) if v not in onto
+    )
+    summed = table.values.sum(axis=drop_axes) if drop_axes else table.values
+    kept = [v for v in table.variables if v in onto]
+    kept_cards = [table.card_of(v) for v in kept]
+    partial = PotentialTable(kept, kept_cards, summed)
+    return partial.aligned_to(onto)
+
+
+def max_marginalize(table: PotentialTable, onto: Sequence[int]) -> PotentialTable:
+    """Max (instead of sum) ``table`` down to the scope ``onto``.
+
+    The max-product analogue of :func:`marginalize`, used by MPE queries
+    (Viterbi-style most-probable-explanation propagation).
+    """
+    onto = tuple(int(v) for v in onto)
+    missing = set(onto) - set(table.variables)
+    if missing:
+        raise ValueError(f"max-marginalize target has unknown variables {missing}")
+    drop_axes = tuple(i for i, v in enumerate(table.variables) if v not in onto)
+    maxed = table.values.max(axis=drop_axes) if drop_axes else table.values
+    kept = [v for v in table.variables if v in onto]
+    kept_cards = [table.card_of(v) for v in kept]
+    partial = PotentialTable(kept, kept_cards, maxed)
+    return partial.aligned_to(onto)
+
+
+def extend(
+    table: PotentialTable,
+    variables: Sequence[int],
+    cardinalities: Sequence[int],
+) -> PotentialTable:
+    """Broadcast ``table`` up to the superset scope ``variables``.
+
+    New variables are replicated (each entry of ``table`` appears once per
+    joint state of the added variables), matching the extension primitive.
+    """
+    variables = tuple(int(v) for v in variables)
+    cardinalities = tuple(int(c) for c in cardinalities)
+    missing = set(table.variables) - set(variables)
+    if missing:
+        raise ValueError(f"extension target is missing variables {missing}")
+    for var, card in zip(variables, cardinalities):
+        if var in table.variables and table.card_of(var) != card:
+            raise ValueError(
+                f"variable {var} cardinality mismatch: "
+                f"{table.card_of(var)} vs {card}"
+            )
+    # Align source axes to their order within the target scope, insert
+    # size-1 axes for the new variables, then broadcast.
+    src_order = [v for v in variables if v in table.variables]
+    aligned = table.aligned_to(src_order)
+    src_cards = dict(zip(aligned.variables, aligned.cardinalities))
+    shape = [src_cards.get(var, 1) for var in variables]
+    values = aligned.values.reshape(shape)
+    values = np.broadcast_to(values, cardinalities).copy()
+    return PotentialTable(variables, cardinalities, values)
+
+
+def multiply(a: PotentialTable, b: PotentialTable) -> PotentialTable:
+    """Pointwise product; ``b``'s scope must be a subset of ``a``'s.
+
+    The result keeps ``a``'s scope and axis order (the common case is
+    multiplying an extended separator ratio into a clique table).
+    """
+    if not set(b.variables) <= set(a.variables):
+        raise ValueError(
+            f"multiply: scope {b.variables} is not a subset of {a.variables}"
+        )
+    if b.variables != a.variables:
+        b = extend(b, a.variables, a.cardinalities)
+    return PotentialTable(a.variables, a.cardinalities, a.values * b.values)
+
+
+def divide(numerator: PotentialTable, denominator: PotentialTable) -> PotentialTable:
+    """Pointwise ratio over identical scopes with the 0/0 = 0 convention.
+
+    A zero in the denominator implies the corresponding separator state has
+    zero mass, in which case the numerator is also zero and the standard
+    junction-tree convention defines the ratio as zero.
+    """
+    if set(numerator.variables) != set(denominator.variables):
+        raise ValueError(
+            f"divide: scopes differ: {numerator.variables} vs "
+            f"{denominator.variables}"
+        )
+    denom = denominator.aligned_to(numerator.variables)
+    out = np.zeros_like(numerator.values)
+    np.divide(
+        numerator.values, denom.values, out=out, where=denom.values != 0
+    )
+    return PotentialTable(numerator.variables, numerator.cardinalities, out)
+
+
+def primitive_flops(
+    kind: PrimitiveKind, input_size: int, output_size: int
+) -> int:
+    """Estimated operation count of one primitive execution.
+
+    This single estimator is shared by the scheduler's task weights and the
+    multicore simulator's cost model so that simulated load balancing matches
+    what the real threaded scheduler would do.
+    """
+    if kind is PrimitiveKind.MARGINALIZE:
+        # one add per input entry folded into the output
+        return max(input_size, output_size)
+    if kind is PrimitiveKind.EXTEND:
+        # one copy per output entry
+        return output_size
+    if kind in (PrimitiveKind.MULTIPLY, PrimitiveKind.DIVIDE):
+        # one multiply/divide per output entry
+        return output_size
+    if kind is PrimitiveKind.COMBINE:
+        # one add/copy per combined entry
+        return output_size
+    raise ValueError(f"unknown primitive kind {kind!r}")

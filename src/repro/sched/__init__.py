@@ -1,0 +1,39 @@
+"""Executors that run a task graph against a propagation state.
+
+All executors produce numerically identical results; they differ in *how*
+tasks are ordered and (for the threaded ones) interleaved:
+
+* :class:`SerialExecutor` — reference topological execution.
+* :class:`CollaborativeExecutor` — the paper's Algorithm 2 on real Python
+  threads: per-thread Allocate/Fetch/Partition/Execute modules around a
+  shared global task list and per-thread local ready lists.
+* :class:`LevelParallelExecutor` — OpenMP-style level-synchronous
+  parallel-for with a barrier per level (baseline 1).
+* :class:`DataParallelExecutor` — every primitive split across all threads
+  with a fork/join per task (baseline 2).
+
+Because of the GIL these threaded executors demonstrate *correctness* of the
+scheduling algorithms, not wall-clock speedup; speedup curves are produced
+by the multicore simulator in :mod:`repro.simcore`, which executes the same
+policies over the same task graphs with a calibrated cost model.
+"""
+
+from repro.sched.stats import ExecutionStats
+from repro.sched.serial import SerialExecutor
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
+from repro.sched.workstealing import WorkStealingExecutor
+from repro.sched.generic import run_dag
+from repro.sched.online import OnlineScheduler, TaskHandle
+
+__all__ = [
+    "ExecutionStats",
+    "SerialExecutor",
+    "CollaborativeExecutor",
+    "LevelParallelExecutor",
+    "DataParallelExecutor",
+    "WorkStealingExecutor",
+    "run_dag",
+    "OnlineScheduler",
+    "TaskHandle",
+]

@@ -1,0 +1,133 @@
+"""Baseline parallel executors (Section 7's comparison methods).
+
+* :class:`LevelParallelExecutor` — the OpenMP-style baseline: the task graph
+  is cut into longest-path levels; each level is a parallel-for over its
+  tasks with a barrier before the next level starts.
+* :class:`DataParallelExecutor` — the data-parallel baseline: tasks run in
+  serial topological order, but every primitive is chunked across all
+  threads (a fork/join per primitive), mirroring "multiple threads for each
+  node level primitive".
+
+Both produce results identical to the serial executor; their structural
+inefficiencies (barrier idle time, per-primitive fork/join) are what the
+paper's Fig. 7 quantifies against the collaborative scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.potential.partition import chunk_ranges
+from repro.sched.stats import ExecutionStats
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+
+class LevelParallelExecutor:
+    """Level-synchronous parallel-for over task-graph levels."""
+
+    def __init__(self, num_threads: int = 4):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        p = self.num_threads
+        stats = ExecutionStats(
+            num_threads=p,
+            compute_time=[0.0] * p,
+            sched_time=[0.0] * p,
+            tasks_per_thread=[0] * p,
+        )
+        abort: List[Optional[BaseException]] = [None]
+        start = time.perf_counter()
+        for level in graph.levels():
+            # Static block distribution of the level's tasks, like an
+            # OpenMP parallel-for with default scheduling.
+            def work(thread: int, tasks=tuple(level)) -> None:
+                try:
+                    for pos in range(thread, len(tasks), p):
+                        t0 = time.perf_counter()
+                        state.execute(graph.tasks[tasks[pos]])
+                        stats.compute_time[thread] += time.perf_counter() - t0
+                        stats.tasks_per_thread[thread] += 1
+                except BaseException as exc:
+                    abort[0] = exc
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(p)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if abort[0] is not None:
+                raise abort[0]
+        stats.wall_time = time.perf_counter() - start
+        stats.tasks_executed = graph.num_tasks
+        return stats
+
+
+class DataParallelExecutor:
+    """Serial task order with every primitive chunked across all threads."""
+
+    def __init__(self, num_threads: int = 4, min_chunk: int = 1):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be >= 1")
+        self.num_threads = num_threads
+        self.min_chunk = min_chunk
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        p = self.num_threads
+        stats = ExecutionStats(
+            num_threads=p,
+            compute_time=[0.0] * p,
+            sched_time=[0.0] * p,
+            tasks_per_thread=[0] * p,
+        )
+        abort: List[Optional[BaseException]] = [None]
+        start = time.perf_counter()
+        for tid in graph.topological_order():
+            task = graph.tasks[tid]
+            size = task.partition_size
+            chunk = max(self.min_chunk, -(-size // p))
+            ranges = chunk_ranges(size, chunk)
+            if len(ranges) <= 1:
+                t0 = time.perf_counter()
+                state.execute(task)
+                stats.compute_time[0] += time.perf_counter() - t0
+                stats.tasks_per_thread[0] += 1
+                continue
+            results: List[Optional[object]] = [None] * len(ranges)
+
+            def work(thread: int) -> None:
+                try:
+                    for pos in range(thread, len(ranges), p):
+                        lo, hi = ranges[pos]
+                        t0 = time.perf_counter()
+                        results[pos] = state.execute_chunk(task, lo, hi)
+                        stats.compute_time[thread] += time.perf_counter() - t0
+                except BaseException as exc:
+                    abort[0] = exc
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(p)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if abort[0] is not None:
+                raise abort[0]
+            t0 = time.perf_counter()
+            state.combine_chunks(task, results, ranges)
+            stats.compute_time[0] += time.perf_counter() - t0
+            stats.tasks_per_thread[0] += 1
+            stats.chunks_executed += len(ranges)
+        stats.wall_time = time.perf_counter() - start
+        stats.tasks_executed = graph.num_tasks
+        return stats

@@ -1,0 +1,290 @@
+"""The collaborative scheduler (Section 6, Algorithm 2) on Python threads.
+
+Each worker thread runs the four modules of the paper's scheduler:
+
+* **Allocate** — drain the thread's task-ID buffer of completed tasks,
+  decrement the dependency degree of their successors, and place tasks that
+  become ready on the local ready list of the least-loaded thread;
+* **Fetch** — pop the head of the thread's own local ready list;
+* **Partition** — split a fetched task whose potential-table slice exceeds
+  the threshold ``delta`` into chunk subtasks spread across all threads,
+  with the final finisher running the combiner (the paper's ``T̂_n``);
+* **Execute** — run the node-level primitive (or one chunk of it) against
+  the shared :class:`~repro.tasks.state.PropagationState`.
+
+The global task list is the :class:`~repro.tasks.task.TaskGraph` plus the
+shared dependency-degree array; per-entry mutation is lock-protected exactly
+as the paper requires.  Results are bitwise-identical to the serial
+executor.  (Because of the GIL this demonstrates correctness and load
+balance, not wall-clock speedup — see :mod:`repro.simcore` for timing.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.sched.stats import ExecutionStats
+from repro.tasks.partition_plan import plan_partition
+from repro.tasks.state import PropagationState
+from repro.tasks.task import Task, TaskGraph
+
+ALLOCATION_HEURISTICS = ("min-workload", "round-robin", "random")
+FETCH_POLICIES = ("fifo", "largest-first")
+
+
+class _PartitionSet:
+    """Bookkeeping for one partitioned task: chunks plus the combiner."""
+
+    __slots__ = ("task", "ranges", "results", "remaining", "lock")
+
+    def __init__(self, task: Task, ranges: List[Tuple[int, int]]):
+        self.task = task
+        self.ranges = ranges
+        self.results: List[Optional[object]] = [None] * len(ranges)
+        self.remaining = len(ranges)
+        self.lock = threading.Lock()
+
+
+class CollaborativeExecutor:
+    """Algorithm 2: collaborative task scheduling across ``num_threads``.
+
+    Parameters
+    ----------
+    num_threads:
+        Worker-thread count (the paper's ``P``).
+    partition_threshold:
+        The paper's δ: tasks whose partitionable slice exceeds this many
+        potential-table entries are split.  ``None`` disables partitioning
+        (as in the Fig. 5 rerooting experiments).
+    allocation:
+        Load-balancing heuristic for the Allocate module; the paper uses
+        ``"min-workload"``.  ``"round-robin"`` and ``"random"`` exist for
+        the ablation benchmarks.
+    fetch:
+        Fetch-module policy; the paper uses the ``"fifo"`` head-of-list.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 4,
+        partition_threshold: Optional[int] = None,
+        max_chunks: int = 32,
+        allocation: str = "min-workload",
+        fetch: str = "fifo",
+        seed: int = 0,
+        record_events: bool = False,
+    ):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if partition_threshold is not None and partition_threshold < 1:
+            raise ValueError("partition_threshold must be >= 1 or None")
+        if max_chunks < 2:
+            raise ValueError("max_chunks must be >= 2")
+        if allocation not in ALLOCATION_HEURISTICS:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATION_HEURISTICS}"
+            )
+        if fetch not in FETCH_POLICIES:
+            raise ValueError(f"fetch must be one of {FETCH_POLICIES}")
+        self.num_threads = num_threads
+        self.partition_threshold = partition_threshold
+        self.max_chunks = max_chunks
+        self.allocation = allocation
+        self.fetch = fetch
+        self._seed = seed
+        self.record_events = record_events
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        import random
+
+        p = self.num_threads
+        rng = random.Random(self._seed)
+
+        dep_lock = threading.Lock()
+        dep_count = graph.indegrees()
+        remaining = [graph.num_tasks]
+        rr_next = [0]  # round-robin allocation cursor
+
+        local_lists: List[List] = [[] for _ in range(p)]
+        local_locks = [threading.Lock() for _ in range(p)]
+        workload = [0.0] * p
+
+        id_buffers: List[List[int]] = [[] for _ in range(p)]
+        id_locks = [threading.Lock() for _ in range(p)]
+
+        stats = ExecutionStats(
+            num_threads=p,
+            compute_time=[0.0] * p,
+            sched_time=[0.0] * p,
+            tasks_per_thread=[0] * p,
+        )
+        stats_lock = threading.Lock()
+        abort: List[Optional[BaseException]] = [None]
+
+        def pick_target_thread(weight: float) -> int:
+            if self.allocation == "round-robin":
+                with dep_lock:
+                    target = rr_next[0] % p
+                    rr_next[0] += 1
+                return target
+            if self.allocation == "random":
+                return rng.randrange(p)
+            # min-workload: racy read is acceptable — it is a heuristic.
+            return min(range(p), key=lambda j: workload[j])
+
+        def push_item(thread: int, item, weight: float) -> None:
+            with local_locks[thread]:
+                local_lists[thread].append(item)
+                workload[thread] += weight
+
+        def allocate_ready(tid: int) -> None:
+            """Place a now-ready task on the least-loaded local list."""
+            weight = graph.tasks[tid].weight
+            target = pick_target_thread(weight)
+            push_item(target, ("task", tid), weight)
+
+        def complete(thread: int, tid: int) -> None:
+            with id_locks[thread]:
+                id_buffers[thread].append(tid)
+            with dep_lock:
+                remaining[0] -= 1
+
+        def drain_buffer(thread: int) -> None:
+            """The Allocate module: process completed-task notifications."""
+            with id_locks[thread]:
+                done = id_buffers[thread][:]
+                id_buffers[thread].clear()
+            for tid in done:
+                for succ in graph.succs[tid]:
+                    with dep_lock:
+                        dep_count[succ] -= 1
+                        ready = dep_count[succ] == 0
+                    if ready:
+                        allocate_ready(succ)
+
+        def fetch_item(thread: int):
+            """The Fetch module: take the next item from the own list."""
+            with local_locks[thread]:
+                if not local_lists[thread]:
+                    return None
+                if self.fetch == "largest-first":
+                    idx = max(
+                        range(len(local_lists[thread])),
+                        key=lambda j: _item_weight(local_lists[thread][j]),
+                    )
+                    item = local_lists[thread].pop(idx)
+                else:
+                    item = local_lists[thread].pop(0)
+                workload[thread] -= _item_weight(item)
+                return item
+
+        def _item_weight(item) -> float:
+            if item[0] == "task":
+                return graph.tasks[item[1]].weight
+            pset: _PartitionSet = item[1]
+            return pset.task.weight / len(pset.ranges)
+
+        def run_chunk(thread: int, pset: _PartitionSet, idx: int) -> None:
+            lo, hi = pset.ranges[idx]
+            t0 = time.perf_counter()
+            result = state.execute_chunk(pset.task, lo, hi)
+            t1 = time.perf_counter()
+            with stats_lock:
+                stats.compute_time[thread] += t1 - t0
+                stats.chunks_executed += 1
+                if self.record_events:
+                    stats.events.append(
+                        (pset.task.tid, thread, t0 - start, t1 - start)
+                    )
+            with pset.lock:
+                pset.results[idx] = result
+                pset.remaining -= 1
+                last = pset.remaining == 0
+            if last:
+                t0 = time.perf_counter()
+                state.combine_chunks(pset.task, pset.results, pset.ranges)
+                elapsed = time.perf_counter() - t0
+                with stats_lock:
+                    stats.compute_time[thread] += elapsed
+                    stats.tasks_executed += 1
+                    stats.tasks_per_thread[thread] += 1
+                complete(thread, pset.task.tid)
+
+        def run_task(thread: int, tid: int) -> None:
+            task = graph.tasks[tid]
+            ranges = plan_partition(
+                task, self.partition_threshold, self.max_chunks
+            )
+            if ranges is not None:
+                pset = _PartitionSet(task, ranges)
+                with stats_lock:
+                    stats.tasks_partitioned += 1
+                chunk_weight = task.weight / len(ranges)
+                # Spread the sibling chunks over all threads (Algorithm 2
+                # line 14); the fetching thread starts on chunk 0 itself.
+                for idx in range(1, len(ranges)):
+                    push_item(
+                        (thread + idx) % p, ("chunk", pset, idx), chunk_weight
+                    )
+                run_chunk(thread, pset, 0)
+                return
+            t0 = time.perf_counter()
+            state.execute(task)
+            t1 = time.perf_counter()
+            with stats_lock:
+                stats.compute_time[thread] += t1 - t0
+                stats.tasks_executed += 1
+                stats.tasks_per_thread[thread] += 1
+                if self.record_events:
+                    stats.events.append(
+                        (tid, thread, t0 - start, t1 - start)
+                    )
+            complete(thread, tid)
+
+        def worker(thread: int) -> None:
+            try:
+                while abort[0] is None:
+                    t0 = time.perf_counter()
+                    drain_buffer(thread)
+                    item = fetch_item(thread)
+                    with stats_lock:
+                        stats.sched_time[thread] += time.perf_counter() - t0
+                    if item is None:
+                        with dep_lock:
+                            done = remaining[0] == 0
+                        if done:
+                            break
+                        time.sleep(1e-5)
+                        continue
+                    if item[0] == "task":
+                        run_task(thread, item[1])
+                    else:
+                        run_chunk(thread, item[1], item[2])
+            except BaseException as exc:  # propagate to the caller
+                abort[0] = exc
+
+        # Algorithm 2 line 1: seed the initially-ready tasks evenly.
+        for offset, tid in enumerate(graph.roots()):
+            push_item(offset % p, ("task", tid), graph.tasks[tid].weight)
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"collab-{i}")
+            for i in range(p)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats.wall_time = time.perf_counter() - start
+        if abort[0] is not None:
+            raise abort[0]
+        if remaining[0] != 0:
+            raise RuntimeError(
+                f"scheduler finished with {remaining[0]} tasks unexecuted"
+            )
+        return stats

@@ -1,0 +1,190 @@
+"""Online collaborative scheduling: tasks arrive while workers run.
+
+The static executors receive a complete task graph up front; the paper's
+outlook ("online scheduling of DAG structured computations") needs tasks
+submitted *during* execution.  :class:`OnlineScheduler` keeps a persistent
+worker pool; :meth:`submit` registers a callable with optional
+dependencies on earlier submissions and returns a :class:`TaskHandle`
+whose :meth:`~TaskHandle.result` blocks until completion.  Allocation
+follows Algorithm 2's min-workload rule.
+
+Example::
+
+    with OnlineScheduler(num_threads=4) as pool:
+        a = pool.submit(lambda: 2)
+        b = pool.submit(lambda: 3)
+        c = pool.submit(lambda x, y: x + y, deps=[a, b])
+        assert c.result() == 5
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+
+class TaskHandle:
+    """Future-like handle for one submitted task."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self._done = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the task finishes; re-raises its exception."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"task {self.tid} not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result=None, error: Optional[BaseException] = None):
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+class OnlineScheduler:
+    """A persistent collaborative worker pool with dynamic submission.
+
+    Tasks whose dependencies failed are *cancelled*: their handles raise
+    the dependency's exception.  Use as a context manager or call
+    :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, num_threads: int = 4):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self._lock = threading.Lock()
+        self._handles: List[TaskHandle] = []
+        self._fns: List[Callable] = []
+        self._deps: List[List[int]] = []
+        self._unmet: List[set] = []  # dependency tids not yet credited
+        self._weights: List[float] = []
+        self._shutdown = False
+        self._local: List[List[int]] = [[] for _ in range(num_threads)]
+        self._local_locks = [threading.Lock() for _ in range(num_threads)]
+        self._workload = [0.0] * num_threads
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(i,), name=f"online-{i}", daemon=True
+            )
+            for i in range(num_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        fn: Callable,
+        deps: Sequence[TaskHandle] = (),
+        weight: float = 1.0,
+    ) -> TaskHandle:
+        """Register ``fn`` to run after ``deps``; returns its handle.
+
+        ``fn`` receives the dependency results as positional arguments in
+        the given order.
+        """
+        if self._shutdown:
+            raise RuntimeError("scheduler is shut down")
+        with self._lock:
+            tid = len(self._handles)
+            handle = TaskHandle(tid)
+            self._handles.append(handle)
+            self._fns.append(fn)
+            self._deps.append([d.tid for d in deps])
+            self._weights.append(float(weight))
+            unmet = {d.tid for d in deps if not d.done()}
+            self._unmet.append(unmet)
+            # A dependency may have failed already.
+            failed = next(
+                (d for d in deps if d.done() and d._error is not None), None
+            )
+            if failed is not None:
+                handle._finish(error=failed._error)
+                return handle
+            if not unmet:
+                self._enqueue(tid)
+        return handle
+
+    def _enqueue(self, tid: int) -> None:
+        target = min(range(self.num_threads), key=lambda j: self._workload[j])
+        with self._local_locks[target]:
+            self._local[target].append(tid)
+            self._workload[target] += self._weights[tid]
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+
+    def _fetch(self, thread: int) -> Optional[int]:
+        with self._local_locks[thread]:
+            if not self._local[thread]:
+                return None
+            tid = self._local[thread].pop(0)
+            self._workload[thread] -= self._weights[tid]
+            return tid
+
+    def _worker(self, thread: int) -> None:
+        while True:
+            tid = self._fetch(thread)
+            if tid is None:
+                if self._shutdown:
+                    return
+                time.sleep(1e-4)
+                continue
+            handle = self._handles[tid]
+            try:
+                args = [
+                    self._handles[d]._result for d in self._deps[tid]
+                ]
+                result = self._fns[tid](*args)
+                handle._finish(result=result)
+            except BaseException as exc:
+                handle._finish(error=exc)
+            self._resolve_dependents(tid)
+
+    def _resolve_dependents(self, tid: int) -> None:
+        finished = self._handles[tid]
+        with self._lock:
+            for succ in range(len(self._handles)):
+                if tid not in self._unmet[succ]:
+                    continue
+                if self._handles[succ].done():
+                    continue
+                if finished._error is not None:
+                    self._handles[succ]._finish(error=finished._error)
+                    continue
+                self._unmet[succ].discard(tid)
+                if not self._unmet[succ]:
+                    self._enqueue(succ)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued tasks."""
+        if wait:
+            for handle in list(self._handles):
+                handle._done.wait()
+        self._shutdown = True
+        for t in self._threads:
+            t.join(timeout=5)
+
+    def __enter__(self) -> "OnlineScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)

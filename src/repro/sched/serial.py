@@ -1,0 +1,34 @@
+"""Reference serial executor: tasks in topological order, one thread."""
+
+from __future__ import annotations
+
+import time
+
+from repro.sched.stats import ExecutionStats
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+
+class SerialExecutor:
+    """Runs every task in a fixed topological order on the calling thread.
+
+    This is both the correctness oracle for the parallel executors and the
+    ``P = 1`` baseline for speedup measurements.
+    """
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        start = time.perf_counter()
+        compute = 0.0
+        for tid in graph.topological_order():
+            t0 = time.perf_counter()
+            state.execute(graph.tasks[tid])
+            compute += time.perf_counter() - t0
+        wall = time.perf_counter() - start
+        return ExecutionStats(
+            num_threads=1,
+            wall_time=wall,
+            tasks_executed=graph.num_tasks,
+            compute_time=[compute],
+            sched_time=[max(wall - compute, 0.0)],
+            tasks_per_thread=[graph.num_tasks],
+        )

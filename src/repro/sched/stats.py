@@ -1,0 +1,50 @@
+"""Execution statistics shared by all executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ExecutionStats:
+    """What an executor did and how long each part took.
+
+    ``compute_time`` / ``sched_time`` are per-thread (index = thread id);
+    the paper's Fig. 8 plots exactly these: per-thread primitive time for
+    load balance, and the scheduling share of execution time.
+    """
+
+    num_threads: int = 1
+    wall_time: float = 0.0
+    tasks_executed: int = 0
+    tasks_partitioned: int = 0
+    chunks_executed: int = 0
+    compute_time: List[float] = field(default_factory=list)
+    sched_time: List[float] = field(default_factory=list)
+    tasks_per_thread: List[int] = field(default_factory=list)
+    # Optional per-task event log (task id, thread, start, end) relative
+    # to the run's start; populated when the executor records events.
+    events: List[tuple] = field(default_factory=list)
+
+    def total_compute(self) -> float:
+        return sum(self.compute_time)
+
+    def total_sched(self) -> float:
+        return sum(self.sched_time)
+
+    def sched_ratio(self) -> float:
+        """Scheduling overhead as a fraction of total busy time."""
+        busy = self.total_compute() + self.total_sched()
+        if busy == 0:
+            return 0.0
+        return self.total_sched() / busy
+
+    def load_imbalance(self) -> float:
+        """max/mean per-thread compute time; 1.0 means perfectly balanced."""
+        if not self.compute_time or max(self.compute_time) == 0:
+            return 1.0
+        mean = sum(self.compute_time) / len(self.compute_time)
+        if mean == 0:
+            return 1.0
+        return max(self.compute_time) / mean

@@ -1,0 +1,194 @@
+"""Work-stealing executor: the paper's Section 8 future-work direction.
+
+The collaborative scheduler's Allocate module pushes every ready task
+through shared locks, which the paper identifies as the looming bottleneck
+("as more cores are integrated into a single chip, some overheads such as
+lock contention will increase dramatically").  The classic remedy is work
+*stealing*: each thread owns a deque, pushes the tasks it makes ready onto
+its own bottom, and only touches another thread's deque — stealing from
+the top — when its own is empty.  Shared-lock traffic then scales with the
+steal count instead of the task count.
+
+Results are numerically identical to every other executor; the matching
+simulator-side ablation lives in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+from repro.sched.stats import ExecutionStats
+from repro.tasks.partition_plan import plan_partition
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+
+class _ChunkSet:
+    """Chunk bookkeeping for one partitioned task (see CollaborativeExecutor)."""
+
+    __slots__ = ("task", "ranges", "results", "remaining", "lock")
+
+    def __init__(self, task, ranges):
+        self.task = task
+        self.ranges = ranges
+        self.results: List[Optional[object]] = [None] * len(ranges)
+        self.remaining = len(ranges)
+        self.lock = threading.Lock()
+
+
+class WorkStealingExecutor:
+    """Per-thread deques with steal-when-empty scheduling.
+
+    Parameters mirror :class:`~repro.sched.collaborative.CollaborativeExecutor`
+    minus the allocation heuristic (ownership replaces it).
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 4,
+        partition_threshold: Optional[int] = None,
+        max_chunks: int = 32,
+    ):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if partition_threshold is not None and partition_threshold < 1:
+            raise ValueError("partition_threshold must be >= 1 or None")
+        if max_chunks < 2:
+            raise ValueError("max_chunks must be >= 2")
+        self.num_threads = num_threads
+        self.partition_threshold = partition_threshold
+        self.max_chunks = max_chunks
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        p = self.num_threads
+        dep_lock = threading.Lock()
+        dep_count = graph.indegrees()
+        remaining = [graph.num_tasks]
+
+        deques: List[deque] = [deque() for _ in range(p)]
+        deque_locks = [threading.Lock() for _ in range(p)]
+
+        stats = ExecutionStats(
+            num_threads=p,
+            compute_time=[0.0] * p,
+            sched_time=[0.0] * p,
+            tasks_per_thread=[0] * p,
+        )
+        stats_lock = threading.Lock()
+        abort: List[Optional[BaseException]] = [None]
+
+        def push_local(thread: int, item) -> None:
+            with deque_locks[thread]:
+                deques[thread].append(item)
+
+        def pop_or_steal(thread: int):
+            # Own work first (LIFO for locality)...
+            with deque_locks[thread]:
+                if deques[thread]:
+                    return deques[thread].pop()
+            # ...then steal oldest work from the first non-empty victim.
+            for offset in range(1, p):
+                victim = (thread + offset) % p
+                with deque_locks[victim]:
+                    if deques[victim]:
+                        return deques[victim].popleft()
+            return None
+
+        def complete(thread: int, tid: int) -> None:
+            """Resolve successors; newly-ready tasks stay with this thread."""
+            for succ in graph.succs[tid]:
+                with dep_lock:
+                    dep_count[succ] -= 1
+                    ready = dep_count[succ] == 0
+                if ready:
+                    push_local(thread, ("task", succ))
+            with dep_lock:
+                remaining[0] -= 1
+
+        def run_chunk(thread: int, cset: _ChunkSet, idx: int) -> None:
+            lo, hi = cset.ranges[idx]
+            t0 = time.perf_counter()
+            result = state.execute_chunk(cset.task, lo, hi)
+            elapsed = time.perf_counter() - t0
+            with stats_lock:
+                stats.compute_time[thread] += elapsed
+                stats.chunks_executed += 1
+            with cset.lock:
+                cset.results[idx] = result
+                cset.remaining -= 1
+                last = cset.remaining == 0
+            if last:
+                t0 = time.perf_counter()
+                state.combine_chunks(cset.task, cset.results, cset.ranges)
+                with stats_lock:
+                    stats.compute_time[thread] += time.perf_counter() - t0
+                    stats.tasks_executed += 1
+                    stats.tasks_per_thread[thread] += 1
+                complete(thread, cset.task.tid)
+
+        def run_task(thread: int, tid: int) -> None:
+            task = graph.tasks[tid]
+            ranges = plan_partition(
+                task, self.partition_threshold, self.max_chunks
+            )
+            if ranges is not None:
+                cset = _ChunkSet(task, ranges)
+                with stats_lock:
+                    stats.tasks_partitioned += 1
+                for idx in range(1, len(ranges)):
+                    push_local(thread, ("chunk", cset, idx))
+                run_chunk(thread, cset, 0)
+                return
+            t0 = time.perf_counter()
+            state.execute(task)
+            elapsed = time.perf_counter() - t0
+            with stats_lock:
+                stats.compute_time[thread] += elapsed
+                stats.tasks_executed += 1
+                stats.tasks_per_thread[thread] += 1
+            complete(thread, tid)
+
+        def worker(thread: int) -> None:
+            try:
+                while abort[0] is None:
+                    t0 = time.perf_counter()
+                    item = pop_or_steal(thread)
+                    with stats_lock:
+                        stats.sched_time[thread] += time.perf_counter() - t0
+                    if item is None:
+                        with dep_lock:
+                            done = remaining[0] == 0
+                        if done:
+                            break
+                        time.sleep(1e-5)
+                        continue
+                    if item[0] == "task":
+                        run_task(thread, item[1])
+                    else:
+                        run_chunk(thread, item[1], item[2])
+            except BaseException as exc:
+                abort[0] = exc
+
+        for offset, tid in enumerate(graph.roots()):
+            push_local(offset % p, ("task", tid))
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"steal-{i}")
+            for i in range(p)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats.wall_time = time.perf_counter() - start
+        if abort[0] is not None:
+            raise abort[0]
+        if remaining[0] != 0:
+            raise RuntimeError(
+                f"work-stealing finished with {remaining[0]} tasks unexecuted"
+            )
+        return stats

@@ -1,0 +1,75 @@
+"""Closed-form helpers for fitting the cost-model constants.
+
+The platform profiles were calibrated to the paper's reported end points
+(7.4x / 7.1x collaborative speedup at 8 cores, baselines near 3.2-3.9x,
+sub-0.9 % scheduling overhead).  These helpers invert the model's simple
+formulas so a user targeting different hardware can derive constants
+instead of hand-searching:
+
+* ideal speedup under memory pressure:
+  ``S(P) = P / (1 + memory_factor * (P - 1))``,
+* per-primitive baseline speedup with a streaming cap:
+  ``S = t / (t / cap + region_overhead)`` for a task of duration ``t``.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def memory_factor_for_speedup(target_speedup: float, cores: int) -> float:
+    """The ``memory_factor`` making the pressure-only model hit a target.
+
+    Solves ``cores / (1 + f * (cores - 1)) = target`` for ``f``.  The
+    target must lie in ``(1, cores]``; a target equal to ``cores`` gives 0.
+    """
+    check_positive("target_speedup", target_speedup)
+    if cores < 2:
+        raise ValueError("cores must be >= 2")
+    if not 1.0 < target_speedup <= cores:
+        raise ValueError(
+            f"target speedup must be in (1, {cores}], got {target_speedup}"
+        )
+    return (cores / target_speedup - 1.0) / (cores - 1)
+
+
+def expected_speedup(memory_factor: float, cores: int) -> float:
+    """Forward model: pressure-limited speedup at ``cores``."""
+    if memory_factor < 0:
+        raise ValueError("memory_factor must be non-negative")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return cores / (1.0 + memory_factor * (cores - 1))
+
+
+def stream_cap_for_baseline(
+    target_speedup: float,
+    task_seconds: float,
+    region_overhead: float,
+) -> float:
+    """The ``stream_cap`` putting a per-primitive baseline at a target.
+
+    Solves ``t / (t / cap + overhead) = target`` for ``cap`` given a
+    representative task duration.  The target must be achievable: the
+    overhead alone must not exceed the implied budget.
+    """
+    check_positive("target_speedup", target_speedup)
+    check_positive("task_seconds", task_seconds)
+    if region_overhead < 0:
+        raise ValueError("region_overhead must be non-negative")
+    budget = task_seconds / target_speedup - region_overhead
+    if budget <= 0:
+        raise ValueError(
+            "target is unreachable: the region overhead alone exceeds "
+            "the per-task time budget"
+        )
+    return task_seconds / budget
+
+
+def baseline_speedup(
+    stream_cap: float, task_seconds: float, region_overhead: float
+) -> float:
+    """Forward model: per-primitive baseline speedup for one task size."""
+    check_positive("stream_cap", stream_cap)
+    check_positive("task_seconds", task_seconds)
+    return task_seconds / (task_seconds / stream_cap + region_overhead)

@@ -1,0 +1,50 @@
+"""A simulated multicore machine: platform profile + core count facade.
+
+Bundles the pieces a study needs — run a policy, compare several, sweep a
+speedup curve — so benchmark and example code reads declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.simcore.profiles import PlatformProfile
+from repro.simcore.result import SimResult
+from repro.tasks.task import TaskGraph
+
+
+class Machine:
+    """``Machine(XEON, 8)`` — a profile bound to a core count."""
+
+    def __init__(self, profile: PlatformProfile, num_cores: int):
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.profile = profile
+        self.num_cores = num_cores
+
+    def run(self, policy, graph: TaskGraph, **kwargs) -> SimResult:
+        """Simulate ``policy`` over ``graph`` on this machine."""
+        return policy.simulate(graph, self.profile, self.num_cores, **kwargs)
+
+    def compare(
+        self, policies: Sequence, graph: TaskGraph
+    ) -> Dict[str, SimResult]:
+        """Run several policies; results keyed by policy name."""
+        results = {}
+        for policy in policies:
+            result = self.run(policy, graph)
+            results[result.policy or policy.name] = result
+        return results
+
+    def speedup_curve(
+        self, policy, graph: TaskGraph, cores: Sequence[int]
+    ) -> List[float]:
+        """Speedup at each core count, against the policy's 1-core run."""
+        base = policy.simulate(graph, self.profile, 1).makespan
+        return [
+            base / policy.simulate(graph, self.profile, p).makespan
+            for p in cores
+        ]
+
+    def __repr__(self) -> str:
+        return f"Machine({self.profile.name!r}, cores={self.num_cores})"

@@ -1,0 +1,81 @@
+"""Simulation results: per-core clocks and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one policy on one platform at one core count.
+
+    ``compute_time`` / ``sched_time`` are per-core accumulated seconds;
+    ``makespan`` is the simulated wall-clock of the whole propagation.
+    """
+
+    policy: str
+    platform: str
+    num_cores: int
+    makespan: float
+    compute_time: List[float] = field(default_factory=list)
+    sched_time: List[float] = field(default_factory=list)
+    tasks_executed: int = 0
+    # Populated only when the policy was asked to record a trace.
+    trace: object = None
+    sim_graph: object = None
+
+    def total_compute(self) -> float:
+        return sum(self.compute_time)
+
+    def total_sched(self) -> float:
+        return sum(self.sched_time)
+
+    def sched_ratio(self) -> float:
+        """Scheduling overhead as a fraction of total busy time (Fig. 8b)."""
+        busy = self.total_compute() + self.total_sched()
+        if busy == 0:
+            return 0.0
+        return self.total_sched() / busy
+
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each core spent busy."""
+        if self.makespan == 0 or not self.compute_time:
+            return 1.0
+        busy = self.total_compute() + self.total_sched()
+        return busy / (self.makespan * len(self.compute_time))
+
+    def load_imbalance(self) -> float:
+        """max/mean per-core compute time; 1.0 is perfect balance (Fig. 8a)."""
+        if not self.compute_time:
+            return 1.0
+        mean = sum(self.compute_time) / len(self.compute_time)
+        if mean == 0:
+            return 1.0
+        return max(self.compute_time) / mean
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """``baseline.makespan / self.makespan``."""
+        if self.makespan == 0:
+            return float("inf")
+        return baseline.makespan / self.makespan
+
+    def energy_joules(
+        self, active_watts: float = 15.0, idle_watts: float = 5.0
+    ) -> float:
+        """Simple per-core energy model: busy at ``active_watts``, the
+        rest of the makespan at ``idle_watts`` (defaults approximate a
+        2009-era core and its idle floor).
+        """
+        if active_watts < 0 or idle_watts < 0:
+            raise ValueError("power draws must be non-negative")
+        cores = max(len(self.compute_time), 1)
+        busy = self.total_compute() + self.total_sched()
+        idle = max(self.makespan * cores - busy, 0.0)
+        return busy * active_watts + idle * idle_watts
+
+    def energy_delay_product(
+        self, active_watts: float = 15.0, idle_watts: float = 5.0
+    ) -> float:
+        """Energy x makespan, the usual efficiency figure of merit."""
+        return self.energy_joules(active_watts, idle_watts) * self.makespan

@@ -1,0 +1,108 @@
+"""Per-core execution traces of simulated schedules.
+
+A :class:`Trace` is the Gantt chart of one simulation: for every executed
+node it records which core ran it and when.  Used by the load-balance
+experiments and by tests that verify schedule validity (no core overlap,
+dependencies respected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution: ``node`` ran on ``core`` during ``[start, end)``."""
+
+    node: int
+    core: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Chronological record of a simulated schedule."""
+
+    num_cores: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, node: int, core: int, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"event for node {node} ends before it starts")
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+        self.events.append(TraceEvent(node, core, start, end))
+
+    def per_core(self) -> Dict[int, List[TraceEvent]]:
+        """Events grouped by core, each list sorted by start time."""
+        buckets: Dict[int, List[TraceEvent]] = {
+            c: [] for c in range(self.num_cores)
+        }
+        for event in self.events:
+            buckets[event.core].append(event)
+        for events in buckets.values():
+            events.sort(key=lambda e: e.start)
+        return buckets
+
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def busy_time(self, core: int) -> float:
+        return sum(e.duration for e in self.events if e.core == core)
+
+    def idle_time(self, core: int) -> float:
+        return self.makespan() - self.busy_time(core)
+
+    def check_no_overlap(self) -> None:
+        """Raise ``ValueError`` if any core runs two tasks at once."""
+        for core, events in self.per_core().items():
+            for a, b in zip(events, events[1:]):
+                if b.start < a.end - 1e-12:
+                    raise ValueError(
+                        f"core {core}: node {b.node} starts at {b.start} "
+                        f"before node {a.node} ends at {a.end}"
+                    )
+
+    def check_dependencies(self, deps: List[List[int]]) -> None:
+        """Raise ``ValueError`` if a node started before a dependency ended.
+
+        ``deps`` indexes by node id; nodes absent from the trace are
+        ignored (e.g. when tracing a sub-schedule).
+        """
+        finish: Dict[int, float] = {}
+        start: Dict[int, float] = {}
+        for event in self.events:
+            finish[event.node] = event.end
+            start[event.node] = event.start
+        for node, node_deps in enumerate(deps):
+            if node not in start:
+                continue
+            for d in node_deps:
+                if d in finish and start[node] < finish[d] - 1e-12:
+                    raise ValueError(
+                        f"node {node} started at {start[node]} before "
+                        f"dependency {d} finished at {finish[d]}"
+                    )
+
+    def gantt_rows(self, width: int = 72) -> List[str]:
+        """ASCII Gantt rendering, one row per core."""
+        span = self.makespan()
+        if span == 0:
+            return ["(empty trace)"]
+        rows = []
+        for core, events in self.per_core().items():
+            cells = [" "] * width
+            for event in events:
+                lo = int(event.start / span * (width - 1))
+                hi = max(int(event.end / span * (width - 1)), lo)
+                for i in range(lo, hi + 1):
+                    cells[i] = "#"
+            rows.append(f"core {core}: |{''.join(cells)}|")
+        return rows

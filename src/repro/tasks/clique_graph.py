@@ -1,0 +1,71 @@
+"""The clique updating graph (Section 5.2, first step).
+
+Exact inference updates the junction tree twice: evidence flows from the
+leaves to the root (*collect*), then from the root back to the leaves
+(*distribute*).  The clique updating graph has one node per clique per
+phase; collect nodes depend on the collect nodes of their children, and
+distribute nodes depend on the distribute node of their parent (the root's
+distribute node is its collect node's alias).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.jt.junction_tree import JunctionTree
+from repro.tasks.task import COLLECT, DISTRIBUTE
+
+NodeId = Tuple[str, int]
+
+
+class CliqueUpdatingGraph:
+    """Coarse-grained dependency DAG over clique updates.
+
+    Nodes are ``(phase, clique)`` pairs; :attr:`deps` maps each node to the
+    nodes that must complete first.
+    """
+
+    def __init__(self, jt: JunctionTree):
+        self.jt = jt
+        self.deps: Dict[NodeId, List[NodeId]] = {}
+
+    def nodes(self) -> List[NodeId]:
+        return list(self.deps)
+
+    def topological_order(self) -> List[NodeId]:
+        indeg = {node: len(d) for node, d in self.deps.items()}
+        succs: Dict[NodeId, List[NodeId]] = {node: [] for node in self.deps}
+        for node, deps in self.deps.items():
+            for d in deps:
+                succs[d].append(node)
+        ready = [node for node, d in indeg.items() if d == 0]
+        order = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for s in succs[node]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self.deps):
+            raise RuntimeError("clique updating graph contains a cycle")
+        return order
+
+
+def build_clique_updating_graph(jt: JunctionTree) -> CliqueUpdatingGraph:
+    """Build the two-phase clique updating graph of a junction tree."""
+    graph = CliqueUpdatingGraph(jt)
+    for clique in range(jt.num_cliques):
+        graph.deps[(COLLECT, clique)] = [
+            (COLLECT, child) for child in jt.children[clique]
+        ]
+    for clique in range(jt.num_cliques):
+        if clique == jt.root:
+            # The root is fully updated once collect finishes; its
+            # distribute node is a zero-work alias used as the phase pivot.
+            graph.deps[(DISTRIBUTE, clique)] = [(COLLECT, clique)]
+        else:
+            graph.deps[(DISTRIBUTE, clique)] = [
+                (DISTRIBUTE, jt.parent[clique])
+            ]
+    return graph

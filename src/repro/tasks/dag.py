@@ -1,0 +1,115 @@
+"""Fine-grained task dependency graph construction (Section 5.2, second step).
+
+Each clique update of the clique updating graph is replaced by its *local
+task dependency graph*: per incoming message, the primitive pipeline
+
+    MARGINALIZE -> DIVIDE -> EXTEND -> MULTIPLY
+
+with all MULTIPLY tasks into the same clique potential serialized (they
+write the same table).  Cross-clique edges follow the clique updating graph:
+
+* the collect pipeline over edge ``(p, c)`` starts once clique ``c``'s own
+  collect update finished (its last MULTIPLY task),
+* the distribute pipeline over edge ``(p, c)`` starts once clique ``p``'s
+  distribute update finished (the root's distribute alias is its collect
+  exit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.jt.junction_tree import JunctionTree
+from repro.potential.primitives import PrimitiveKind
+from repro.tasks.task import COLLECT, DISTRIBUTE, TaskGraph
+
+
+def _sizes(jt: JunctionTree, parent: int, child: int) -> Tuple[int, int]:
+    """(clique table size of parent, separator table size) for an edge."""
+    sep_cards = jt.separator_cards(child, parent)
+    sep_size = 1
+    for c in sep_cards:
+        sep_size *= c
+    return jt.cliques[parent].table_size, sep_size
+
+
+def build_task_graph(jt: JunctionTree) -> TaskGraph:
+    """Construct the full task dependency graph ``G`` for a junction tree.
+
+    The graph has ``8 * (N - 1)`` tasks: four primitives per edge per phase.
+    A single-clique tree yields an empty graph (nothing to propagate).
+    """
+    graph = TaskGraph()
+    # Exit task of each clique's collect / distribute update.
+    collect_exit: Dict[int, Optional[int]] = {}
+    distribute_exit: Dict[int, Optional[int]] = {}
+
+    # ----------------------- collect phase ---------------------------- #
+    # Children must be processed before parents; postorder guarantees the
+    # child's collect exit exists when the parent pipeline is created.
+    for p in jt.postorder():
+        children = jt.children[p]
+        if not children:
+            collect_exit[p] = None
+            continue
+        clique_size = jt.cliques[p].table_size
+        last_multiply: Optional[int] = None
+        for c in children:
+            child_size = jt.cliques[c].table_size
+            _, sep_size = _sizes(jt, p, c)
+            edge = (p, c)
+            entry_deps = []
+            if collect_exit[c] is not None:
+                entry_deps.append(collect_exit[c])
+            marg = graph.add_task(
+                PrimitiveKind.MARGINALIZE, COLLECT, edge, p,
+                input_size=child_size, output_size=sep_size, deps=entry_deps,
+            )
+            div = graph.add_task(
+                PrimitiveKind.DIVIDE, COLLECT, edge, p,
+                input_size=sep_size, output_size=sep_size, deps=[marg],
+            )
+            ext = graph.add_task(
+                PrimitiveKind.EXTEND, COLLECT, edge, p,
+                input_size=sep_size, output_size=clique_size, deps=[div],
+            )
+            mult_deps = [ext]
+            if last_multiply is not None:
+                mult_deps.append(last_multiply)
+            mult = graph.add_task(
+                PrimitiveKind.MULTIPLY, COLLECT, edge, p,
+                input_size=clique_size, output_size=clique_size,
+                deps=mult_deps,
+            )
+            last_multiply = mult
+        collect_exit[p] = last_multiply
+
+    # ---------------------- distribute phase -------------------------- #
+    distribute_exit[jt.root] = collect_exit[jt.root]
+    for p in jt.preorder():
+        for c in jt.children[p]:
+            child_size = jt.cliques[c].table_size
+            _, sep_size = _sizes(jt, p, c)
+            edge = (p, c)
+            entry_deps = []
+            if distribute_exit[p] is not None:
+                entry_deps.append(distribute_exit[p])
+            parent_size = jt.cliques[p].table_size
+            marg = graph.add_task(
+                PrimitiveKind.MARGINALIZE, DISTRIBUTE, edge, c,
+                input_size=parent_size, output_size=sep_size, deps=entry_deps,
+            )
+            div = graph.add_task(
+                PrimitiveKind.DIVIDE, DISTRIBUTE, edge, c,
+                input_size=sep_size, output_size=sep_size, deps=[marg],
+            )
+            ext = graph.add_task(
+                PrimitiveKind.EXTEND, DISTRIBUTE, edge, c,
+                input_size=sep_size, output_size=child_size, deps=[div],
+            )
+            mult = graph.add_task(
+                PrimitiveKind.MULTIPLY, DISTRIBUTE, edge, c,
+                input_size=child_size, output_size=child_size, deps=[ext],
+            )
+            distribute_exit[c] = mult
+    return graph

@@ -1,0 +1,100 @@
+"""Analysis metrics for task dependency graphs.
+
+Quantifies the two kinds of parallelism the paper exploits: *structural*
+(DAG width — how many tasks are independently runnable per level) and
+*data* (how much weight sits in individual oversized tasks that only the
+Partition module can spread).  Used by the ablation benchmarks and handy
+when judging whether a workload will scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.tasks.task import TaskGraph
+
+
+@dataclass
+class GraphSummary:
+    """Headline numbers of one task graph."""
+
+    num_tasks: int
+    total_work: float
+    critical_path_work: float
+    avg_parallelism: float
+    max_level_width: int
+    num_levels: int
+    work_by_phase: Dict[str, float] = field(default_factory=dict)
+    work_by_kind: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parallelism(self) -> float:
+        """``T_1 / T_inf`` — the graph's inherent speedup ceiling."""
+        if self.critical_path_work == 0:
+            return 1.0
+        return self.total_work / self.critical_path_work
+
+
+def level_widths(graph: TaskGraph) -> List[int]:
+    """Number of tasks at each longest-path level (structural profile)."""
+    return [len(level) for level in graph.levels()]
+
+
+def level_work(graph: TaskGraph) -> List[float]:
+    """Total task weight at each level."""
+    return [
+        sum(graph.tasks[tid].weight for tid in level)
+        for level in graph.levels()
+    ]
+
+
+def work_by_phase(graph: TaskGraph) -> Dict[str, float]:
+    """Total weight split by collect/distribute phase."""
+    out: Dict[str, float] = {}
+    for task in graph.tasks:
+        out[task.phase] = out.get(task.phase, 0.0) + task.weight
+    return out
+
+
+def work_by_kind(graph: TaskGraph) -> Dict[str, float]:
+    """Total weight split by primitive kind."""
+    out: Dict[str, float] = {}
+    for task in graph.tasks:
+        key = task.kind.value
+        out[key] = out.get(key, 0.0) + task.weight
+    return out
+
+
+def heavy_task_fraction(graph: TaskGraph, threshold: int) -> float:
+    """Fraction of total work in tasks whose slice exceeds ``threshold``.
+
+    This is the share of the workload only reachable through data
+    parallelism (the Partition module) once structural width runs out.
+    """
+    total = graph.total_work()
+    if total == 0:
+        return 0.0
+    heavy = sum(
+        t.weight for t in graph.tasks if t.partition_size > threshold
+    )
+    return heavy / total
+
+
+def summarize(graph: TaskGraph) -> GraphSummary:
+    """Compute the full :class:`GraphSummary` of a task graph."""
+    widths = level_widths(graph)
+    total = graph.total_work()
+    span = graph.critical_path_work()
+    return GraphSummary(
+        num_tasks=graph.num_tasks,
+        total_work=total,
+        critical_path_work=span,
+        avg_parallelism=(
+            graph.num_tasks / len(widths) if widths else 0.0
+        ),
+        max_level_width=max(widths, default=0),
+        num_levels=len(widths),
+        work_by_phase=work_by_phase(graph),
+        work_by_kind=work_by_kind(graph),
+    )

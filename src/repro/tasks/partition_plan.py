@@ -1,0 +1,61 @@
+"""Partition-module planning shared by the real scheduler and the simulator.
+
+Algorithm 2 splits any task whose potential-table slice exceeds δ.  Two
+refinements keep the split profitable:
+
+* For EXTEND / MULTIPLY / DIVIDE the chunks are output slices written
+  in place, so combining is bookkeeping only — split freely.
+* For MARGINALIZE every chunk produces a *full* partial output table and
+  the combiner adds them, costing ``n * |output|``.  The span of a split
+  marginalization is ``|input|/n + n * |output|``, minimized at
+  ``n* = sqrt(|input| / |output|)`` — and splitting only wins at all when
+  ``|input| > 4 * |output|``.
+
+:func:`plan_partition` applies both rules and returns the chunk ranges, or
+``None`` when the task should run whole.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.potential.partition import chunk_ranges
+from repro.potential.primitives import PrimitiveKind
+from repro.tasks.task import Task
+
+
+def plan_partition(
+    task: Task, delta: Optional[int], max_chunks: int = 32
+) -> Optional[List[Tuple[int, int]]]:
+    """Chunk ranges for ``task`` under threshold ``delta``, or ``None``.
+
+    ``None`` means the task runs unpartitioned: either partitioning is
+    disabled, the task is under the threshold, or (for marginalization)
+    the combine cost would eat the gain.
+    """
+    if delta is None:
+        return None
+    size = task.partition_size
+    if size <= delta:
+        return None
+    pieces = min(-(-size // delta), max_chunks)
+    if task.kind is PrimitiveKind.MARGINALIZE:
+        if task.input_size < 4 * task.output_size:
+            return None
+        optimal = int(math.sqrt(task.input_size / max(task.output_size, 1)))
+        pieces = min(pieces, max(optimal, 2))
+    if pieces < 2:
+        return None
+    return chunk_ranges(size, -(-size // pieces))
+
+
+def combine_flops(task: Task, num_chunks: int) -> float:
+    """Operation count of the combiner ``T̂_n`` for a split ``task``.
+
+    Adding partial marginalization tables costs ``n * |output|``;
+    concatenation is in-place slice writes, so only bookkeeping remains.
+    """
+    if task.kind is PrimitiveKind.MARGINALIZE:
+        return float(num_chunks * task.output_size)
+    return float(num_chunks)

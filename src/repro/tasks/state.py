@@ -1,0 +1,234 @@
+"""Mutable numeric state threaded through task execution.
+
+A :class:`PropagationState` owns working copies of the clique potentials
+(with evidence absorbed), the per-edge separator tables, and the
+intermediate tables flowing between the primitives of one message pipeline.
+Executing the tasks of a :class:`~repro.tasks.task.TaskGraph` in any order
+consistent with its dependencies leaves every clique potential calibrated.
+
+The state supports both whole-task execution (:meth:`execute`) and the
+Partition module's chunked execution (:meth:`execute_chunk` +
+:meth:`combine_chunks`), which are numerically identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.jt.junction_tree import JunctionTree
+from repro.potential import partition as chunked
+from repro.potential.primitives import (
+    PrimitiveKind,
+    divide,
+    extend,
+    marginalize,
+    multiply,
+)
+from repro.potential.table import PotentialTable
+from repro.tasks.task import COLLECT, Task
+
+
+class PropagationState:
+    """Numeric state for one evidence-propagation run over a junction tree."""
+
+    def __init__(
+        self,
+        jt: JunctionTree,
+        evidence: Optional[Mapping[int, int]] = None,
+        soft_evidence: Optional[Mapping[int, "np.ndarray"]] = None,
+    ):
+        if len(jt.potentials) != jt.num_cliques:
+            raise ValueError(
+                "junction tree has no potentials; call initialize_potentials()"
+            )
+        self.jt = jt
+        self.evidence = dict(evidence or {})
+        self.soft_evidence = dict(soft_evidence or {})
+        # Working copies: evidence is absorbed up front (instantiating the
+        # observed variables zeroes inconsistent entries; soft findings
+        # multiply their likelihood vector into one host clique), leaving
+        # the tree's prior potentials untouched.
+        self.potentials: Dict[int, PotentialTable] = {}
+        for i in range(jt.num_cliques):
+            table = jt.potential(i)
+            if self.evidence:
+                table = table.reduce(self.evidence)
+            else:
+                table = table.copy()
+            self.potentials[i] = table
+        for var, weights in self.soft_evidence.items():
+            host = jt.clique_containing([var])
+            table = self.potentials[host]
+            axis = table.variables.index(var)
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.size != table.cardinalities[axis]:
+                raise ValueError(
+                    f"soft evidence for variable {var} has {weights.size} "
+                    f"weights, variable has {table.cardinalities[axis]} states"
+                )
+            shape = [1] * len(table.cardinalities)
+            shape[axis] = weights.size
+            self.potentials[host] = PotentialTable(
+                table.variables,
+                table.cardinalities,
+                table.values * weights.reshape(shape),
+            )
+        # Separator tables start as the identity so the first DIVIDE in the
+        # collect phase passes the marginal through unchanged.
+        self.separators: Dict[Tuple[int, int], PotentialTable] = {}
+        for child in range(jt.num_cliques):
+            parent = jt.parent[child]
+            if parent is None:
+                continue
+            sep = jt.separator(child, parent)
+            cards = jt.separator_cards(child, parent)
+            self.separators[(parent, child)] = PotentialTable.ones(sep, cards)
+        # Message-pipeline intermediates keyed by (phase, edge, stage).
+        self._inter: Dict[Tuple[str, Tuple[int, int], str], PotentialTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Scope helpers
+    # ------------------------------------------------------------------ #
+
+    def _edge_scopes(self, task: Task):
+        """(source clique id, separator scope/cards, target clique) per task."""
+        parent, child = task.edge
+        sep_vars = self.jt.separator(child, parent)
+        sep_cards = self.jt.separator_cards(child, parent)
+        if task.phase == COLLECT:
+            return child, sep_vars, sep_cards, parent
+        return parent, sep_vars, sep_cards, child
+
+    # ------------------------------------------------------------------ #
+    # Whole-task execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, task: Task) -> None:
+        """Run one task to completion against the state."""
+        source, sep_vars, sep_cards, target = self._edge_scopes(task)
+        key_base = (task.phase, task.edge)
+        if task.kind is PrimitiveKind.MARGINALIZE:
+            result = marginalize(self.potentials[source], sep_vars)
+            self._inter[key_base + ("sep_new",)] = result
+        elif task.kind is PrimitiveKind.DIVIDE:
+            sep_new = self._inter[key_base + ("sep_new",)]
+            old = self.separators[task.edge].aligned_to(sep_new.variables)
+            ratio = divide(sep_new, old)
+            self.separators[task.edge] = sep_new
+            self._inter[key_base + ("ratio",)] = ratio
+        elif task.kind is PrimitiveKind.EXTEND:
+            ratio = self._inter[key_base + ("ratio",)]
+            clique = self.jt.cliques[target]
+            self._inter[key_base + ("extended",)] = extend(
+                ratio, clique.variables, clique.cardinalities
+            )
+        elif task.kind is PrimitiveKind.MULTIPLY:
+            extended = self._inter[key_base + ("extended",)]
+            self.potentials[target] = multiply(self.potentials[target], extended)
+        else:
+            raise ValueError(f"task {task} has unexpected kind {task.kind}")
+
+    # ------------------------------------------------------------------ #
+    # Partitioned execution (the scheduler's Partition module)
+    # ------------------------------------------------------------------ #
+
+    def execute_chunk(self, task: Task, lo: int, hi: int) -> np.ndarray:
+        """Compute one slice of ``task``; returns the partial result.
+
+        For MARGINALIZE the slice is over the *input* flat index space and
+        the result is a full-size partial separator (chunks add); for the
+        other primitives the slice is over the *output* flat index space
+        (chunks concatenate in order).
+        """
+        source, sep_vars, sep_cards, target = self._edge_scopes(task)
+        key_base = (task.phase, task.edge)
+        if task.kind is PrimitiveKind.MARGINALIZE:
+            partial = chunked.marginalize_chunk(
+                self.potentials[source], sep_vars, lo, hi
+            )
+            return partial.values.reshape(-1)
+        if task.kind is PrimitiveKind.DIVIDE:
+            sep_new = self._inter[key_base + ("sep_new",)]
+            old = self.separators[task.edge].aligned_to(sep_new.variables)
+            return chunked.divide_chunk(
+                sep_new.values.reshape(-1), old.values.reshape(-1), lo, hi
+            )
+        if task.kind is PrimitiveKind.EXTEND:
+            ratio = self._inter[key_base + ("ratio",)]
+            clique = self.jt.cliques[target]
+            return chunked.extend_chunk(
+                ratio, clique.variables, clique.cardinalities, lo, hi
+            )
+        if task.kind is PrimitiveKind.MULTIPLY:
+            extended = self._inter[key_base + ("extended",)]
+            return chunked.multiply_chunk(
+                self.potentials[target].values.reshape(-1),
+                extended.values.reshape(-1),
+                lo,
+                hi,
+            )
+        raise ValueError(f"task {task} has unexpected kind {task.kind}")
+
+    def combine_chunks(
+        self,
+        task: Task,
+        parts: Sequence[np.ndarray],
+        ranges: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Finish a partitioned ``task`` from its chunk results.
+
+        Must be called with a full partition of the task's index space, in
+        the order produced by :func:`repro.potential.partition.chunk_ranges`.
+        Performs exactly the state transition of :meth:`execute`.
+        """
+        if len(parts) != len(ranges):
+            raise ValueError("parts and ranges must have equal length")
+        source, sep_vars, sep_cards, target = self._edge_scopes(task)
+        key_base = (task.phase, task.edge)
+        if task.kind is PrimitiveKind.MARGINALIZE:
+            total = np.zeros(int(np.prod(sep_cards)) if sep_cards else 1)
+            for part in parts:
+                total = total + part
+            self._inter[key_base + ("sep_new",)] = PotentialTable(
+                sep_vars, sep_cards, total
+            )
+            return
+        flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
+        if task.kind is PrimitiveKind.DIVIDE:
+            sep_new = self._inter[key_base + ("sep_new",)]
+            self.separators[task.edge] = sep_new
+            self._inter[key_base + ("ratio",)] = PotentialTable(
+                sep_new.variables, sep_new.cardinalities, flat
+            )
+        elif task.kind is PrimitiveKind.EXTEND:
+            clique = self.jt.cliques[target]
+            self._inter[key_base + ("extended",)] = PotentialTable(
+                clique.variables, clique.cardinalities, flat
+            )
+        elif task.kind is PrimitiveKind.MULTIPLY:
+            clique = self.jt.cliques[target]
+            self.potentials[target] = PotentialTable(
+                clique.variables, clique.cardinalities, flat
+            )
+        else:
+            raise ValueError(f"task {task} has unexpected kind {task.kind}")
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def marginal(self, variable: int) -> np.ndarray:
+        """Posterior ``P(variable | evidence)`` after full propagation."""
+        host = self.jt.clique_containing([variable])
+        table = marginalize(self.potentials[host], (variable,))
+        return table.normalize().values
+
+    def clique_marginal(self, clique: int) -> PotentialTable:
+        """Normalized joint over one clique's scope."""
+        return self.potentials[clique].normalize()
+
+    def likelihood(self) -> float:
+        """Probability of the evidence ``P(e)`` (root mass after collect)."""
+        return self.potentials[self.jt.root].total()

@@ -1,0 +1,6 @@
+"""Shared utilities: validation helpers, deterministic RNG, small graph helpers."""
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_probability_vector
+
+__all__ = ["make_rng", "check_positive", "check_probability_vector"]

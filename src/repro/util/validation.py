@@ -1,0 +1,25 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_probability_vector(values: Sequence[float], atol: float = 1e-8) -> None:
+    """Raise ``ValueError`` unless ``values`` is non-negative and sums to 1."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("probability vector must be non-empty")
+    if np.any(arr < -atol):
+        raise ValueError("probability vector has negative entries")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"probability vector sums to {total}, expected 1.0")

@@ -1,0 +1,45 @@
+"""Shared fixtures: small networks and junction trees used across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.jt.build import junction_tree_from_network
+from repro.jt.generation import synthetic_tree, template_tree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_network():
+    """A 10-variable binary network, dense enough to have real cliques."""
+    return random_network(
+        10, cardinality=2, max_parents=3, edge_probability=0.8, seed=42
+    )
+
+
+@pytest.fixture
+def small_tree(small_network):
+    """Junction tree of ``small_network`` with CPT-derived potentials."""
+    return junction_tree_from_network(small_network)
+
+
+@pytest.fixture
+def random_tree():
+    """A moderately sized synthetic junction tree with random potentials."""
+    tree = synthetic_tree(
+        num_cliques=24, clique_width=4, states=2, avg_children=2, seed=7
+    )
+    tree.initialize_potentials(np.random.default_rng(7))
+    return tree
+
+
+@pytest.fixture
+def small_template():
+    """Small Fig. 4 template tree (uniform widths, no potentials)."""
+    return template_tree(2, num_cliques=31, clique_width=4, states=2)

@@ -1,0 +1,77 @@
+"""Tests for random network generators."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, naive_bayes_network, random_network
+
+
+class TestRandomNetwork:
+    def test_size_and_cpts(self):
+        bn = random_network(12, cardinality=3, seed=0)
+        assert bn.num_variables == 12
+        assert bn.cardinalities == (3,) * 12
+        assert bn.has_all_cpts()
+
+    def test_acyclic_by_construction(self):
+        bn = random_network(30, max_parents=5, edge_probability=0.9, seed=1)
+        order = bn.topological_order()
+        assert len(order) == 30
+
+    def test_max_parents_respected(self):
+        bn = random_network(25, max_parents=2, edge_probability=1.0, seed=2)
+        assert all(len(bn.parents(v)) <= 2 for v in range(25))
+
+    def test_seed_reproducibility(self):
+        a = random_network(15, seed=99)
+        b = random_network(15, seed=99)
+        assert a.edges() == b.edges()
+        for v in range(15):
+            assert np.allclose(a.cpt(v).values, b.cpt(v).values)
+
+    def test_different_seeds_differ(self):
+        a = random_network(15, edge_probability=0.5, seed=1)
+        b = random_network(15, edge_probability=0.5, seed=2)
+        assert a.edges() != b.edges() or not np.allclose(
+            a.cpt(0).values, b.cpt(0).values
+        )
+
+    def test_zero_edge_probability_gives_empty_graph(self):
+        bn = random_network(10, edge_probability=0.0, seed=0)
+        assert bn.edges() == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_network(0)
+        with pytest.raises(ValueError):
+            random_network(5, max_parents=-1)
+        with pytest.raises(ValueError):
+            random_network(5, edge_probability=1.5)
+
+
+class TestChainNetwork:
+    def test_structure(self):
+        bn = chain_network(6, seed=0)
+        assert bn.edges() == [(v, v + 1) for v in range(5)]
+
+    def test_single_node(self):
+        bn = chain_network(1, seed=0)
+        assert bn.edges() == []
+        assert bn.has_all_cpts()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            chain_network(0)
+
+
+class TestNaiveBayes:
+    def test_structure(self):
+        bn = naive_bayes_network(4, seed=0)
+        assert bn.num_variables == 5
+        assert sorted(bn.children(0)) == [1, 2, 3, 4]
+        for f in range(1, 5):
+            assert bn.parents(f) == (0,)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            naive_bayes_network(0)

@@ -1,0 +1,139 @@
+"""Unit tests for the Bayesian-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bn.network import BayesianNetwork
+from repro.potential.table import PotentialTable
+
+
+def _two_node_net():
+    bn = BayesianNetwork([2, 2])
+    bn.add_edge(0, 1)
+    bn.set_cpt(0, PotentialTable([0], [2], np.array([0.3, 0.7])))
+    bn.set_cpt(
+        1, PotentialTable([0, 1], [2, 2], np.array([[0.9, 0.1], [0.4, 0.6]]))
+    )
+    return bn
+
+
+class TestStructure:
+    def test_cardinality_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            BayesianNetwork([2, 1])
+
+    def test_add_edge_and_query(self):
+        bn = BayesianNetwork([2, 2, 2])
+        bn.add_edge(0, 2)
+        bn.add_edge(1, 2)
+        assert bn.parents(2) == (0, 1)
+        assert bn.children(0) == (2,)
+        assert set(bn.edges()) == {(0, 2), (1, 2)}
+
+    def test_self_loop_rejected(self):
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="self-loop"):
+            bn.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        bn = BayesianNetwork([2, 2])
+        bn.add_edge(0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            bn.add_edge(0, 1)
+
+    def test_cycle_rejected(self):
+        bn = BayesianNetwork([2, 2, 2])
+        bn.add_edge(0, 1)
+        bn.add_edge(1, 2)
+        with pytest.raises(ValueError, match="cycle"):
+            bn.add_edge(2, 0)
+
+    def test_out_of_range_variable_rejected(self):
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="out of range"):
+            bn.add_edge(0, 5)
+
+    def test_topological_order_respects_edges(self):
+        bn = BayesianNetwork([2] * 5)
+        edges = [(0, 2), (1, 2), (2, 3), (1, 4)]
+        for a, b in edges:
+            bn.add_edge(a, b)
+        order = bn.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for a, b in edges:
+            assert pos[a] < pos[b]
+
+    def test_adding_parent_invalidates_cpt(self):
+        bn = BayesianNetwork([2, 2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+        bn.set_cpt(1, PotentialTable([1], [2], np.array([0.5, 0.5])))
+        bn.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            bn.cpt(1)
+
+
+class TestCpts:
+    def test_set_cpt_wrong_scope_rejected(self):
+        bn = BayesianNetwork([2, 2])
+        bn.add_edge(0, 1)
+        with pytest.raises(ValueError, match="scope"):
+            bn.set_cpt(1, PotentialTable([1], [2], np.array([0.5, 0.5])))
+
+    def test_set_cpt_unnormalized_rejected(self):
+        bn = BayesianNetwork([2])
+        with pytest.raises(ValueError, match="not normalized"):
+            bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.6])))
+
+    def test_set_cpt_wrong_cardinality_rejected(self):
+        bn = BayesianNetwork([2])
+        with pytest.raises(ValueError, match="cardinality"):
+            bn.set_cpt(0, PotentialTable([0], [3], np.array([0.2, 0.3, 0.5])))
+
+    def test_missing_cpt_raises(self):
+        bn = BayesianNetwork([2])
+        with pytest.raises(KeyError):
+            bn.cpt(0)
+        assert not bn.has_all_cpts()
+
+    def test_randomize_cpts_normalized(self):
+        bn = BayesianNetwork([2, 3, 2])
+        bn.add_edge(0, 1)
+        bn.add_edge(1, 2)
+        bn.randomize_cpts(np.random.default_rng(0))
+        assert bn.has_all_cpts()
+        for v in range(3):
+            cpt = bn.cpt(v)
+            axis = cpt.variables.index(v)
+            assert np.allclose(cpt.values.sum(axis=axis), 1.0)
+            assert np.all(cpt.values > 0)
+
+
+class TestSemantics:
+    def test_joint_table_is_distribution(self):
+        bn = _two_node_net()
+        joint = bn.joint_table()
+        assert np.isclose(joint.total(), 1.0)
+
+    def test_joint_matches_hand_computation(self):
+        bn = _two_node_net()
+        joint = bn.joint_table().aligned_to([0, 1])
+        expected = np.array([[0.3 * 0.9, 0.3 * 0.1], [0.7 * 0.4, 0.7 * 0.6]])
+        assert np.allclose(joint.values, expected)
+
+    def test_marginal_bruteforce_prior(self):
+        bn = _two_node_net()
+        m = bn.marginal_bruteforce(1)
+        expected = np.array([0.3 * 0.9 + 0.7 * 0.4, 0.3 * 0.1 + 0.7 * 0.6])
+        assert np.allclose(m, expected)
+
+    def test_marginal_bruteforce_with_evidence(self):
+        bn = _two_node_net()
+        # P(0 | 1 = 0) by Bayes' rule.
+        p1_0 = 0.3 * 0.9 + 0.7 * 0.4
+        expected = np.array([0.3 * 0.9, 0.7 * 0.4]) / p1_0
+        assert np.allclose(bn.marginal_bruteforce(0, {1: 0}), expected)
+
+    def test_joint_requires_all_cpts(self):
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(RuntimeError, match="CPTs"):
+            bn.joint_table()

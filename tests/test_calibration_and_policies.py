@@ -1,0 +1,147 @@
+"""Calibration utilities and the extension scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.propagation import propagate_reference
+from repro.jt.build import junction_tree_from_network
+from repro.jt.calibration import (
+    check_calibrated,
+    evidence_probability,
+    separator_disagreements,
+)
+from repro.jt.generation import synthetic_tree
+from repro.jt.rerooting import reroot_optimally
+from repro.simcore.policies import CollaborativePolicy, WorkStealingPolicy
+from repro.simcore.priority import (
+    CriticalPathPolicy,
+    upward_ranks,
+)
+from repro.simcore.profiles import XEON
+from repro.simcore.simgraph import SimGraph, build_sim_graph
+from repro.tasks.dag import build_task_graph
+
+
+class TestCalibration:
+    def test_propagated_tree_is_calibrated(self):
+        bn = random_network(10, max_parents=3, edge_probability=0.8, seed=1)
+        jt = junction_tree_from_network(bn)
+        potentials = propagate_reference(jt)
+        assert separator_disagreements(jt, potentials) == []
+        check_calibrated(jt, potentials)
+
+    def test_uncalibrated_tree_detected(self):
+        bn = random_network(10, max_parents=3, edge_probability=0.8, seed=2)
+        jt = junction_tree_from_network(bn)
+        # Raw CPT-initialized potentials are not calibrated.
+        raw = {i: jt.potential(i).copy() for i in range(jt.num_cliques)}
+        if jt.num_cliques > 1:
+            with pytest.raises(ValueError):
+                check_calibrated(jt, raw)
+
+    def test_evidence_probability_matches_bruteforce(self):
+        bn = random_network(9, max_parents=3, edge_probability=0.8, seed=3)
+        jt = junction_tree_from_network(bn)
+        evidence = {0: 1, 4: 0}
+        potentials = propagate_reference(jt, evidence)
+        expected = bn.joint_table().reduce(evidence).total()
+        assert np.isclose(
+            evidence_probability(jt, potentials), expected
+        )
+
+    def test_mass_inconsistency_detected(self):
+        bn = random_network(8, max_parents=2, edge_probability=0.8, seed=4)
+        jt = junction_tree_from_network(bn)
+        potentials = propagate_reference(jt)
+        if jt.num_cliques > 1:
+            broken = dict(potentials)
+            table = broken[0]
+            from repro.potential.table import PotentialTable
+
+            broken[0] = PotentialTable(
+                table.variables, table.cardinalities, table.values * 3.0
+            )
+            with pytest.raises(ValueError):
+                check_calibrated(jt, broken)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    tree = synthetic_tree(
+        48, clique_width=12, states=2, avg_children=3, seed=88
+    )
+    tree, _, _ = reroot_optimally(tree)
+    return build_task_graph(tree)
+
+
+class TestUpwardRanks:
+    def test_rank_includes_own_weight(self):
+        sim = SimGraph()
+        a = sim.add(3.0)
+        b = sim.add(5.0, [a])
+        ranks = upward_ranks(sim)
+        assert ranks[b] == 5.0
+        assert ranks[a] == 8.0
+
+    def test_rank_takes_heaviest_chain(self):
+        sim = SimGraph()
+        a = sim.add(1.0)
+        b = sim.add(10.0, [a])
+        c = sim.add(2.0, [a])
+        ranks = upward_ranks(sim)
+        assert ranks[a] == 11.0
+
+
+class TestCriticalPathPolicy:
+    def test_matches_or_beats_fifo(self, graph):
+        cp = CriticalPathPolicy("upward-rank")
+        fifo = CriticalPathPolicy("fifo")
+        for p in (2, 4, 8):
+            t_cp = cp.simulate(graph, XEON, p).makespan
+            t_fifo = fifo.simulate(graph, XEON, p).makespan
+            assert t_cp <= t_fifo * 1.05
+
+    def test_single_core_equals_serial_work(self, graph):
+        pol = CriticalPathPolicy()
+        result = pol.simulate(graph, XEON, 1)
+        sim = build_sim_graph(graph, pol.partition_threshold, pol.max_chunks)
+        work = sum(XEON.duration(w, 1) for w in sim.weights)
+        overhead = sim.num_nodes * XEON.task_sched_overhead(1)
+        assert result.makespan == pytest.approx(work + overhead)
+
+    def test_respects_lower_bounds(self, graph):
+        pol = CriticalPathPolicy()
+        sim = build_sim_graph(graph, pol.partition_threshold, pol.max_chunks)
+        for p in (2, 4, 8):
+            result = pol.simulate(graph, XEON, p)
+            work = sum(XEON.duration(w, p) for w in sim.weights)
+            span = XEON.duration(sim.critical_path(), p)
+            assert result.makespan >= max(span, work / p) * 0.999
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalPathPolicy("vibes")
+
+    def test_policy_name_carries_priority(self, graph):
+        result = CriticalPathPolicy("weight").simulate(graph, XEON, 2)
+        assert "weight" in result.policy
+
+
+class TestWorkStealingPolicy:
+    def test_cheaper_overhead_than_collaborative(self, graph):
+        ws = WorkStealingPolicy().simulate(graph, XEON, 8)
+        collab = CollaborativePolicy().simulate(graph, XEON, 8)
+        assert ws.total_sched() < collab.total_sched()
+
+    def test_makespan_not_worse(self, graph):
+        ws = WorkStealingPolicy().simulate(graph, XEON, 8)
+        collab = CollaborativePolicy().simulate(graph, XEON, 8)
+        assert ws.makespan <= collab.makespan * 1.01
+
+    def test_trace_recording(self, graph):
+        result = WorkStealingPolicy().simulate(
+            graph, XEON, 4, record_trace=True
+        )
+        assert result.trace is not None
+        result.trace.check_no_overlap()

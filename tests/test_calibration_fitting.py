@@ -1,0 +1,61 @@
+"""Cost-model calibration helpers: forward/inverse consistency."""
+
+import pytest
+
+from repro.simcore.calibration import (
+    baseline_speedup,
+    expected_speedup,
+    memory_factor_for_speedup,
+    stream_cap_for_baseline,
+)
+from repro.simcore.profiles import OPTERON, XEON
+
+
+class TestMemoryFactor:
+    def test_roundtrip(self):
+        f = memory_factor_for_speedup(7.4, 8)
+        assert expected_speedup(f, 8) == pytest.approx(7.4)
+
+    def test_perfect_scaling_needs_zero_factor(self):
+        assert memory_factor_for_speedup(8.0, 8) == pytest.approx(0.0)
+
+    def test_profiles_match_paper_targets(self):
+        # The shipped profiles sit close to the closed-form values for the
+        # paper's 7.4 / 7.1 end points (scheduling overhead takes the rest).
+        assert XEON.memory_factor == pytest.approx(
+            memory_factor_for_speedup(7.45, 8), abs=0.003
+        )
+        assert OPTERON.memory_factor == pytest.approx(
+            memory_factor_for_speedup(7.25, 8), abs=0.005
+        )
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            memory_factor_for_speedup(9.0, 8)
+        with pytest.raises(ValueError):
+            memory_factor_for_speedup(0.5, 8)
+        with pytest.raises(ValueError):
+            memory_factor_for_speedup(2.0, 1)
+
+
+class TestStreamCap:
+    def test_roundtrip(self):
+        cap = stream_cap_for_baseline(3.8, 1.3e-3, 70e-6)
+        assert baseline_speedup(cap, 1.3e-3, 70e-6) == pytest.approx(3.8)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            stream_cap_for_baseline(10.0, 1e-4, 1e-4)
+
+    def test_more_overhead_needs_bigger_cap(self):
+        low = stream_cap_for_baseline(3.0, 1e-3, 10e-6)
+        high = stream_cap_for_baseline(3.0, 1e-3, 100e-6)
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_cap_for_baseline(-1.0, 1e-3, 0.0)
+        with pytest.raises(ValueError):
+            stream_cap_for_baseline(2.0, 1e-3, -1.0)
+        with pytest.raises(ValueError):
+            baseline_speedup(0.0, 1e-3, 0.0)

@@ -1,0 +1,156 @@
+"""Chow-Liu structure learning and CPD builders."""
+
+import numpy as np
+import pytest
+
+from repro.bn.chowliu import (
+    chow_liu_tree,
+    empirical_mutual_information,
+    fit_chow_liu,
+)
+from repro.bn.cpd import (
+    deterministic_cpd,
+    noisy_or_cpd,
+    tabular_cpd,
+    uniform_cpd,
+)
+from repro.bn.generation import chain_network
+from repro.bn.network import BayesianNetwork
+from repro.bn.sampling import forward_sample
+from repro.inference.engine import InferenceEngine
+
+
+class TestMutualInformation:
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, size=(4000, 2))
+        mi = empirical_mutual_information(data, 0, 1, [2, 2])
+        assert mi < 0.01
+
+    def test_identical_columns_equal_entropy(self):
+        rng = np.random.default_rng(1)
+        col = rng.integers(0, 2, size=4000)
+        data = np.stack([col, col], axis=1)
+        mi = empirical_mutual_information(data, 0, 1, [2, 2])
+        p = col.mean()
+        entropy = -(p * np.log(p) + (1 - p) * np.log(1 - p))
+        assert mi == pytest.approx(entropy, rel=0.01)
+
+    def test_empty_data(self):
+        assert empirical_mutual_information(
+            np.zeros((0, 2), dtype=int), 0, 1, [2, 2]
+        ) == 0.0
+
+
+class TestChowLiu:
+    def test_recovers_chain_skeleton(self):
+        truth = chain_network(6, seed=2)
+        data = forward_sample(truth, 5000, seed=2)
+        edges = chow_liu_tree(data, [2] * 6, root=0)
+        skeleton = {frozenset(e) for e in edges}
+        expected = {frozenset((i, i + 1)) for i in range(5)}
+        assert skeleton == expected
+
+    def test_tree_shape(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, size=(500, 7))
+        edges = chow_liu_tree(data, [2] * 7)
+        assert len(edges) == 6
+        children = [c for _, c in edges]
+        assert len(set(children)) == 6  # every non-root has one parent
+
+    def test_single_variable(self):
+        assert chow_liu_tree(np.zeros((5, 1), dtype=int), [2]) == []
+
+    def test_root_choice_respected(self):
+        truth = chain_network(5, seed=4)
+        data = forward_sample(truth, 3000, seed=4)
+        edges = chow_liu_tree(data, [2] * 5, root=4)
+        children = {c for _, c in edges}
+        assert 4 not in children
+
+    def test_fit_produces_usable_network(self):
+        truth = chain_network(6, seed=5)
+        data = forward_sample(truth, 5000, seed=5)
+        learned = fit_chow_liu(data, [2] * 6)
+        assert learned.has_all_cpts()
+        engine = InferenceEngine.from_network(learned)
+        engine.set_evidence({0: 1})
+        engine.propagate()
+        got = engine.marginal(5)
+        want = truth.marginal_bruteforce(5, {0: 1})
+        assert np.allclose(got, want, atol=0.08)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            chow_liu_tree(np.zeros((5, 3), dtype=int), [2, 2])
+        with pytest.raises(ValueError):
+            chow_liu_tree(np.zeros((5, 2), dtype=int), [2, 2], root=7)
+
+
+class TestCpdBuilders:
+    def test_uniform(self):
+        cpd = uniform_cpd(3, 4)
+        assert np.allclose(cpd.values, 0.25)
+
+    def test_tabular_validates_rows(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            tabular_cpd(1, 2, [0], [2], np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_tabular_in_network(self):
+        bn = BayesianNetwork([2, 2])
+        bn.add_edge(0, 1)
+        bn.set_cpt(0, uniform_cpd(0, 2))
+        bn.set_cpt(
+            1, tabular_cpd(1, 2, [0], [2], np.array([[0.9, 0.1], [0.2, 0.8]]))
+        )
+        assert np.allclose(
+            bn.marginal_bruteforce(1), [0.55, 0.45]
+        )
+
+    def test_deterministic_xor(self):
+        cpd = deterministic_cpd(2, 2, [0, 1], [2, 2], lambda a, b: a ^ b)
+        assert cpd.values[0, 1, 1] == 1.0
+        assert cpd.values[1, 1, 0] == 1.0
+        assert np.allclose(cpd.values.sum(axis=-1), 1.0)
+
+    def test_deterministic_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            deterministic_cpd(1, 2, [0], [2], lambda a: 5)
+
+    def test_noisy_or_no_parents_active(self):
+        cpd = noisy_or_cpd(2, [0, 1], [0.8, 0.6], leak=0.1)
+        assert cpd.values[0, 0, 1] == pytest.approx(0.1)
+
+    def test_noisy_or_all_parents_active(self):
+        cpd = noisy_or_cpd(2, [0, 1], [0.8, 0.6], leak=0.0)
+        assert cpd.values[1, 1, 1] == pytest.approx(1 - 0.2 * 0.4)
+
+    def test_noisy_or_rows_normalized(self):
+        cpd = noisy_or_cpd(3, [0, 1, 2], [0.5, 0.5, 0.5], leak=0.05)
+        assert np.allclose(cpd.values.sum(axis=-1), 1.0)
+
+    def test_noisy_or_validation(self):
+        with pytest.raises(ValueError):
+            noisy_or_cpd(1, [0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            noisy_or_cpd(1, [0], [1.5])
+        with pytest.raises(ValueError):
+            noisy_or_cpd(1, [0], [0.5], leak=1.0)
+
+    def test_noisy_or_inference_end_to_end(self):
+        # Two causes, noisy-OR effect; verify posterior "explaining away".
+        bn = BayesianNetwork([2, 2, 2])
+        bn.add_edge(0, 2)
+        bn.add_edge(1, 2)
+        bn.set_cpt(0, tabular_cpd(0, 2, [], [], np.array([0.9, 0.1])))
+        bn.set_cpt(1, tabular_cpd(1, 2, [], [], np.array([0.7, 0.3])))
+        bn.set_cpt(2, noisy_or_cpd(2, [0, 1], [0.9, 0.8], leak=0.01))
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({2: 1})
+        engine.propagate()
+        p0_effect = engine.marginal(0)[1]
+        engine.set_evidence({2: 1, 1: 1})
+        engine.propagate()
+        p0_explained = engine.marginal(0)[1]
+        assert p0_explained < p0_effect  # cause 1 explains the effect away

@@ -1,0 +1,85 @@
+"""CLI smoke tests (argument parsing and handlers, no subprocesses)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.variables == 20
+        assert args.threads == 4
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestHandlers:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PACT 2009" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--variables", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "P(evidence)" in out
+
+    def test_query_marginal(self, capsys):
+        code = main(
+            ["query", "--variables", "8", "--evidence", "0=1", "--target", "3"]
+        )
+        assert code == 0
+        assert "P(X3" in capsys.readouterr().out
+
+    def test_query_mpe(self, capsys):
+        code = main(["query", "--variables", "7", "--mpe"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MPE:" in out
+
+    def test_experiment_rerooting_cost(self, capsys):
+        assert main(["experiment", "rerooting-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1" in out
+
+    def test_model_prior(self, capsys):
+        assert main(["model", "sprinkler"]) == 0
+        out = capsys.readouterr().out
+        assert "P(rain" in out
+
+    def test_model_with_evidence_and_explanation(self, capsys):
+        code = main(
+            [
+                "model", "asia",
+                "--evidence", "smoke=1", "xray=1",
+                "--explain", "lung",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evidence ranked by impact on P(lung)" in out
+
+    def test_model_unknown_variable(self, capsys):
+        assert main(["model", "asia", "--evidence", "ghost=1"]) == 1
+        assert "unknown variable" in capsys.readouterr().out
+
+    def test_model_bad_explain_target(self, capsys):
+        code = main(
+            [
+                "model", "asia",
+                "--evidence", "smoke=1", "xray=1",
+                "--explain", "smoke",
+            ]
+        )
+        assert code == 1

@@ -1,0 +1,138 @@
+"""Distributed-memory (cluster) baseline: partitioning and simulation."""
+
+import numpy as np
+import pytest
+
+from repro.jt.generation import paper_tree, synthetic_tree
+from repro.jt.rerooting import all_clique_costs, reroot_optimally
+from repro.simcore.cluster import (
+    GIGE_CLUSTER,
+    ClusterPolicy,
+    ClusterProfile,
+    count_cut_edges,
+    partition_tree,
+)
+from repro.simcore.policies import CollaborativePolicy
+from repro.simcore.profiles import XEON
+from repro.tasks.dag import build_task_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tree = synthetic_tree(
+        64, clique_width=12, states=2, avg_children=3, seed=99
+    )
+    tree, _, _ = reroot_optimally(tree)
+    return tree, build_task_graph(tree)
+
+
+class TestPartitioning:
+    def test_covers_all_cliques(self, workload):
+        tree, _ = workload
+        assignment = partition_tree(tree, 4)
+        assert len(assignment) == tree.num_cliques
+        assert set(assignment) <= set(range(4))
+
+    def test_single_part(self, workload):
+        tree, _ = workload
+        assert set(partition_tree(tree, 1)) == {0}
+
+    def test_load_roughly_balanced(self, workload):
+        tree, _ = workload
+        parts = 4
+        assignment = partition_tree(tree, parts)
+        costs = all_clique_costs(tree)
+        loads = [0.0] * parts
+        for clique, part in enumerate(assignment):
+            loads[part] += costs[clique]
+        # Contiguity sacrifices perfect balance but no part should be
+        # more than ~3x the mean.
+        mean = sum(loads) / parts
+        assert max(loads) < 3.5 * mean
+
+    def test_cut_edges_are_a_minority(self, workload):
+        tree, _ = workload
+        assignment = partition_tree(tree, 8)
+        assert count_cut_edges(tree, assignment) < tree.num_cliques // 2
+
+    def test_invalid_parts_rejected(self, workload):
+        tree, _ = workload
+        with pytest.raises(ValueError):
+            partition_tree(tree, 0)
+
+
+class TestClusterProfile:
+    def test_message_cost_has_latency_floor(self):
+        assert GIGE_CLUSTER.message_seconds(0) == GIGE_CLUSTER.net_latency
+
+    def test_message_cost_grows_with_size(self):
+        small = GIGE_CLUSTER.message_seconds(10)
+        big = GIGE_CLUSTER.message_seconds(10_000)
+        assert big > small
+
+    def test_compute_seconds(self):
+        assert GIGE_CLUSTER.compute_seconds(2.0e9) == pytest.approx(1.0)
+
+
+class TestClusterPolicy:
+    def test_single_node_equals_serial_work(self, workload):
+        tree, graph = workload
+        result = ClusterPolicy().simulate(graph, tree, 1)
+        expected = sum(
+            GIGE_CLUSTER.compute_seconds(t.weight) for t in graph.tasks
+        )
+        assert result.makespan == pytest.approx(expected)
+
+    def test_executes_every_task(self, workload):
+        tree, graph = workload
+        result = ClusterPolicy().simulate(graph, tree, 4)
+        assert result.tasks_executed == graph.num_tasks
+
+    def test_scales_but_below_shared_memory(self):
+        tree, _, _ = reroot_optimally(paper_tree(1))
+        graph = build_task_graph(tree)
+        cluster = ClusterPolicy()
+        base = cluster.simulate(graph, tree, 1).makespan
+        cluster_speedup = base / cluster.simulate(graph, tree, 8).makespan
+        shared = CollaborativePolicy()
+        shared_base = shared.simulate(graph, XEON, 1).makespan
+        shared_speedup = (
+            shared_base / shared.simulate(graph, XEON, 8).makespan
+        )
+        assert cluster_speedup > 2.0  # distribution does help...
+        # ...but communication keeps it clearly below shared memory.
+        assert cluster_speedup < shared_speedup - 1.0
+
+    def test_zero_cost_network_removes_the_gap(self, workload):
+        tree, graph = workload
+        free_net = ClusterProfile(
+            name="infinite network",
+            flops_per_second=GIGE_CLUSTER.flops_per_second,
+            net_latency=0.0,
+            net_bandwidth_bytes=float("inf"),
+        )
+        slow = ClusterPolicy(GIGE_CLUSTER).simulate(graph, tree, 8)
+        fast = ClusterPolicy(free_net).simulate(graph, tree, 8)
+        assert fast.makespan < slow.makespan
+
+    def test_explicit_assignment_accepted(self, workload):
+        tree, graph = workload
+        assignment = [0] * tree.num_cliques
+        result = ClusterPolicy().simulate(graph, tree, 2, assignment)
+        # Everything on node 0: serial makespan, node 1 idle.
+        assert result.compute_time[1] == 0.0
+
+    def test_bad_assignment_rejected(self, workload):
+        tree, graph = workload
+        with pytest.raises(ValueError, match="beyond"):
+            ClusterPolicy().simulate(
+                graph, tree, 2, [5] * tree.num_cliques
+            )
+        with pytest.raises(ValueError, match="cover"):
+            ClusterPolicy().simulate(graph, tree, 2, [0])
+
+    def test_speedup_curve_helper(self, workload):
+        tree, graph = workload
+        curve = ClusterPolicy().speedup_curve(graph, tree, [1, 2, 4])
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[-1] > 1.0

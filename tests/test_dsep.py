@@ -1,0 +1,112 @@
+"""d-separation: hand-built structures plus numeric independence checks."""
+
+import numpy as np
+import pytest
+
+from repro.bn.dsep import d_separated, markov_blanket, reachable
+from repro.bn.generation import random_network
+from repro.bn.network import BayesianNetwork
+from repro.potential.primitives import marginalize
+
+
+def _structure(edges, n):
+    bn = BayesianNetwork([2] * n)
+    for a, b in edges:
+        bn.add_edge(a, b)
+    return bn
+
+
+class TestCanonicalStructures:
+    def test_chain_blocked_by_middle(self):
+        bn = _structure([(0, 1), (1, 2)], 3)
+        assert not d_separated(bn, {0}, {2})
+        assert d_separated(bn, {0}, {2}, {1})
+
+    def test_fork_blocked_by_root(self):
+        bn = _structure([(1, 0), (1, 2)], 3)
+        assert not d_separated(bn, {0}, {2})
+        assert d_separated(bn, {0}, {2}, {1})
+
+    def test_collider_opens_when_observed(self):
+        bn = _structure([(0, 1), (2, 1)], 3)
+        assert d_separated(bn, {0}, {2})
+        assert not d_separated(bn, {0}, {2}, {1})
+
+    def test_collider_opens_via_descendant(self):
+        bn = _structure([(0, 1), (2, 1), (1, 3)], 4)
+        assert d_separated(bn, {0}, {2})
+        assert not d_separated(bn, {0}, {2}, {3})
+
+    def test_disconnected_variables_are_separated(self):
+        bn = _structure([], 2)
+        assert d_separated(bn, {0}, {1})
+
+    def test_overlapping_sets_not_separated(self):
+        bn = _structure([(0, 1)], 2)
+        assert not d_separated(bn, {0}, {0})
+
+    def test_observed_query_variable_rejected(self):
+        bn = _structure([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            d_separated(bn, {0}, {1}, {0})
+
+    def test_reachable_excludes_observed(self):
+        bn = _structure([(0, 1), (1, 2)], 3)
+        assert 1 not in reachable(bn, 0, {1})
+
+    def test_reachable_source_observed_rejected(self):
+        bn = _structure([(0, 1)], 2)
+        with pytest.raises(ValueError):
+            reachable(bn, 0, {0})
+
+
+class TestSoundness:
+    """d-separation must imply numeric conditional independence."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dsep_implies_independence(self, seed):
+        bn = random_network(
+            7, cardinality=2, max_parents=2, edge_probability=0.7, seed=seed
+        )
+        joint = bn.joint_table()
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            x, y = rng.choice(7, size=2, replace=False)
+            others = [v for v in range(7) if v not in (x, y)]
+            z = [
+                v for v in others if rng.random() < 0.4
+            ]
+            if not d_separated(bn, {int(x)}, {int(y)}, set(z)):
+                continue
+            # Check P(x, y | z) = P(x | z) P(y | z) for every z config.
+            scope = [int(x), int(y)] + z
+            marg = marginalize(joint, scope)
+            values = marg.aligned_to(scope).values
+            flat_z = values.reshape(2, 2, -1)
+            for k in range(flat_z.shape[2]):
+                block = flat_z[:, :, k]
+                total = block.sum()
+                if total < 1e-12:
+                    continue
+                p = block / total
+                outer = p.sum(axis=1, keepdims=True) @ p.sum(
+                    axis=0, keepdims=True
+                )
+                assert np.allclose(p, outer, atol=1e-9)
+
+
+class TestMarkovBlanket:
+    def test_blanket_contents(self):
+        bn = _structure([(0, 2), (1, 2), (2, 3), (4, 3)], 5)
+        # Blanket of 2: parents {0, 1}, child {3}, co-parent {4}.
+        assert markov_blanket(bn, 2) == {0, 1, 3, 4}
+
+    def test_blanket_dseparates_rest(self):
+        bn = random_network(
+            8, max_parents=2, edge_probability=0.8, seed=3
+        )
+        for v in range(8):
+            blanket = markov_blanket(bn, v)
+            rest = set(range(8)) - blanket - {v}
+            if rest:
+                assert d_separated(bn, {v}, rest, blanket)

@@ -1,0 +1,62 @@
+"""Tests for the Evidence container."""
+
+import pytest
+
+from repro.inference.evidence import Evidence
+
+
+class TestEvidence:
+    def test_construct_from_mapping(self):
+        e = Evidence({3: 1, 5: 0})
+        assert e.as_dict() == {3: 1, 5: 0}
+        assert len(e) == 2
+
+    def test_observe_and_retract(self):
+        e = Evidence()
+        e.observe(2, 1)
+        assert 2 in e
+        e.retract(2)
+        assert 2 not in e
+
+    def test_retract_missing_is_noop(self):
+        e = Evidence()
+        e.retract(7)
+        assert len(e) == 0
+
+    def test_reobserve_overwrites(self):
+        e = Evidence({1: 0})
+        e.observe(1, 1)
+        assert e.as_dict() == {1: 1}
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            Evidence({-1: 0})
+        with pytest.raises(ValueError):
+            Evidence({0: -2})
+
+    def test_iteration(self):
+        e = Evidence({1: 0, 2: 1})
+        assert dict(iter(e)) == {1: 0, 2: 1}
+
+    def test_checked_against_valid(self):
+        e = Evidence({0: 1, 2: 2})
+        assert e.checked_against([2, 2, 3]) == {0: 1, 2: 2}
+
+    def test_checked_against_unknown_variable(self):
+        e = Evidence({5: 0})
+        with pytest.raises(ValueError, match="does not exist"):
+            e.checked_against([2, 2])
+
+    def test_checked_against_state_out_of_range(self):
+        e = Evidence({0: 2})
+        with pytest.raises(ValueError, match="out of range"):
+            e.checked_against([2])
+
+    def test_as_dict_is_copy(self):
+        e = Evidence({0: 1})
+        d = e.as_dict()
+        d[0] = 99
+        assert e.as_dict() == {0: 1}
+
+    def test_repr(self):
+        assert "Evidence" in repr(Evidence({1: 0}))

@@ -1,0 +1,199 @@
+"""Information measures and dynamic Bayesian networks."""
+
+import numpy as np
+import pytest
+
+from repro.bn.dbn import DynamicBayesianNetwork, make_hmm
+from repro.inference.engine import InferenceEngine
+from repro.potential.info import (
+    entropy,
+    jensen_shannon,
+    kl_divergence,
+    mutual_information,
+)
+from repro.potential.table import PotentialTable
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        t = PotentialTable([0], [4], np.full(4, 0.25))
+        assert entropy(t) == pytest.approx(np.log(4))
+
+    def test_point_mass_is_zero(self):
+        t = PotentialTable([0], [3], np.array([0.0, 1.0, 0.0]))
+        assert entropy(t) == 0.0
+
+    def test_unnormalized_input_handled(self):
+        a = PotentialTable([0], [2], np.array([1.0, 1.0]))
+        b = PotentialTable([0], [2], np.array([10.0, 10.0]))
+        assert entropy(a) == pytest.approx(entropy(b))
+
+
+class TestKl:
+    def test_zero_for_identical(self):
+        rng = np.random.default_rng(0)
+        t = PotentialTable.random([0, 1], [2, 3], rng)
+        assert kl_divergence(t, t) == pytest.approx(0.0)
+
+    def test_positive_for_different(self):
+        p = PotentialTable([0], [2], np.array([0.9, 0.1]))
+        q = PotentialTable([0], [2], np.array([0.5, 0.5]))
+        assert kl_divergence(p, q) > 0
+
+    def test_infinite_off_support(self):
+        p = PotentialTable([0], [2], np.array([0.5, 0.5]))
+        q = PotentialTable([0], [2], np.array([1.0, 0.0]))
+        assert kl_divergence(p, q) == float("inf")
+
+    def test_alignment_across_axis_orders(self):
+        rng = np.random.default_rng(1)
+        p = PotentialTable.random([0, 1], [2, 3], rng)
+        assert kl_divergence(p, p.aligned_to([1, 0])) == pytest.approx(0.0)
+
+    def test_scope_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence(
+                PotentialTable([0], [2]), PotentialTable([1], [2])
+            )
+
+
+class TestMutualInformation:
+    def test_independent_variables_zero(self):
+        p = np.outer([0.3, 0.7], [0.6, 0.4])
+        t = PotentialTable([0, 1], [2, 2], p)
+        assert mutual_information(t, [0], [1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_variables_full_entropy(self):
+        joint = np.diag([0.5, 0.5])
+        t = PotentialTable([0, 1], [2, 2], joint)
+        assert mutual_information(t, [0], [1]) == pytest.approx(np.log(2))
+
+    def test_extra_variables_marginalized(self):
+        rng = np.random.default_rng(2)
+        t = PotentialTable.random([0, 1, 2], [2, 2, 2], rng)
+        direct = mutual_information(t, [0], [1])
+        from repro.potential.primitives import marginalize
+
+        reduced = marginalize(t, (0, 1))
+        assert direct == pytest.approx(
+            mutual_information(reduced, [0], [1])
+        )
+
+    def test_overlapping_groups_rejected(self):
+        t = PotentialTable([0, 1], [2, 2])
+        with pytest.raises(ValueError):
+            mutual_information(t, [0], [0, 1])
+
+    def test_js_symmetric_and_finite(self):
+        p = PotentialTable([0], [2], np.array([1.0, 0.0]))
+        q = PotentialTable([0], [2], np.array([0.0, 1.0]))
+        js = jensen_shannon(p, q)
+        assert js == pytest.approx(jensen_shannon(q, p))
+        assert np.isfinite(js)
+        assert js == pytest.approx(np.log(2))
+
+
+def _toy_hmm():
+    return make_hmm(
+        num_states=2,
+        num_observations=2,
+        initial=np.array([0.6, 0.4]),
+        transition=np.array([[0.7, 0.3], [0.2, 0.8]]),
+        emission=np.array([[0.9, 0.1], [0.3, 0.7]]),
+    )
+
+
+def _forward_algorithm(initial, transition, emission, observations):
+    """Classic HMM forward pass, the independent oracle."""
+    alpha = initial * emission[:, observations[0]]
+    for obs in observations[1:]:
+        alpha = (alpha @ transition) * emission[:, obs]
+    return alpha / alpha.sum()
+
+
+class TestDbn:
+    def test_unrolled_sizes(self):
+        dbn = _toy_hmm()
+        bn = dbn.unroll(5)
+        assert bn.num_variables == 10
+        assert bn.has_all_cpts()
+
+    def test_unrolled_joint_is_distribution(self):
+        bn = _toy_hmm().unroll(3)
+        assert np.isclose(bn.joint_table().total(), 1.0)
+
+    def test_filtering_matches_forward_algorithm(self):
+        initial = np.array([0.6, 0.4])
+        transition = np.array([[0.7, 0.3], [0.2, 0.8]])
+        emission = np.array([[0.9, 0.1], [0.3, 0.7]])
+        dbn = make_hmm(2, 2, initial, transition, emission)
+        observations = [0, 1, 1, 0, 1]
+        T = len(observations)
+        bn = dbn.unroll(T)
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence(
+            {dbn.variable_at(1, t): observations[t] for t in range(T)}
+        )
+        engine.propagate()
+        got = engine.marginal(dbn.variable_at(0, T - 1))
+        want = _forward_algorithm(initial, transition, emission, observations)
+        assert np.allclose(got, want)
+
+    def test_smoothing_uses_future_evidence(self):
+        dbn = _toy_hmm()
+        bn = dbn.unroll(4)
+        engine = InferenceEngine.from_network(bn)
+        # Posterior of the state at t=1 given only past evidence...
+        engine.set_evidence({dbn.variable_at(1, 0): 0})
+        engine.propagate()
+        filtered = engine.marginal(dbn.variable_at(0, 1))
+        # ...shifts when future observations arrive (smoothing).
+        engine.set_evidence(
+            {dbn.variable_at(1, 0): 0, dbn.variable_at(1, 3): 1}
+        )
+        engine.propagate()
+        smoothed = engine.marginal(dbn.variable_at(0, 1))
+        assert not np.allclose(filtered, smoothed)
+
+    def test_viterbi_decoding_via_mpe(self):
+        dbn = _toy_hmm()
+        T = 6
+        bn = dbn.unroll(T)
+        engine = InferenceEngine.from_network(bn)
+        observations = [0, 0, 1, 1, 1, 0]
+        engine.set_evidence(
+            {dbn.variable_at(1, t): observations[t] for t in range(T)}
+        )
+        assignment, prob = engine.mpe()
+        from repro.inference.mpe import mpe_bruteforce
+
+        joint = bn.joint_table().reduce(
+            {dbn.variable_at(1, t): observations[t] for t in range(T)}
+        )
+        _, expected = mpe_bruteforce(joint)
+        assert np.isclose(prob, expected)
+
+    def test_single_slice_needs_no_transition(self):
+        dbn = DynamicBayesianNetwork([2])
+        dbn.set_prior_cpt(
+            0, PotentialTable([0], [2], np.array([0.5, 0.5]))
+        )
+        bn = dbn.unroll(1)
+        assert bn.num_variables == 1
+
+    def test_validation(self):
+        dbn = DynamicBayesianNetwork([2, 2])
+        with pytest.raises(ValueError):
+            dbn.add_intra_edge(0, 0)
+        with pytest.raises(ValueError):
+            dbn.add_inter_edge(0, 5)
+        with pytest.raises(ValueError):
+            dbn.unroll(0)
+        with pytest.raises(ValueError, match="prior"):
+            dbn.unroll(2)
+
+    def test_hmm_builder_validation(self):
+        with pytest.raises(ValueError):
+            make_hmm(2, 2, np.array([1.0]), np.eye(2), np.eye(2))
+        with pytest.raises(ValueError):
+            make_hmm(2, 2, np.array([0.5, 0.5]), np.eye(3), np.eye(2))

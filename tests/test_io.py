@@ -1,0 +1,131 @@
+"""Serialization round-trips for networks and junction trees."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+from repro.io.json_io import (
+    load_network,
+    load_tree,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.jt.build import junction_tree_from_network
+from repro.jt.generation import synthetic_tree
+
+
+class TestNetworkRoundTrip:
+    def test_structure_preserved(self):
+        bn = random_network(12, max_parents=3, edge_probability=0.7, seed=1)
+        twin = network_from_dict(network_to_dict(bn))
+        assert twin.cardinalities == bn.cardinalities
+        assert sorted(twin.edges()) == sorted(bn.edges())
+
+    def test_cpts_preserved(self):
+        bn = random_network(10, max_parents=2, edge_probability=0.8, seed=2)
+        twin = network_from_dict(network_to_dict(bn))
+        for v in range(10):
+            original = bn.cpt(v)
+            restored = twin.cpt(v).aligned_to(original.variables)
+            assert np.allclose(original.values, restored.values)
+
+    def test_inference_identical_after_roundtrip(self):
+        bn = random_network(9, max_parents=3, edge_probability=0.8, seed=3)
+        twin = network_from_dict(network_to_dict(bn))
+        a = InferenceEngine.from_network(bn)
+        b = InferenceEngine.from_network(twin)
+        a.set_evidence({2: 1})
+        b.set_evidence({2: 1})
+        a.propagate()
+        b.propagate()
+        assert np.allclose(a.marginal(5), b.marginal(5))
+
+    def test_file_roundtrip(self, tmp_path):
+        bn = random_network(8, max_parents=2, edge_probability=0.8, seed=4)
+        path = tmp_path / "net.json"
+        save_network(bn, path)
+        twin = load_network(path)
+        assert sorted(twin.edges()) == sorted(bn.edges())
+
+    def test_document_is_valid_json(self, tmp_path):
+        bn = random_network(5, seed=5)
+        path = tmp_path / "net.json"
+        save_network(bn, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-network"
+        assert doc["version"] == 1
+
+    def test_missing_cpts_rejected_on_save(self):
+        from repro.bn.network import BayesianNetwork
+
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="CPTs"):
+            network_to_dict(bn)
+
+    def test_wrong_format_rejected_on_load(self):
+        with pytest.raises(ValueError, match="expected"):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict({"format": "repro-network", "version": 99})
+
+
+class TestTreeRoundTrip:
+    def test_structure_preserved(self):
+        tree = synthetic_tree(20, clique_width=4, seed=6)
+        twin = tree_from_dict(tree_to_dict(tree, include_potentials=False))
+        assert twin.parent == tree.parent
+        assert [c.variables for c in twin.cliques] == [
+            c.variables for c in tree.cliques
+        ]
+
+    def test_potentials_preserved(self):
+        tree = synthetic_tree(12, clique_width=3, seed=7)
+        tree.initialize_potentials(np.random.default_rng(7))
+        twin = tree_from_dict(tree_to_dict(tree))
+        for i in range(tree.num_cliques):
+            assert np.allclose(
+                twin.potential(i).values, tree.potential(i).values
+            )
+
+    def test_bn_built_tree_roundtrip_preserves_marginals(self):
+        bn = random_network(9, max_parents=3, edge_probability=0.8, seed=8)
+        jt = junction_tree_from_network(bn)
+        twin = tree_from_dict(tree_to_dict(jt))
+        a = InferenceEngine(jt)
+        b = InferenceEngine(twin)
+        a.propagate()
+        b.propagate()
+        assert np.allclose(a.marginal(4), b.marginal(4))
+
+    def test_file_roundtrip(self, tmp_path):
+        tree = synthetic_tree(10, clique_width=3, seed=9)
+        tree.initialize_potentials(np.random.default_rng(9))
+        path = tmp_path / "tree.json"
+        save_tree(tree, path)
+        twin = load_tree(path)
+        assert twin.num_cliques == 10
+        assert len(twin.potentials) == 10
+
+    def test_skipping_potentials(self, tmp_path):
+        tree = synthetic_tree(10, clique_width=3, seed=10)
+        tree.initialize_potentials(np.random.default_rng(10))
+        path = tmp_path / "tree.json"
+        save_tree(tree, path, include_potentials=False)
+        twin = load_tree(path)
+        assert twin.potentials == {}
+
+    def test_partial_potentials_rejected(self):
+        tree = synthetic_tree(5, clique_width=3, seed=11)
+        tree.initialize_potentials()
+        del tree.potentials[0]
+        with pytest.raises(ValueError, match="partially"):
+            tree_to_dict(tree)

@@ -1,0 +1,100 @@
+"""Junction-tree construction from Bayesian networks."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, naive_bayes_network, random_network
+from repro.bn.triangulation import HEURISTICS
+from repro.inference.propagation import (
+    marginal_from_potentials,
+    propagate_reference,
+)
+from repro.jt.build import junction_tree_from_network
+from repro.jt.validate import check_running_intersection, check_tree_structure
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_running_intersection_holds(self, seed):
+        bn = random_network(
+            14, max_parents=3, edge_probability=0.7, seed=seed
+        )
+        jt = junction_tree_from_network(bn)
+        check_tree_structure(jt)
+        check_running_intersection(jt)
+
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_all_heuristics_produce_valid_trees(self, heuristic):
+        bn = random_network(12, max_parents=3, edge_probability=0.8, seed=1)
+        jt = junction_tree_from_network(bn, heuristic)
+        check_running_intersection(jt)
+
+    def test_every_family_is_covered(self):
+        bn = random_network(15, max_parents=3, edge_probability=0.8, seed=2)
+        jt = junction_tree_from_network(bn)
+        for v in range(bn.num_variables):
+            family = set(bn.parents(v)) | {v}
+            assert any(
+                family <= set(c.variables) for c in jt.cliques
+            ), f"family of {v} not covered"
+
+    def test_single_variable_network(self):
+        bn = chain_network(1, seed=0)
+        jt = junction_tree_from_network(bn)
+        assert jt.num_cliques == 1
+        assert jt.cliques[0].variables == (0,)
+
+    def test_chain_network_gives_small_cliques(self):
+        bn = chain_network(8, seed=0)
+        jt = junction_tree_from_network(bn)
+        assert all(c.width == 2 for c in jt.cliques)
+        assert jt.num_cliques == 7
+
+    def test_naive_bayes_cliques_are_pairs(self):
+        bn = naive_bayes_network(5, seed=0)
+        jt = junction_tree_from_network(bn)
+        assert all(c.width == 2 for c in jt.cliques)
+        assert all(0 in c.variables for c in jt.cliques)
+
+    def test_disconnected_network_still_builds(self):
+        bn = random_network(8, edge_probability=0.0, seed=0)
+        jt = junction_tree_from_network(bn)
+        check_tree_structure(jt)
+        assert jt.num_cliques == 8
+
+
+class TestSemanticValidity:
+    """The product of CPT-initialized clique potentials must equal the joint."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_calibrated_marginals_match_bruteforce(self, seed):
+        bn = random_network(
+            10, cardinality=2, max_parents=3, edge_probability=0.8, seed=seed
+        )
+        jt = junction_tree_from_network(bn)
+        potentials = propagate_reference(jt)
+        for v in range(bn.num_variables):
+            got = marginal_from_potentials(jt, potentials, v)
+            want = bn.marginal_bruteforce(v)
+            assert np.allclose(got, want), f"variable {v} mismatch"
+
+    def test_calibrated_marginals_with_multistate_variables(self):
+        bn = random_network(
+            8, cardinality=3, max_parents=2, edge_probability=0.8, seed=11
+        )
+        jt = junction_tree_from_network(bn)
+        potentials = propagate_reference(jt)
+        for v in range(bn.num_variables):
+            assert np.allclose(
+                marginal_from_potentials(jt, potentials, v),
+                bn.marginal_bruteforce(v),
+            )
+
+    def test_total_mass_equals_one_without_evidence(self):
+        bn = random_network(9, max_parents=3, edge_probability=0.7, seed=12)
+        jt = junction_tree_from_network(bn)
+        potentials = propagate_reference(jt)
+        # After calibration every clique holds the (unnormalized) marginal;
+        # with no evidence the total mass is exactly 1.
+        for i in range(jt.num_cliques):
+            assert np.isclose(potentials[i].total(), 1.0)

@@ -1,0 +1,137 @@
+"""Tests for the synthetic junction-tree generators."""
+
+import numpy as np
+import pytest
+
+from repro.jt.generation import (
+    PAPER_TREES,
+    paper_tree,
+    parameter_sweep_tree,
+    synthetic_tree,
+    template_tree,
+)
+from repro.jt.validate import check_running_intersection, check_tree_structure
+
+
+class TestTemplateTree:
+    @pytest.mark.parametrize("b", [1, 2, 4, 8])
+    def test_structure_matches_figure4(self, b):
+        tree = template_tree(b, num_cliques=101, clique_width=5)
+        check_tree_structure(tree)
+        check_running_intersection(tree)
+        junction = tree.num_cliques - 1
+        # The junction clique joins branch 0 (its parent chain) with the
+        # other b branches (its children).
+        assert len(tree.children[junction]) == b
+        # The original root is the far end of branch 0: a chain head.
+        assert tree.root == 0
+        assert len(tree.children[0]) == 1
+
+    def test_clique_count_exact(self):
+        tree = template_tree(3, num_cliques=57, clique_width=4)
+        assert tree.num_cliques == 57
+
+    def test_uniform_widths(self):
+        tree = template_tree(2, num_cliques=31, clique_width=6)
+        assert all(c.width == 6 for c in tree.cliques)
+
+    def test_branch_lengths_balanced(self):
+        tree = template_tree(3, num_cliques=41, clique_width=4)
+        junction = tree.num_cliques - 1
+        # Depth of the deepest leaf under each branch differs by at most 1.
+        depths = [tree.depth_of(leaf) for leaf in tree.leaves()]
+        assert max(depths) - min(depths) <= 2
+
+    def test_too_few_cliques_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            template_tree(8, num_cliques=5)
+
+    def test_bad_branch_count_rejected(self):
+        with pytest.raises(ValueError):
+            template_tree(0)
+
+    def test_paper_default_dimensions(self):
+        tree = template_tree(1)
+        assert tree.num_cliques == 512
+        assert all(c.width == 15 for c in tree.cliques)
+        assert all(set(c.cardinalities) == {2} for c in tree.cliques)
+
+
+class TestSyntheticTree:
+    def test_clique_count(self):
+        tree = synthetic_tree(40, clique_width=4, seed=0)
+        assert tree.num_cliques == 40
+
+    def test_structure_valid(self):
+        for seed in range(4):
+            tree = synthetic_tree(
+                50, clique_width=5, avg_children=3, seed=seed
+            )
+            check_tree_structure(tree)
+            check_running_intersection(tree)
+
+    def test_widths_within_jitter(self):
+        tree = synthetic_tree(
+            60, clique_width=10, width_jitter=2, seed=1
+        )
+        widths = [c.width for c in tree.cliques]
+        assert all(8 <= w <= 12 for w in widths)
+
+    def test_zero_jitter_gives_uniform_widths(self):
+        tree = synthetic_tree(30, clique_width=6, width_jitter=0, seed=2)
+        assert all(c.width == 6 for c in tree.cliques)
+
+    def test_states_respected(self):
+        tree = synthetic_tree(20, clique_width=4, states=3, seed=3)
+        assert all(set(c.cardinalities) == {3} for c in tree.cliques)
+
+    def test_seed_reproducibility(self):
+        a = synthetic_tree(30, clique_width=5, seed=5)
+        b = synthetic_tree(30, clique_width=5, seed=5)
+        assert a.parent == b.parent
+        assert [c.variables for c in a.cliques] == [
+            c.variables for c in b.cliques
+        ]
+
+    def test_avg_children_influences_depth(self):
+        bushy = synthetic_tree(100, clique_width=4, avg_children=6, seed=6)
+        lanky = synthetic_tree(100, clique_width=4, avg_children=1, seed=6)
+        bushy_depth = max(bushy.depth_of(i) for i in bushy.leaves())
+        lanky_depth = max(lanky.depth_of(i) for i in lanky.leaves())
+        assert bushy_depth < lanky_depth
+
+    def test_separator_width_override(self):
+        tree = synthetic_tree(
+            20, clique_width=5, separator_width=2, width_jitter=0, seed=7
+        )
+        for child in range(tree.num_cliques):
+            parent = tree.parent[child]
+            if parent is not None:
+                assert len(tree.separator(child, parent)) <= 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            synthetic_tree(0, clique_width=4)
+        with pytest.raises(ValueError):
+            synthetic_tree(5, clique_width=0)
+        with pytest.raises(ValueError):
+            synthetic_tree(5, clique_width=4, width_jitter=9)
+
+
+class TestPaperTrees:
+    @pytest.mark.parametrize("which", [1, 2, 3])
+    def test_parameters_match_section7(self, which):
+        n, w, r, k = PAPER_TREES[which]
+        tree = paper_tree(which)
+        assert tree.num_cliques == n
+        widths = [c.width for c in tree.cliques]
+        assert abs(sum(widths) / len(widths) - w) <= w * 0.25
+        assert all(set(c.cardinalities) == {r} for c in tree.cliques)
+
+    def test_unknown_tree_rejected(self):
+        with pytest.raises(ValueError):
+            paper_tree(4)
+
+    def test_sweep_tree_defaults_are_jt1(self):
+        tree = parameter_sweep_tree()
+        assert tree.num_cliques == 512

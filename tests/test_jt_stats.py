@@ -1,0 +1,68 @@
+"""Junction-tree statistics."""
+
+import pytest
+
+from repro.jt.generation import paper_tree, synthetic_tree, template_tree
+from repro.jt.stats import (
+    separator_sizes,
+    summarize_tree,
+    total_table_entries,
+    tree_depth,
+    treewidth,
+    width_histogram,
+)
+
+
+class TestTreeStats:
+    def test_treewidth_uniform_tree(self):
+        tree = template_tree(2, num_cliques=25, clique_width=5)
+        assert treewidth(tree) == 4
+
+    def test_total_table_entries(self):
+        tree = template_tree(2, num_cliques=25, clique_width=5)
+        assert total_table_entries(tree) == 25 * 2**5
+
+    def test_separator_sizes_count(self):
+        tree = synthetic_tree(20, clique_width=4, seed=1)
+        assert len(separator_sizes(tree)) == 19
+
+    def test_separator_never_exceeds_clique(self):
+        tree = synthetic_tree(20, clique_width=5, seed=2)
+        for child in range(tree.num_cliques):
+            parent = tree.parent[child]
+            if parent is None:
+                continue
+            sep_size = 1
+            for card in tree.separator_cards(child, parent):
+                sep_size *= card
+            assert sep_size <= tree.cliques[child].table_size
+
+    def test_depth_of_chain(self):
+        tree = synthetic_tree(
+            10, clique_width=3, avg_children=1, seed=3
+        )
+        # Poisson(1) children still yields a path-ish tree; depth > 2.
+        assert tree_depth(tree) >= 2
+
+    def test_width_histogram_sums_to_cliques(self):
+        tree = synthetic_tree(30, clique_width=6, seed=4)
+        hist = width_histogram(tree)
+        assert sum(hist.values()) == 30
+
+    def test_summary_consistency(self):
+        tree = paper_tree(3)
+        stats = summarize_tree(tree)
+        assert stats.num_cliques == 128
+        assert stats.treewidth >= 7  # widths jitter around 10
+        assert stats.num_leaves == len(tree.leaves())
+        assert stats.avg_children > 0
+        assert stats.max_separator_size <= stats.max_clique_size
+        assert stats.depth == tree_depth(tree)
+
+    def test_single_clique_tree(self):
+        tree = synthetic_tree(1, clique_width=3, seed=5)
+        stats = summarize_tree(tree)
+        assert stats.depth == 0
+        assert stats.num_leaves == 1
+        assert stats.avg_children == 0.0
+        assert stats.max_separator_size == 0

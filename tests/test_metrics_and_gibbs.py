@@ -1,0 +1,101 @@
+"""Task-graph metrics and the Gibbs-sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.bn.sampling import gibbs_sampling
+from repro.jt.generation import synthetic_tree
+from repro.tasks.dag import build_task_graph
+from repro.tasks.metrics import (
+    heavy_task_fraction,
+    level_widths,
+    level_work,
+    summarize,
+    work_by_kind,
+    work_by_phase,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    tree = synthetic_tree(30, clique_width=6, avg_children=3, seed=55)
+    return build_task_graph(tree)
+
+
+class TestMetrics:
+    def test_level_widths_sum_to_task_count(self, graph):
+        assert sum(level_widths(graph)) == graph.num_tasks
+
+    def test_level_work_sums_to_total(self, graph):
+        assert np.isclose(sum(level_work(graph)), graph.total_work())
+
+    def test_phase_split_covers_everything(self, graph):
+        split = work_by_phase(graph)
+        assert set(split) == {"collect", "distribute"}
+        assert np.isclose(sum(split.values()), graph.total_work())
+
+    def test_kind_split_covers_everything(self, graph):
+        split = work_by_kind(graph)
+        assert set(split) == {
+            "marginalize",
+            "divide",
+            "extend",
+            "multiply",
+        }
+        assert np.isclose(sum(split.values()), graph.total_work())
+
+    def test_heavy_fraction_monotone_in_threshold(self, graph):
+        small = heavy_task_fraction(graph, 1)
+        large = heavy_task_fraction(graph, 1 << 20)
+        assert 0.0 <= large <= small <= 1.0
+
+    def test_summary_consistency(self, graph):
+        summary = summarize(graph)
+        assert summary.num_tasks == graph.num_tasks
+        assert summary.parallelism >= 1.0
+        assert summary.max_level_width <= graph.num_tasks
+        assert summary.num_levels == len(level_widths(graph))
+
+    def test_empty_graph_summary(self):
+        from repro.tasks.task import TaskGraph
+
+        summary = summarize(TaskGraph())
+        assert summary.num_tasks == 0
+        assert summary.parallelism == 1.0
+        assert heavy_task_fraction(TaskGraph(), 1) == 0.0
+
+
+class TestGibbs:
+    def test_approaches_exact_posterior(self):
+        bn = random_network(
+            6, max_parents=2, edge_probability=0.8, seed=21
+        )
+        evidence = {0: 1}
+        estimate = gibbs_sampling(
+            bn, target=4, evidence=evidence,
+            num_samples=3000, burn_in=200, seed=21,
+        )
+        exact = bn.marginal_bruteforce(4, evidence)
+        assert np.allclose(estimate, exact, atol=0.07)
+
+    def test_prior_estimation_without_evidence(self):
+        bn = random_network(
+            5, max_parents=2, edge_probability=0.8, seed=22
+        )
+        estimate = gibbs_sampling(
+            bn, target=3, num_samples=3000, burn_in=200, seed=22
+        )
+        assert np.allclose(estimate, bn.marginal_bruteforce(3), atol=0.07)
+
+    def test_target_in_evidence_is_point_mass(self):
+        bn = random_network(4, seed=23)
+        result = gibbs_sampling(bn, 1, {1: 0}, num_samples=5, seed=0)
+        assert np.allclose(result, [1.0, 0.0])
+
+    def test_invalid_args(self):
+        bn = random_network(4, seed=24)
+        with pytest.raises(ValueError):
+            gibbs_sampling(bn, 0, num_samples=0)
+        with pytest.raises(ValueError):
+            gibbs_sampling(bn, 0, burn_in=-1)

@@ -1,0 +1,107 @@
+"""Model zoo: structural checks and known posterior values."""
+
+import numpy as np
+import pytest
+
+from repro.inference.engine import InferenceEngine
+from repro.models import asia, cancer, car_start, sprinkler, student
+
+
+ALL_MODELS = [asia, sprinkler, cancer, student, car_start]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("builder", ALL_MODELS)
+    def test_all_cpts_set_and_named(self, builder):
+        bn, names = builder()
+        assert bn.has_all_cpts()
+        assert set(names) == set(range(bn.num_variables))
+
+    @pytest.mark.parametrize("builder", ALL_MODELS)
+    def test_joint_is_distribution(self, builder):
+        bn, _ = builder()
+        assert np.isclose(bn.joint_table().total(), 1.0)
+
+    @pytest.mark.parametrize("builder", ALL_MODELS)
+    def test_engine_runs_end_to_end(self, builder):
+        bn, _ = builder()
+        engine = InferenceEngine.from_network(bn)
+        engine.propagate()
+        for v in range(bn.num_variables):
+            assert np.allclose(engine.marginal(v), bn.marginal_bruteforce(v))
+
+
+class TestKnownValues:
+    def test_asia_prior_dyspnoea(self):
+        bn, _ = asia()
+        engine = InferenceEngine.from_network(bn)
+        engine.propagate()
+        # Classic figure: P(dysp = yes) ~ 0.436.
+        assert engine.marginal(7)[1] == pytest.approx(0.436, abs=0.001)
+
+    def test_asia_smoker_with_positive_xray(self):
+        bn, _ = asia()
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({2: 1, 6: 1})  # smoker, abnormal x-ray
+        engine.propagate()
+        # Lung cancer becomes the leading explanation.
+        p_lung = engine.marginal(3)[1]
+        p_tub = engine.marginal(1)[1]
+        assert p_lung > 0.3
+        assert p_lung > p_tub
+
+    def test_sprinkler_rain_explains_wet_grass(self):
+        bn, _ = sprinkler()
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({3: 1})  # wet grass
+        engine.propagate()
+        p_rain_wet = engine.marginal(2)[1]
+        engine.set_evidence({3: 1, 1: 1})  # wet grass and sprinkler on
+        engine.propagate()
+        p_rain_explained = engine.marginal(2)[1]
+        # Explaining away: knowing the sprinkler ran lowers P(rain).
+        assert p_rain_explained < p_rain_wet
+
+    def test_sprinkler_known_posterior(self):
+        bn, _ = sprinkler()
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({3: 1})
+        engine.propagate()
+        # Standard textbook value: P(rain | wet grass) ~ 0.708.
+        assert engine.marginal(2)[1] == pytest.approx(0.708, abs=0.002)
+
+    def test_cancer_rare_disease(self):
+        bn, _ = cancer()
+        engine = InferenceEngine.from_network(bn)
+        engine.propagate()
+        assert engine.marginal(2)[1] < 0.03  # cancer is rare a priori
+        engine.set_evidence({3: 1})  # positive x-ray
+        engine.propagate()
+        assert engine.marginal(2)[1] > 0.05  # x-ray raises it strongly
+
+    def test_student_grade_shifts_with_intelligence(self):
+        bn, _ = student()
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({1: 1})  # intelligent
+        engine.propagate()
+        smart = engine.marginal(2)
+        engine.set_evidence({1: 0})
+        engine.propagate()
+        plain = engine.marginal(2)
+        # Intelligence shifts grade mass toward the best grade (state 0).
+        assert smart[0] > plain[0]
+
+    def test_car_fails_to_start_diagnosis(self):
+        bn, _ = car_start()
+        engine = InferenceEngine.from_network(bn)
+        engine.propagate()
+        p_battery_prior = engine.marginal(1)[0]  # P(battery not ok)
+        engine.set_evidence({7: 0})  # engine does not start
+        engine.propagate()
+        p_battery_failed = engine.marginal(1)[0]
+        assert p_battery_failed > p_battery_prior
+        # Observing the lights are on partially exonerates the battery.
+        engine.set_evidence({7: 0, 8: 1})
+        engine.propagate()
+        p_battery_lights = engine.marginal(1)[0]
+        assert p_battery_lights < p_battery_failed

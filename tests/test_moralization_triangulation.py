@@ -1,0 +1,144 @@
+"""Tests for moralization and triangulation."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.bn.generation import random_network
+from repro.bn.moralization import moralize
+from repro.bn.network import BayesianNetwork
+from repro.bn.triangulation import (
+    HEURISTICS,
+    elimination_cliques,
+    triangulate,
+)
+
+
+def _is_chordal(adj):
+    """Check chordality via repeated simplicial-vertex elimination.
+
+    A graph is chordal iff it admits a perfect elimination ordering: we can
+    repeatedly remove a vertex whose neighbourhood is a clique.
+    """
+    work = {v: set(ns) for v, ns in adj.items()}
+    remaining = set(work)
+    while remaining:
+        simplicial = None
+        for v in remaining:
+            ns = list(work[v])
+            if all(b in work[a] for a, b in combinations(ns, 2)):
+                simplicial = v
+                break
+        if simplicial is None:
+            return False
+        for u in work[simplicial]:
+            work[u].discard(simplicial)
+        del work[simplicial]
+        remaining.discard(simplicial)
+    return True
+
+
+class TestMoralization:
+    def test_marries_coparents(self):
+        bn = BayesianNetwork([2, 2, 2])
+        bn.add_edge(0, 2)
+        bn.add_edge(1, 2)
+        adj = moralize(bn)
+        assert 1 in adj[0] and 0 in adj[1]
+
+    def test_keeps_directed_edges_undirected(self):
+        bn = BayesianNetwork([2, 2])
+        bn.add_edge(0, 1)
+        adj = moralize(bn)
+        assert adj[0] == {1} and adj[1] == {0}
+
+    def test_symmetric(self):
+        bn = random_network(15, max_parents=4, edge_probability=0.7, seed=3)
+        adj = moralize(bn)
+        for v, ns in adj.items():
+            for u in ns:
+                assert v in adj[u]
+
+    def test_no_self_loops(self):
+        bn = random_network(15, seed=4)
+        adj = moralize(bn)
+        assert all(v not in ns for v, ns in adj.items())
+
+
+class TestTriangulation:
+    @pytest.mark.parametrize("heuristic", HEURISTICS)
+    def test_result_is_chordal(self, heuristic):
+        bn = random_network(14, max_parents=4, edge_probability=0.8, seed=5)
+        moral = moralize(bn)
+        chordal, order = triangulate(moral, bn.cardinalities, heuristic)
+        assert sorted(order) == list(range(14))
+        assert _is_chordal(chordal)
+
+    def test_contains_original_edges(self):
+        bn = random_network(12, max_parents=3, edge_probability=0.8, seed=6)
+        moral = moralize(bn)
+        chordal, _ = triangulate(moral, bn.cardinalities)
+        for v, ns in moral.items():
+            assert ns <= chordal[v]
+
+    def test_cycle_gets_chord(self):
+        # A 4-cycle (as an undirected adjacency) must gain a chord.
+        adj = {0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {0, 2}}
+        chordal, _ = triangulate(adj, [2, 2, 2, 2])
+        extra = sum(len(ns) for ns in chordal.values()) // 2 - 4
+        assert extra == 1
+        assert _is_chordal(chordal)
+
+    def test_triangulating_chordal_graph_adds_nothing(self):
+        # A tree is chordal already.
+        adj = {0: {1, 2}, 1: {0}, 2: {0, 3}, 3: {2}}
+        chordal, _ = triangulate(adj, [2] * 4)
+        assert chordal == adj
+
+    def test_input_not_mutated(self):
+        adj = {0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {0, 2}}
+        snapshot = {v: set(ns) for v, ns in adj.items()}
+        triangulate(adj, [2] * 4)
+        assert adj == snapshot
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError, match="heuristic"):
+            triangulate({0: set()}, [2], "magic")
+
+
+class TestEliminationCliques:
+    def test_cliques_are_maximal(self):
+        bn = random_network(12, max_parents=4, edge_probability=0.8, seed=7)
+        moral = moralize(bn)
+        chordal, order = triangulate(moral, bn.cardinalities)
+        cliques = elimination_cliques(chordal, order)
+        sets = [set(c) for c in cliques]
+        for a, b in combinations(sets, 2):
+            assert not a <= b and not b <= a
+
+    def test_cliques_are_complete_subgraphs(self):
+        bn = random_network(12, max_parents=4, edge_probability=0.8, seed=8)
+        moral = moralize(bn)
+        chordal, order = triangulate(moral, bn.cardinalities)
+        for clique in elimination_cliques(chordal, order):
+            for a, b in combinations(clique, 2):
+                assert b in chordal[a]
+
+    def test_every_edge_covered(self):
+        bn = random_network(12, max_parents=3, edge_probability=0.8, seed=9)
+        moral = moralize(bn)
+        chordal, order = triangulate(moral, bn.cardinalities)
+        cliques = [set(c) for c in elimination_cliques(chordal, order)]
+        for v, ns in chordal.items():
+            for u in ns:
+                assert any({u, v} <= c for c in cliques)
+
+    def test_every_variable_covered(self):
+        adj = {0: set(), 1: set()}  # two isolated vertices
+        chordal, order = triangulate(adj, [2, 2])
+        cliques = elimination_cliques(chordal, order)
+        assert {v for c in cliques for v in c} == {0, 1}
+
+    def test_single_vertex(self):
+        cliques = elimination_cliques({0: set()}, [0])
+        assert cliques == [(0,)]

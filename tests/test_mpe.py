@@ -1,0 +1,124 @@
+"""Most-probable-explanation queries vs brute-force enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, random_network
+from repro.inference.engine import InferenceEngine
+from repro.inference.mpe import max_propagate, mpe_bruteforce
+from repro.jt.build import junction_tree_from_network
+from repro.potential.primitives import max_marginalize
+from repro.potential.table import PotentialTable
+
+
+class TestMaxMarginalize:
+    def test_takes_max_over_dropped_axes(self):
+        t = PotentialTable([0, 1], [2, 2], np.array([[1, 5], [3, 2]]))
+        m = max_marginalize(t, [0])
+        assert np.array_equal(m.values, np.array([5, 3]))
+
+    def test_full_scope_is_identity(self):
+        rng = np.random.default_rng(0)
+        t = PotentialTable.random([0, 1], [2, 3], rng)
+        assert np.allclose(max_marginalize(t, [0, 1]).values, t.values)
+
+    def test_empty_scope_gives_global_max(self):
+        t = PotentialTable([0, 1], [2, 2], np.array([[1, 5], [3, 2]]))
+        m = max_marginalize(t, [])
+        assert float(m.values) == 5.0
+
+    def test_unknown_variable_rejected(self):
+        t = PotentialTable([0], [2])
+        with pytest.raises(ValueError, match="unknown"):
+            max_marginalize(t, [9])
+
+    def test_respects_target_order(self):
+        rng = np.random.default_rng(1)
+        t = PotentialTable.random([0, 1, 2], [2, 3, 2], rng)
+        a = max_marginalize(t, [2, 1])
+        b = max_marginalize(t, [1, 2])
+        assert np.allclose(a.values, np.transpose(b.values))
+
+
+class TestMaxPropagate:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce_probability(self, seed):
+        bn = random_network(
+            8, cardinality=2, max_parents=3, edge_probability=0.8, seed=seed
+        )
+        jt = junction_tree_from_network(bn)
+        assignment, prob = max_propagate(jt)
+        _, expected_prob = mpe_bruteforce(bn.joint_table())
+        assert np.isclose(prob, expected_prob)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_assignment_attains_reported_probability(self, seed):
+        bn = random_network(
+            8, cardinality=2, max_parents=3, edge_probability=0.8, seed=seed
+        )
+        jt = junction_tree_from_network(bn)
+        assignment, prob = max_propagate(jt)
+        joint = bn.joint_table()
+        value = joint.values[
+            tuple(assignment[v] for v in joint.variables)
+        ]
+        assert np.isclose(value, prob)
+
+    def test_with_evidence(self):
+        bn = random_network(
+            7, cardinality=2, max_parents=2, edge_probability=0.8, seed=10
+        )
+        jt = junction_tree_from_network(bn)
+        evidence = {0: 1, 3: 0}
+        assignment, prob = max_propagate(jt, evidence)
+        _, expected_prob = mpe_bruteforce(bn.joint_table(), evidence)
+        assert np.isclose(prob, expected_prob)
+        assert assignment[0] == 1
+        assert assignment[3] == 0
+
+    def test_multistate_variables(self):
+        bn = random_network(
+            6, cardinality=3, max_parents=2, edge_probability=0.8, seed=11
+        )
+        jt = junction_tree_from_network(bn)
+        assignment, prob = max_propagate(jt)
+        brute_assignment, expected = mpe_bruteforce(bn.joint_table())
+        assert np.isclose(prob, expected)
+        joint = bn.joint_table()
+        value = joint.values[tuple(assignment[v] for v in joint.variables)]
+        assert np.isclose(value, expected)
+
+    def test_covers_all_variables(self):
+        bn = random_network(
+            9, max_parents=3, edge_probability=0.7, seed=12
+        )
+        jt = junction_tree_from_network(bn)
+        assignment, _ = max_propagate(jt)
+        assert set(assignment) == set(range(9))
+
+    def test_chain_network_viterbi(self):
+        bn = chain_network(10, seed=13)
+        jt = junction_tree_from_network(bn)
+        assignment, prob = max_propagate(jt, {0: 1})
+        _, expected = mpe_bruteforce(bn.joint_table(), {0: 1})
+        assert np.isclose(prob, expected)
+
+
+class TestEngineMpe:
+    def test_engine_mpe_matches_bruteforce(self):
+        bn = random_network(
+            8, max_parents=2, edge_probability=0.8, seed=14
+        )
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({1: 0})
+        assignment, prob = engine.mpe()
+        _, expected = mpe_bruteforce(bn.joint_table(), {1: 0})
+        assert np.isclose(prob, expected)
+        assert assignment[1] == 0
+
+    def test_engine_mpe_validates_evidence(self):
+        bn = random_network(6, seed=15)
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({0: 9})
+        with pytest.raises(ValueError):
+            engine.mpe()

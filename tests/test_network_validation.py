@@ -1,0 +1,54 @@
+"""Whole-network validation checks."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.bn.network import BayesianNetwork
+from repro.bn.validation import check_network, network_problems
+from repro.potential.table import PotentialTable
+
+
+class TestNetworkValidation:
+    def test_valid_network_passes(self):
+        bn = random_network(10, max_parents=3, edge_probability=0.7, seed=0)
+        assert network_problems(bn) == []
+        check_network(bn)
+
+    def test_missing_cpt_detected(self):
+        bn = BayesianNetwork([2, 2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+        problems = network_problems(bn)
+        assert any("variable 1 has no CPT" in p for p in problems)
+        with pytest.raises(ValueError, match="no CPT"):
+            check_network(bn)
+
+    def test_denormalized_cpt_detected(self):
+        bn = BayesianNetwork([2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+        # Corrupt the stored table behind the setter's back (simulating a
+        # mutation after construction).
+        bn.cpt(0).values[0] = 0.9
+        problems = network_problems(bn)
+        assert any("sum to" in p for p in problems)
+
+    def test_negative_entry_detected(self):
+        bn = BayesianNetwork([2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+        bn.cpt(0).values[:] = [1.5, -0.5]
+        problems = network_problems(bn)
+        assert any("negative" in p for p in problems)
+
+    def test_multiple_problems_all_reported(self):
+        bn = BayesianNetwork([2, 2, 2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([0.5, 0.5])))
+        problems = network_problems(bn)
+        assert len(problems) == 2  # variables 1 and 2 missing CPTs
+
+    def test_roundtrip_through_io_stays_valid(self, tmp_path):
+        from repro.io.json_io import load_network, save_network
+
+        bn = random_network(8, max_parents=2, edge_probability=0.8, seed=1)
+        path = tmp_path / "n.json"
+        save_network(bn, path)
+        check_network(load_network(path))

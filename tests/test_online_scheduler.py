@@ -1,0 +1,125 @@
+"""Online (dynamic-submission) collaborative scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sched.online import OnlineScheduler, TaskHandle
+
+
+class TestBasics:
+    def test_simple_pipeline(self):
+        with OnlineScheduler(num_threads=3) as pool:
+            a = pool.submit(lambda: 2)
+            b = pool.submit(lambda: 3)
+            c = pool.submit(lambda x, y: x + y, deps=[a, b])
+            assert c.result(timeout=5) == 5
+
+    def test_dependency_results_in_order(self):
+        with OnlineScheduler(num_threads=2) as pool:
+            a = pool.submit(lambda: "a")
+            b = pool.submit(lambda: "b")
+            cat = pool.submit(lambda x, y: x + y, deps=[b, a])
+            assert cat.result(timeout=5) == "ba"
+
+    def test_submit_after_dependency_completed(self):
+        with OnlineScheduler(num_threads=2) as pool:
+            a = pool.submit(lambda: 10)
+            assert a.result(timeout=5) == 10
+            b = pool.submit(lambda x: x + 1, deps=[a])
+            assert b.result(timeout=5) == 11
+
+    def test_dynamic_fan_out(self):
+        with OnlineScheduler(num_threads=4) as pool:
+            seed = pool.submit(lambda: 5)
+            children = [
+                pool.submit(lambda x, k=k: x * k, deps=[seed])
+                for k in range(10)
+            ]
+            total = pool.submit(
+                lambda *vals: sum(vals), deps=children
+            )
+            assert total.result(timeout=5) == 5 * sum(range(10))
+
+    def test_many_independent_tasks(self):
+        with OnlineScheduler(num_threads=4) as pool:
+            handles = [pool.submit(lambda i=i: i * i) for i in range(100)]
+            assert [h.result(timeout=5) for h in handles] == [
+                i * i for i in range(100)
+            ]
+
+    def test_parallel_overlap(self):
+        barrier = threading.Barrier(2, timeout=5)
+        with OnlineScheduler(num_threads=2) as pool:
+            a = pool.submit(barrier.wait)
+            b = pool.submit(barrier.wait)
+            a.result(timeout=5)
+            b.result(timeout=5)
+
+
+class TestFailures:
+    def test_exception_reraised_at_result(self):
+        def boom():
+            raise ValueError("kaboom")
+
+        with OnlineScheduler(num_threads=2) as pool:
+            handle = pool.submit(boom)
+            with pytest.raises(ValueError, match="kaboom"):
+                handle.result(timeout=5)
+
+    def test_dependents_of_failed_task_cancelled(self):
+        def boom():
+            raise RuntimeError("upstream failed")
+
+        with OnlineScheduler(num_threads=2) as pool:
+            bad = pool.submit(boom)
+            child = pool.submit(lambda x: x, deps=[bad])
+            with pytest.raises(RuntimeError, match="upstream failed"):
+                child.result(timeout=5)
+
+    def test_submit_after_failed_dependency(self):
+        def boom():
+            raise RuntimeError("already dead")
+
+        with OnlineScheduler(num_threads=2) as pool:
+            bad = pool.submit(boom)
+            with pytest.raises(RuntimeError):
+                bad.result(timeout=5)
+            late = pool.submit(lambda x: x, deps=[bad])
+            with pytest.raises(RuntimeError, match="already dead"):
+                late.result(timeout=5)
+
+    def test_result_timeout(self):
+        with OnlineScheduler(num_threads=1) as pool:
+            slow = pool.submit(lambda: time.sleep(0.3) or 42)
+            with pytest.raises(TimeoutError):
+                slow.result(timeout=0.01)
+            assert slow.result(timeout=5) == 42
+
+
+class TestLifecycle:
+    def test_submit_after_shutdown_rejected(self):
+        pool = OnlineScheduler(num_threads=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(lambda: 1)
+
+    def test_shutdown_waits_for_queued_work(self):
+        pool = OnlineScheduler(num_threads=2)
+        handles = [
+            pool.submit(lambda i=i: time.sleep(0.01) or i)
+            for i in range(8)
+        ]
+        pool.shutdown(wait=True)
+        assert [h.result(timeout=1) for h in handles] == list(range(8))
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            OnlineScheduler(num_threads=0)
+
+    def test_handle_done_flag(self):
+        with OnlineScheduler(num_threads=1) as pool:
+            h = pool.submit(lambda: 1)
+            h.result(timeout=5)
+            assert h.done()

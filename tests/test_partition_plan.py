@@ -1,0 +1,67 @@
+"""Tests for the shared Partition-module planning rules."""
+
+import pytest
+
+from repro.potential.primitives import PrimitiveKind
+from repro.tasks.partition_plan import combine_flops, plan_partition
+from repro.tasks.task import COLLECT, Task
+
+
+def _task(kind, input_size, output_size):
+    return Task(0, kind, COLLECT, (0, 1), 0, input_size, output_size)
+
+
+class TestPlanPartition:
+    def test_disabled_returns_none(self):
+        t = _task(PrimitiveKind.MULTIPLY, 1000, 1000)
+        assert plan_partition(t, None) is None
+
+    def test_below_threshold_returns_none(self):
+        t = _task(PrimitiveKind.MULTIPLY, 100, 100)
+        assert plan_partition(t, 100) is None
+
+    def test_multiply_splits_by_output(self):
+        t = _task(PrimitiveKind.MULTIPLY, 1024, 1024)
+        ranges = plan_partition(t, 256)
+        assert ranges is not None
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1024
+        assert len(ranges) == 4
+
+    def test_max_chunks_respected(self):
+        t = _task(PrimitiveKind.EXTEND, 64, 1 << 20)
+        ranges = plan_partition(t, 64, max_chunks=8)
+        assert len(ranges) == 8
+
+    def test_marginalize_skipped_when_output_comparable(self):
+        # input only 2x the output: the add-combine would eat the gain.
+        t = _task(PrimitiveKind.MARGINALIZE, 2048, 1024)
+        assert plan_partition(t, 256) is None
+
+    def test_marginalize_chunks_near_sqrt_ratio(self):
+        t = _task(PrimitiveKind.MARGINALIZE, 1 << 20, 1 << 10)
+        ranges = plan_partition(t, 1 << 10)
+        # sqrt(2^20 / 2^10) = 32 chunks (also the max_chunks default).
+        assert len(ranges) == 32
+
+    def test_marginalize_small_ratio_capped(self):
+        t = _task(PrimitiveKind.MARGINALIZE, 1 << 12, 1 << 8)
+        ranges = plan_partition(t, 1 << 8)
+        # sqrt(4096/256) = 4 chunks even though size/delta = 16.
+        assert len(ranges) == 4
+
+    def test_ranges_cover_partition_size_exactly(self):
+        t = _task(PrimitiveKind.DIVIDE, 777, 777)
+        ranges = plan_partition(t, 100)
+        covered = sum(hi - lo for lo, hi in ranges)
+        assert covered == 777
+
+
+class TestCombineFlops:
+    def test_marginalize_combine_scales_with_chunks(self):
+        t = _task(PrimitiveKind.MARGINALIZE, 1 << 16, 64)
+        assert combine_flops(t, 8) == 8 * 64
+
+    def test_concat_combine_is_bookkeeping(self):
+        t = _task(PrimitiveKind.MULTIPLY, 1 << 16, 1 << 16)
+        assert combine_flops(t, 8) == 8.0

@@ -1,0 +1,197 @@
+"""Unit tests for the four node-level primitives."""
+
+import numpy as np
+import pytest
+
+from repro.potential.primitives import (
+    PrimitiveKind,
+    divide,
+    extend,
+    marginalize,
+    multiply,
+    primitive_flops,
+)
+from repro.potential.table import PotentialTable
+
+
+def _random(variables, cards, seed=0):
+    return PotentialTable.random(
+        variables, cards, np.random.default_rng(seed)
+    )
+
+
+class TestMarginalize:
+    def test_sums_out_dropped_variables(self):
+        t = PotentialTable([0, 1], [2, 2], np.array([[1, 2], [3, 4]]))
+        m = marginalize(t, [0])
+        assert m.variables == (0,)
+        assert np.array_equal(m.values, np.array([3, 7]))
+
+    def test_respects_target_order(self):
+        t = _random([0, 1, 2], [2, 3, 4])
+        a = marginalize(t, [2, 0])
+        b = marginalize(t, [0, 2])
+        assert a.variables == (2, 0)
+        assert np.allclose(a.values, b.values.T)
+
+    def test_marginalize_to_full_scope_is_identity(self):
+        t = _random([0, 1], [2, 3])
+        m = marginalize(t, [0, 1])
+        assert np.allclose(m.values, t.values)
+
+    def test_marginalize_to_empty_scope_gives_total(self):
+        t = _random([0, 1], [2, 3])
+        m = marginalize(t, [])
+        assert m.width == 0
+        assert np.isclose(float(m.values), t.total())
+
+    def test_unknown_variable_rejected(self):
+        t = _random([0], [2])
+        with pytest.raises(ValueError, match="unknown variables"):
+            marginalize(t, [5])
+
+    def test_preserves_total_mass(self):
+        t = _random([0, 1, 2], [2, 2, 3], seed=3)
+        assert np.isclose(marginalize(t, [1]).total(), t.total())
+
+
+class TestExtend:
+    def test_broadcasts_new_variables(self):
+        t = PotentialTable([0], [2], np.array([1.0, 2.0]))
+        e = extend(t, [0, 1], [2, 3])
+        assert e.cardinalities == (2, 3)
+        assert np.array_equal(e.values, np.array([[1, 1, 1], [2, 2, 2]]))
+
+    def test_extension_order_independent_of_source(self):
+        t = _random([0, 1], [2, 3])
+        e = extend(t, [1, 2, 0], [3, 4, 2])
+        # Marginalizing back must recover the original (up to scale 4).
+        back = marginalize(e, [0, 1])
+        assert np.allclose(back.values, t.values * 4)
+
+    def test_extend_to_same_scope_is_identity(self):
+        t = _random([0, 1], [2, 3])
+        e = extend(t, [0, 1], [2, 3])
+        assert np.allclose(e.values, t.values)
+
+    def test_missing_source_variable_rejected(self):
+        t = _random([0, 1], [2, 2])
+        with pytest.raises(ValueError, match="missing variables"):
+            extend(t, [0, 2], [2, 2])
+
+    def test_cardinality_mismatch_rejected(self):
+        t = _random([0], [2])
+        with pytest.raises(ValueError, match="cardinality mismatch"):
+            extend(t, [0, 1], [3, 2])
+
+    def test_extend_scalar(self):
+        t = PotentialTable([], [], np.array(2.0))
+        e = extend(t, [7], [3])
+        assert np.array_equal(e.values, np.array([2.0, 2.0, 2.0]))
+
+
+class TestMultiply:
+    def test_elementwise_on_same_scope(self):
+        a = PotentialTable([0], [2], np.array([2.0, 3.0]))
+        b = PotentialTable([0], [2], np.array([5.0, 7.0]))
+        assert np.array_equal(multiply(a, b).values, np.array([10.0, 21.0]))
+
+    def test_subset_scope_is_extended(self):
+        a = PotentialTable([0, 1], [2, 2], np.ones((2, 2)))
+        b = PotentialTable([1], [2], np.array([3.0, 4.0]))
+        m = multiply(a, b)
+        assert np.array_equal(m.values, np.array([[3, 4], [3, 4]]))
+
+    def test_misaligned_axes_are_aligned(self):
+        a = _random([0, 1], [2, 3], seed=1)
+        b = _random([1, 0], [3, 2], seed=2)
+        m = multiply(a, b)
+        assert np.allclose(m.values, a.values * b.values.T)
+
+    def test_superset_scope_rejected(self):
+        a = PotentialTable([0], [2])
+        b = PotentialTable([0, 1], [2, 2])
+        with pytest.raises(ValueError, match="not a subset"):
+            multiply(a, b)
+
+    def test_result_keeps_a_scope_order(self):
+        a = _random([3, 1], [2, 2])
+        b = _random([1], [2])
+        assert multiply(a, b).variables == (3, 1)
+
+
+class TestDivide:
+    def test_elementwise_ratio(self):
+        a = PotentialTable([0], [2], np.array([6.0, 8.0]))
+        b = PotentialTable([0], [2], np.array([2.0, 4.0]))
+        assert np.array_equal(divide(a, b).values, np.array([3.0, 2.0]))
+
+    def test_zero_over_zero_is_zero(self):
+        a = PotentialTable([0], [2], np.array([0.0, 8.0]))
+        b = PotentialTable([0], [2], np.array([0.0, 4.0]))
+        assert np.array_equal(divide(a, b).values, np.array([0.0, 2.0]))
+
+    def test_nonzero_over_zero_is_zero_by_convention(self):
+        # Cannot happen in valid propagation, but must not produce inf/nan.
+        a = PotentialTable([0], [2], np.array([3.0, 8.0]))
+        b = PotentialTable([0], [2], np.array([0.0, 4.0]))
+        out = divide(a, b).values
+        assert np.all(np.isfinite(out))
+        assert out[0] == 0.0
+
+    def test_scope_mismatch_rejected(self):
+        a = PotentialTable([0], [2])
+        b = PotentialTable([1], [2])
+        with pytest.raises(ValueError, match="scopes differ"):
+            divide(a, b)
+
+    def test_axis_order_aligned(self):
+        a = _random([0, 1], [2, 3], seed=4)
+        b = _random([1, 0], [3, 2], seed=5)
+        d = divide(a, b)
+        assert np.allclose(d.values, a.values / b.values.T)
+
+    def test_divide_multiply_roundtrip(self):
+        a = _random([0, 1], [2, 3], seed=6)
+        b = _random([0, 1], [2, 3], seed=7)
+        round_trip = multiply(divide(a, b), b)
+        assert np.allclose(round_trip.values, a.values)
+
+
+class TestEq1Propagation:
+    """End-to-end Eq. 1 check on a hand-built two-clique tree."""
+
+    def test_message_passing_matches_direct_computation(self):
+        rng = np.random.default_rng(9)
+        psi_y = PotentialTable.random([0, 1], [2, 2], rng)  # clique Y
+        psi_x = PotentialTable.random([1, 2], [2, 2], rng)  # clique X
+        sep_old = PotentialTable.ones([1], [2])
+        sep_new = marginalize(psi_y, [1])
+        ratio = divide(sep_new, sep_old)
+        psi_x_new = multiply(psi_x, extend(ratio, [1, 2], [2, 2]))
+        # Direct: joint = psi_x * psi_y, marginalized onto {1, 2}.
+        joint = multiply(
+            extend(psi_x, [0, 1, 2], [2, 2, 2]),
+            extend(psi_y, [0, 1, 2], [2, 2, 2]),
+        )
+        direct = marginalize(joint, [1, 2])
+        assert np.allclose(psi_x_new.values, direct.values)
+
+
+class TestPrimitiveFlops:
+    def test_marginalize_counts_input(self):
+        assert primitive_flops(PrimitiveKind.MARGINALIZE, 100, 10) == 100
+
+    def test_extend_counts_output(self):
+        assert primitive_flops(PrimitiveKind.EXTEND, 10, 100) == 100
+
+    def test_multiply_divide_count_output(self):
+        assert primitive_flops(PrimitiveKind.MULTIPLY, 100, 100) == 100
+        assert primitive_flops(PrimitiveKind.DIVIDE, 50, 50) == 50
+
+    def test_combine_counts_output(self):
+        assert primitive_flops(PrimitiveKind.COMBINE, 0, 64) == 64
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            primitive_flops("nonsense", 1, 1)

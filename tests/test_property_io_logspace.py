@@ -1,0 +1,128 @@
+"""Property-based round-trips: serialization and log-domain propagation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bn.generation import random_network
+from repro.inference.propagation import (
+    marginal_from_potentials,
+    propagate_reference,
+)
+from repro.io.json_io import (
+    network_from_dict,
+    network_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.jt.build import junction_tree_from_network
+from repro.jt.generation import synthetic_tree
+from repro.potential.logspace import (
+    LogTable,
+    log_marginal,
+    propagate_reference_log,
+)
+from repro.potential.primitives import marginalize
+from repro.potential.table import PotentialTable
+
+
+@st.composite
+def networks(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=10))
+    card = draw(st.integers(min_value=2, max_value=3))
+    prob = draw(st.floats(min_value=0.0, max_value=1.0))
+    return random_network(
+        n, cardinality=card, max_parents=3, edge_probability=prob, seed=seed
+    )
+
+
+@given(networks())
+@settings(max_examples=30, deadline=None)
+def test_network_roundtrip_preserves_everything(bn):
+    twin = network_from_dict(network_to_dict(bn))
+    assert twin.cardinalities == bn.cardinalities
+    assert sorted(twin.edges()) == sorted(bn.edges())
+    for v in range(bn.num_variables):
+        original = bn.cpt(v)
+        assert np.allclose(
+            twin.cpt(v).aligned_to(original.variables).values,
+            original.values,
+        )
+
+
+@given(networks())
+@settings(max_examples=25, deadline=None)
+def test_tree_roundtrip_preserves_inference(bn):
+    jt = junction_tree_from_network(bn)
+    twin = tree_from_dict(tree_to_dict(jt))
+    original = propagate_reference(jt)
+    restored = propagate_reference(twin)
+    for v in range(bn.num_variables):
+        assert np.allclose(
+            marginal_from_potentials(jt, original, v),
+            marginal_from_potentials(twin, restored, v),
+        )
+
+
+@given(networks(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_log_propagation_matches_linear(bn, data):
+    jt = junction_tree_from_network(bn)
+    evidence = {}
+    if data.draw(st.booleans()):
+        var = data.draw(
+            st.integers(min_value=0, max_value=bn.num_variables - 1)
+        )
+        state = data.draw(
+            st.integers(min_value=0, max_value=bn.cardinalities[var] - 1)
+        )
+        evidence[var] = state
+    linear = propagate_reference(jt, evidence)
+    logdomain = propagate_reference_log(jt, evidence)
+    if linear[jt.root].total() == 0:
+        return  # zero-probability evidence: posteriors undefined
+    for v in range(bn.num_variables):
+        if v in evidence:
+            continue
+        assert np.allclose(
+            log_marginal(jt, logdomain, v),
+            marginal_from_potentials(jt, linear, v),
+            atol=1e-9,
+        )
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    variables = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=6),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    cards = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=3), min_size=n, max_size=n
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return PotentialTable.random(
+        variables, cards, np.random.default_rng(seed), low=0.01, high=3.0
+    )
+
+
+@given(tables(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_log_marginalize_matches_linear_everywhere(table, data):
+    keep = data.draw(st.lists(st.sampled_from(table.variables), unique=True))
+    log = LogTable.from_linear(table).marginalize(tuple(keep))
+    lin = marginalize(table, tuple(keep))
+    assert np.allclose(np.exp(log.logs), lin.values, rtol=1e-9)
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_log_total_matches_linear(table):
+    log = LogTable.from_linear(table)
+    assert np.isclose(np.exp(log.log_total()), table.total())

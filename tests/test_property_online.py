@@ -1,0 +1,60 @@
+"""Property test: online submission agrees with static DAG execution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.generic import run_dag
+from repro.sched.online import OnlineScheduler
+
+
+@st.composite
+def dag_specs(draw):
+    """A random DAG of integer-arithmetic nodes (deps reference earlier)."""
+    n = draw(st.integers(min_value=1, max_value=15))
+    deps = {}
+    for i in range(1, n):
+        count = draw(st.integers(min_value=0, max_value=min(3, i)))
+        if count:
+            chosen = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=i - 1),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            deps[i] = chosen
+    return n, deps
+
+
+def _node_fn(i):
+    def fn(*dep_values):
+        return i + sum(dep_values)
+
+    return fn
+
+
+@given(dag_specs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_online_matches_static_run_dag(spec, threads):
+    n, deps = spec
+    nodes = {i: _node_fn(i) for i in range(n)}
+    static = run_dag(nodes, deps, num_threads=threads)
+
+    with OnlineScheduler(num_threads=threads) as pool:
+        handles = {}
+        for i in range(n):  # submission order respects dependencies
+            dep_handles = [handles[d] for d in deps.get(i, [])]
+            handles[i] = pool.submit(_node_fn(i), deps=dep_handles)
+        online = {i: handles[i].result(timeout=10) for i in range(n)}
+    assert online == static
+
+
+@given(dag_specs())
+@settings(max_examples=20, deadline=None)
+def test_run_dag_results_are_deterministic(spec):
+    n, deps = spec
+    nodes = {i: _node_fn(i) for i in range(n)}
+    a = run_dag(nodes, deps, num_threads=3)
+    b = run_dag(nodes, deps, num_threads=1)
+    assert a == b

@@ -1,0 +1,85 @@
+"""Property-based tests: Algorithm 1 equals brute force on arbitrary trees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jt.junction_tree import Clique, JunctionTree
+from repro.jt.rerooting import (
+    critical_path_weight,
+    reroot,
+    select_root,
+    select_root_bruteforce,
+)
+from repro.jt.validate import check_tree_structure
+
+
+@st.composite
+def random_trees(draw, max_cliques=20):
+    """Arbitrary rooted trees with varying clique widths (hence costs)."""
+    n = draw(st.integers(min_value=1, max_value=max_cliques))
+    parent = [None]
+    for i in range(1, n):
+        parent.append(draw(st.integers(min_value=0, max_value=i - 1)))
+    widths = [draw(st.integers(min_value=1, max_value=5)) for _ in range(n)]
+    # Chain scopes: clique i shares one variable with its parent so
+    # separators are non-empty; extra variables are fresh.
+    next_var = 0
+    scopes = []
+    for i in range(n):
+        if parent[i] is None:
+            scope = list(range(next_var, next_var + widths[i]))
+            next_var += widths[i]
+        else:
+            shared = scopes[parent[i]][0]
+            fresh = list(range(next_var, next_var + widths[i] - 1))
+            next_var += widths[i] - 1
+            scope = [shared] + fresh
+        scopes.append(scope)
+    cliques = [
+        Clique(i, scopes[i], [2] * len(scopes[i])) for i in range(n)
+    ]
+    return JunctionTree(cliques, parent)
+
+
+@given(random_trees())
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_weight_equals_bruteforce(tree):
+    _, fast = select_root(tree)
+    _, brute = select_root_bruteforce(tree)
+    assert np.isclose(fast, brute)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_selected_root_weight_is_minimum_over_all_roots(tree):
+    root, weight = select_root(tree)
+    for candidate in range(tree.num_cliques):
+        assert weight <= critical_path_weight(tree, candidate) + 1e-9
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_reroot_preserves_topology_and_validates(tree, data):
+    target = data.draw(
+        st.integers(min_value=0, max_value=tree.num_cliques - 1)
+    )
+    new = reroot(tree, target)
+    check_tree_structure(new)
+    old = {frozenset((i, p)) for i, p in enumerate(tree.parent) if p is not None}
+    fresh = {frozenset((i, p)) for i, p in enumerate(new.parent) if p is not None}
+    assert old == fresh
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_is_root_independent_representation(tree, data):
+    """critical_path_weight(tree, r) must not depend on the stored rooting."""
+    r = data.draw(st.integers(min_value=0, max_value=tree.num_cliques - 1))
+    other_root = data.draw(
+        st.integers(min_value=0, max_value=tree.num_cliques - 1)
+    )
+    rehung = reroot(tree, other_root)
+    assert np.isclose(
+        critical_path_weight(tree, r), critical_path_weight(rehung, r)
+    )

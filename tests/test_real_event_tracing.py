@@ -1,0 +1,82 @@
+"""Event tracing of the real threaded collaborative executor.
+
+The recorded events feed the same Trace validators used for simulated
+schedules: per-thread serialization must hold (one task at a time per
+thread), and chunk events of one task must all fall between the task
+becoming ready and its completion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jt.generation import synthetic_tree
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.simcore.trace import Trace
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+
+
+@pytest.fixture
+def tree():
+    t = synthetic_tree(16, clique_width=4, states=2, avg_children=3, seed=91)
+    t.initialize_potentials(np.random.default_rng(91))
+    return t
+
+
+def _run(tree, **kwargs):
+    graph = build_task_graph(tree)
+    executor = CollaborativeExecutor(record_events=True, **kwargs)
+    stats = executor.run(graph, PropagationState(tree))
+    return graph, stats
+
+
+class TestEventRecording:
+    def test_disabled_by_default(self, tree):
+        graph = build_task_graph(tree)
+        stats = CollaborativeExecutor(num_threads=2).run(
+            graph, PropagationState(tree)
+        )
+        assert stats.events == []
+
+    def test_every_task_appears(self, tree):
+        graph, stats = _run(tree, num_threads=3)
+        executed = {tid for tid, _, _, _ in stats.events}
+        assert executed == set(range(graph.num_tasks))
+
+    def test_events_form_valid_per_thread_schedule(self, tree):
+        graph, stats = _run(tree, num_threads=4)
+        trace = Trace(4)
+        for tid, thread, start, end in stats.events:
+            trace.add(tid, thread, start, end)
+        trace.check_no_overlap()
+
+    def test_timestamps_within_wall_time(self, tree):
+        _, stats = _run(tree, num_threads=2)
+        for _, _, start, end in stats.events:
+            assert 0.0 <= start <= end
+            assert end <= stats.wall_time + 0.05
+
+    def test_partitioned_tasks_log_chunk_events(self, tree):
+        graph, stats = _run(tree, num_threads=3, partition_threshold=4)
+        assert stats.tasks_partitioned > 0
+        counts = {}
+        for tid, _, _, _ in stats.events:
+            counts[tid] = counts.get(tid, 0) + 1
+        # At least one task shows multiple (chunk) events.
+        assert max(counts.values()) > 1
+
+    def test_dependencies_respected_in_real_time(self, tree):
+        """A task's first event must not start before every dependency's
+        last event ended (modulo scheduler hand-off, which only adds
+        delay, never reordering)."""
+        graph, stats = _run(tree, num_threads=4)
+        first_start = {}
+        last_end = {}
+        for tid, _, start, end in stats.events:
+            first_start[tid] = min(first_start.get(tid, start), start)
+            last_end[tid] = max(last_end.get(tid, end), end)
+        for tid, deps in enumerate(graph.deps):
+            for d in deps:
+                assert first_start[tid] >= last_end[d] - 1e-6, (
+                    f"task {tid} started before dependency {d} finished"
+                )

@@ -1,0 +1,153 @@
+"""Forward sampling, likelihood weighting, and parameter learning."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, random_network
+from repro.bn.learning import fit_cpts, log_likelihood
+from repro.bn.network import BayesianNetwork
+from repro.bn.sampling import (
+    empirical_marginal,
+    forward_sample,
+    likelihood_weighting,
+)
+from repro.inference.engine import InferenceEngine
+from repro.potential.table import PotentialTable
+
+
+class TestForwardSampling:
+    def test_shape_and_range(self):
+        bn = random_network(8, cardinality=3, seed=1)
+        samples = forward_sample(bn, 50, seed=1)
+        assert samples.shape == (50, 8)
+        assert samples.min() >= 0
+        assert samples.max() < 3
+
+    def test_zero_samples(self):
+        bn = random_network(4, seed=2)
+        assert forward_sample(bn, 0, seed=0).shape == (0, 4)
+
+    def test_empirical_marginals_approach_exact(self):
+        bn = random_network(
+            6, max_parents=2, edge_probability=0.8, seed=3
+        )
+        samples = forward_sample(bn, 4000, seed=3)
+        for v in range(6):
+            exact = bn.marginal_bruteforce(v)
+            observed = empirical_marginal(samples, v, 2)
+            assert np.allclose(observed, exact, atol=0.05)
+
+    def test_deterministic_with_seed(self):
+        bn = random_network(5, seed=4)
+        a = forward_sample(bn, 10, seed=77)
+        b = forward_sample(bn, 10, seed=77)
+        assert np.array_equal(a, b)
+
+    def test_requires_cpts(self):
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="CPTs"):
+            forward_sample(bn, 1)
+
+    def test_negative_count_rejected(self):
+        bn = random_network(3, seed=5)
+        with pytest.raises(ValueError):
+            forward_sample(bn, -1)
+
+
+class TestLikelihoodWeighting:
+    def test_approaches_exact_posterior(self):
+        bn = random_network(
+            7, max_parents=2, edge_probability=0.8, seed=6
+        )
+        evidence = {0: 1, 4: 0}
+        estimate = likelihood_weighting(
+            bn, target=5, evidence=evidence, num_samples=6000, seed=6
+        )
+        exact = bn.marginal_bruteforce(5, evidence)
+        assert np.allclose(estimate, exact, atol=0.06)
+
+    def test_agrees_with_junction_tree_engine(self):
+        bn = random_network(
+            8, max_parents=2, edge_probability=0.7, seed=7
+        )
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({1: 1})
+        engine.propagate()
+        estimate = likelihood_weighting(
+            bn, target=6, evidence={1: 1}, num_samples=6000, seed=7
+        )
+        assert np.allclose(estimate, engine.marginal(6), atol=0.06)
+
+    def test_target_in_evidence_returns_point_mass(self):
+        bn = random_network(5, seed=8)
+        result = likelihood_weighting(bn, 2, {2: 1}, num_samples=10, seed=0)
+        assert np.allclose(result, [0.0, 1.0])
+
+    def test_invalid_sample_count(self):
+        bn = random_network(4, seed=9)
+        with pytest.raises(ValueError):
+            likelihood_weighting(bn, 0, num_samples=0)
+
+
+class TestLearning:
+    def test_sample_fit_roundtrip_recovers_cpts(self):
+        truth = chain_network(5, seed=10)
+        data = forward_sample(truth, 8000, seed=10)
+        learned = BayesianNetwork([2] * 5)
+        for a, b in truth.edges():
+            learned.add_edge(a, b)
+        fit_cpts(learned, data, alpha=1.0)
+        for v in range(5):
+            want = truth.cpt(v)
+            got = learned.cpt(v).aligned_to(want.variables)
+            assert np.allclose(got.values, want.values, atol=0.06)
+
+    def test_fitted_network_is_valid_for_inference(self):
+        truth = random_network(
+            6, max_parents=2, edge_probability=0.8, seed=11
+        )
+        data = forward_sample(truth, 3000, seed=11)
+        learned = BayesianNetwork([2] * 6)
+        for a, b in truth.edges():
+            learned.add_edge(a, b)
+        fit_cpts(learned, data)
+        engine = InferenceEngine.from_network(learned)
+        engine.propagate()
+        assert np.isclose(engine.marginal(3).sum(), 1.0)
+
+    def test_smoothing_handles_unseen_configurations(self):
+        bn = BayesianNetwork([2, 2])
+        bn.add_edge(0, 1)
+        # Data never shows variable 0 in state 1.
+        data = np.array([[0, 0], [0, 1], [0, 0]])
+        fit_cpts(bn, data, alpha=1.0)
+        row = bn.cpt(1).aligned_to((0, 1)).values[1]
+        assert np.allclose(row, [0.5, 0.5])
+
+    def test_alpha_zero_pure_mle(self):
+        bn = BayesianNetwork([2])
+        data = np.array([[0], [0], [0], [1]])
+        fit_cpts(bn, data, alpha=0.0)
+        assert np.allclose(bn.cpt(0).values, [0.75, 0.25])
+
+    def test_bad_data_shapes_rejected(self):
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="data must be"):
+            fit_cpts(bn, np.zeros((3, 5), dtype=int))
+        with pytest.raises(ValueError, match="out-of-range"):
+            fit_cpts(bn, np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="alpha"):
+            fit_cpts(bn, np.zeros((1, 2), dtype=int), alpha=-1)
+
+    def test_log_likelihood_prefers_true_model(self):
+        truth = chain_network(4, seed=12)
+        data = forward_sample(truth, 2000, seed=12)
+        ll_truth = log_likelihood(truth, data)
+        other = chain_network(4, seed=99)
+        ll_other = log_likelihood(other, data)
+        assert ll_truth > ll_other
+
+    def test_log_likelihood_minus_inf_on_impossible_data(self):
+        bn = BayesianNetwork([2])
+        bn.set_cpt(0, PotentialTable([0], [2], np.array([1.0, 0.0])))
+        assert log_likelihood(bn, np.array([[1]])) == float("-inf")

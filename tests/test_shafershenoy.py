@@ -1,0 +1,169 @@
+"""Shafer-Shenoy lazy engine: numerics and incremental-update savings."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, random_network
+from repro.inference.engine import InferenceEngine
+from repro.inference.shafershenoy import ShaferShenoyEngine
+from repro.jt.build import junction_tree_from_network
+from repro.jt.generation import synthetic_tree
+
+
+@pytest.fixture
+def network():
+    return random_network(
+        10, cardinality=2, max_parents=3, edge_probability=0.8, seed=71
+    )
+
+
+@pytest.fixture
+def tree(network):
+    return junction_tree_from_network(network)
+
+
+class TestNumerics:
+    def test_prior_marginals_match_bruteforce(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        for v in range(network.num_variables):
+            assert np.allclose(
+                engine.marginal(v), network.marginal_bruteforce(v)
+            )
+
+    def test_posterior_matches_bruteforce(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        engine.observe(2, 1).observe(7, 0)
+        for v in (0, 4, 9):
+            assert np.allclose(
+                engine.marginal(v),
+                network.marginal_bruteforce(v, {2: 1, 7: 0}),
+            )
+
+    def test_agrees_with_hugin_engine(self, network):
+        hugin = InferenceEngine.from_network(network, reroot=False)
+        ss = ShaferShenoyEngine(hugin.jt)
+        hugin.set_evidence({1: 1})
+        hugin.propagate()
+        ss.observe(1, 1)
+        for v in range(network.num_variables):
+            assert np.allclose(ss.marginal(v), hugin.marginal(v))
+
+    def test_likelihood_matches_bruteforce(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        engine.observe(0, 1).observe(3, 0)
+        expected = network.joint_table().reduce({0: 1, 3: 0}).total()
+        assert np.isclose(engine.likelihood(), expected)
+
+    def test_soft_evidence(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        engine.observe_soft(4, [0.3, 0.9])
+        hugin = InferenceEngine.from_network(network, reroot=False)
+        hugin.observe_soft(4, [0.3, 0.9])
+        hugin.propagate()
+        assert np.allclose(engine.marginal(8), hugin.marginal(8))
+
+    def test_joint_marginal_in_clique(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        clique = tree.cliques[0]
+        pair = clique.variables[:2]
+        joint = engine.joint_marginal(pair)
+        assert np.isclose(joint.total(), 1.0)
+        # Consistent with single-variable marginals.
+        assert np.allclose(
+            joint.values.sum(axis=1), engine.marginal(pair[0])
+        )
+
+    def test_joint_marginal_out_of_clique_raises(self, tree):
+        all_vars = sorted({v for c in tree.cliques for v in c.variables})
+        covered = any(
+            set(all_vars) <= set(c.variables) for c in tree.cliques
+        )
+        if not covered:
+            with pytest.raises(KeyError):
+                ShaferShenoyEngine(tree).joint_marginal(all_vars)
+
+
+class TestEvidenceLifecycle:
+    def test_retract_restores_prior(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        prior = engine.marginal(5).copy()
+        engine.observe(2, 1)
+        posterior = engine.marginal(5)
+        engine.retract(2)
+        assert np.allclose(engine.marginal(5), prior)
+        assert not np.allclose(posterior, prior)
+
+    def test_reobserve_overwrites(self, network, tree):
+        engine = ShaferShenoyEngine(tree)
+        engine.observe(2, 0)
+        engine.observe(2, 1)
+        assert np.allclose(
+            engine.marginal(6), network.marginal_bruteforce(6, {2: 1})
+        )
+
+    def test_invalid_state_rejected(self, tree):
+        with pytest.raises(ValueError, match="out of range"):
+            ShaferShenoyEngine(tree).observe(0, 9)
+
+    def test_invalid_soft_weights_rejected(self, tree):
+        engine = ShaferShenoyEngine(tree)
+        var = tree.cliques[0].variables[0]
+        with pytest.raises(ValueError):
+            engine.observe_soft(var, [0.5])
+        with pytest.raises(ValueError):
+            engine.observe_soft(var, [0.0, 0.0])
+
+    def test_requires_potentials(self):
+        bare = synthetic_tree(4, clique_width=3, seed=0)
+        with pytest.raises(ValueError, match="potentials"):
+            ShaferShenoyEngine(bare)
+
+
+class TestIncrementalReuse:
+    def test_repeat_query_fully_cached(self, tree):
+        engine = ShaferShenoyEngine(tree)
+        var = tree.cliques[0].variables[0]
+        engine.marginal(var)
+        computed_before = engine.messages_computed
+        engine.marginal(var)
+        assert engine.messages_computed == computed_before
+        assert engine.messages_reused > 0
+
+    def test_evidence_update_recomputes_only_away_messages(self):
+        # A long chain makes the asymmetry obvious: evidence at one end
+        # must not invalidate messages flowing toward that end.
+        bn = chain_network(16, seed=5)
+        tree = junction_tree_from_network(bn)
+        engine = ShaferShenoyEngine(tree)
+        engine.marginal(0)
+        engine.marginal(15)  # warm every message in both directions
+        full_cache = engine.cache_size()
+        assert full_cache == 2 * (tree.num_cliques - 1)
+        engine.observe(15, 1)
+        # Messages toward variable 15's host survive.
+        assert engine.cache_size() > 0
+        assert engine.cache_size() < full_cache
+        before = engine.messages_computed
+        engine.marginal(15)
+        # Querying at the evidence end reuses the surviving inbound
+        # messages: nothing new needs computing.
+        assert engine.messages_computed - before <= 1
+
+    def test_incremental_equals_fresh_engine(self, network, tree):
+        incremental = ShaferShenoyEngine(tree)
+        incremental.marginal(0)
+        incremental.observe(1, 1)
+        incremental.marginal(0)
+        incremental.observe(6, 0)
+        fresh = ShaferShenoyEngine(tree)
+        fresh.observe(1, 1).observe(6, 0)
+        for v in range(network.num_variables):
+            assert np.allclose(
+                incremental.marginal(v), fresh.marginal(v)
+            )
+
+    def test_cache_bounded_by_edge_count(self, tree):
+        engine = ShaferShenoyEngine(tree)
+        for clique in range(tree.num_cliques):
+            engine.belief(clique)
+        assert engine.cache_size() == 2 * (tree.num_cliques - 1)

@@ -1,0 +1,141 @@
+"""PropagationState: task execution must reproduce the reference results."""
+
+import numpy as np
+import pytest
+
+from repro.inference.propagation import propagate_reference
+from repro.jt.generation import synthetic_tree
+from repro.potential.partition import chunk_ranges
+from repro.sched.serial import SerialExecutor
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+
+
+@pytest.fixture
+def tree():
+    t = synthetic_tree(12, clique_width=3, states=2, avg_children=2, seed=21)
+    t.initialize_potentials(np.random.default_rng(21))
+    return t
+
+
+class TestStateSetup:
+    def test_requires_potentials(self):
+        bare = synthetic_tree(5, clique_width=3, seed=0)
+        with pytest.raises(ValueError, match="potentials"):
+            PropagationState(bare)
+
+    def test_copies_potentials(self, tree):
+        state = PropagationState(tree)
+        state.potentials[0].values[:] = 0
+        assert not np.all(tree.potential(0).values == 0)
+
+    def test_evidence_absorbed_at_setup(self, tree):
+        var = tree.cliques[3].variables[0]
+        state = PropagationState(tree, {var: 1})
+        host = 3
+        reduced = tree.potential(host).reduce({var: 1})
+        assert np.allclose(state.potentials[host].values, reduced.values)
+
+    def test_separators_start_as_identity(self, tree):
+        state = PropagationState(tree)
+        for table in state.separators.values():
+            assert np.all(table.values == 1.0)
+
+
+class TestSerialExecution:
+    def test_matches_reference_propagation(self, tree):
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        SerialExecutor().run(graph, state)
+        reference = propagate_reference(tree)
+        for i in range(tree.num_cliques):
+            assert state.potentials[i].allclose(reference[i]), f"clique {i}"
+
+    def test_matches_reference_with_evidence(self, tree):
+        evidence = {tree.cliques[0].variables[0]: 1}
+        graph = build_task_graph(tree)
+        state = PropagationState(tree, evidence)
+        SerialExecutor().run(graph, state)
+        reference = propagate_reference(tree, evidence)
+        for i in range(tree.num_cliques):
+            assert state.potentials[i].allclose(reference[i])
+
+    def test_calibration_consistency(self, tree):
+        """After propagation, adjacent cliques agree on their separator."""
+        from repro.potential.primitives import marginalize
+
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        SerialExecutor().run(graph, state)
+        for child in range(tree.num_cliques):
+            parent = tree.parent[child]
+            if parent is None:
+                continue
+            sep = tree.separator(child, parent)
+            from_child = marginalize(state.potentials[child], sep)
+            from_parent = marginalize(state.potentials[parent], sep)
+            assert np.allclose(from_child.values, from_parent.values)
+
+    def test_stats_reported(self, tree):
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        stats = SerialExecutor().run(graph, state)
+        assert stats.num_threads == 1
+        assert stats.tasks_executed == graph.num_tasks
+        assert stats.wall_time > 0
+        assert stats.compute_time[0] > 0
+
+
+class TestChunkedExecution:
+    def test_every_task_chunked_equals_whole(self, tree):
+        """Run the whole graph, executing each task via chunks."""
+        graph = build_task_graph(tree)
+        whole_state = PropagationState(tree)
+        chunk_state = PropagationState(tree)
+        for tid in graph.topological_order():
+            task = graph.tasks[tid]
+            whole_state.execute(task)
+            ranges = chunk_ranges(task.partition_size, 3)
+            parts = [
+                chunk_state.execute_chunk(task, lo, hi) for lo, hi in ranges
+            ]
+            chunk_state.combine_chunks(task, parts, ranges)
+        for i in range(tree.num_cliques):
+            assert np.allclose(
+                whole_state.potentials[i].values,
+                chunk_state.potentials[i].values,
+            )
+
+    def test_combine_requires_matching_lengths(self, tree):
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        task = graph.tasks[graph.roots()[0]]
+        with pytest.raises(ValueError, match="equal length"):
+            state.combine_chunks(task, [np.zeros(2)], [(0, 1), (1, 2)])
+
+
+class TestQueries:
+    def test_marginal_is_distribution(self, tree):
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        SerialExecutor().run(graph, state)
+        var = tree.cliques[5].variables[0]
+        m = state.marginal(var)
+        assert np.isclose(m.sum(), 1.0)
+        assert np.all(m >= 0)
+
+    def test_clique_marginal_normalized(self, tree):
+        graph = build_task_graph(tree)
+        state = PropagationState(tree)
+        SerialExecutor().run(graph, state)
+        cm = state.clique_marginal(2)
+        assert np.isclose(cm.total(), 1.0)
+
+    def test_likelihood_decreases_with_evidence(self, tree):
+        graph = build_task_graph(tree)
+        free = PropagationState(tree)
+        SerialExecutor().run(graph, free)
+        var = tree.cliques[0].variables[0]
+        clamped = PropagationState(tree, {var: 0})
+        SerialExecutor().run(graph, clamped)
+        assert clamped.likelihood() <= free.likelihood() + 1e-12

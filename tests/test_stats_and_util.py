@@ -1,0 +1,87 @@
+"""Tests for ExecutionStats metrics and small utility modules."""
+
+import numpy as np
+import pytest
+
+from repro.sched.stats import ExecutionStats
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validation import check_positive, check_probability_vector
+
+
+class TestExecutionStats:
+    def test_totals(self):
+        stats = ExecutionStats(
+            num_threads=2, compute_time=[1.0, 3.0], sched_time=[0.5, 0.5]
+        )
+        assert stats.total_compute() == 4.0
+        assert stats.total_sched() == 1.0
+
+    def test_sched_ratio(self):
+        stats = ExecutionStats(
+            num_threads=1, compute_time=[9.0], sched_time=[1.0]
+        )
+        assert stats.sched_ratio() == pytest.approx(0.1)
+
+    def test_sched_ratio_empty_is_zero(self):
+        assert ExecutionStats().sched_ratio() == 0.0
+
+    def test_load_imbalance(self):
+        stats = ExecutionStats(
+            num_threads=2, compute_time=[1.0, 3.0], sched_time=[0, 0]
+        )
+        assert stats.load_imbalance() == pytest.approx(1.5)
+
+    def test_load_imbalance_degenerate_cases(self):
+        assert ExecutionStats().load_imbalance() == 1.0
+        zero = ExecutionStats(num_threads=2, compute_time=[0.0, 0.0])
+        assert zero.load_imbalance() == 1.0
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        a = make_rng(5).random()
+        b = make_rng(5).random()
+        assert a == b
+
+    def test_make_rng_passes_generator_through(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_make_rng_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        assert len(a) == 3
+        for x, y in zip(a, b):
+            assert x.random() == y.random()
+        # Streams differ from each other.
+        fresh = spawn_rngs(7, 2)
+        assert fresh[0].random() != fresh[1].random()
+
+    def test_spawn_rngs_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0.0)
+
+    def test_check_probability_vector_accepts_valid(self):
+        check_probability_vector([0.25, 0.75])
+
+    def test_check_probability_vector_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sums to"):
+            check_probability_vector([0.4, 0.4])
+
+    def test_check_probability_vector_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector([-0.5, 1.5])
+
+    def test_check_probability_vector_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_probability_vector([])

@@ -1,0 +1,119 @@
+"""Variable elimination: third independent exact-inference oracle."""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import chain_network, random_network
+from repro.inference.engine import InferenceEngine
+from repro.inference.shafershenoy import ShaferShenoyEngine
+from repro.inference.variable_elimination import ve_marginal, ve_query
+from repro.jt.build import junction_tree_from_network
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_marginals(self, seed):
+        bn = random_network(
+            9, cardinality=2, max_parents=3, edge_probability=0.8, seed=seed
+        )
+        for v in (0, 4, 8):
+            assert np.allclose(
+                ve_marginal(bn, v), bn.marginal_bruteforce(v)
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_posteriors(self, seed):
+        bn = random_network(
+            9, cardinality=2, max_parents=3, edge_probability=0.8, seed=seed
+        )
+        evidence = {1: 1, 6: 0}
+        for v in (0, 4, 8):
+            if v in evidence:
+                continue
+            assert np.allclose(
+                ve_marginal(bn, v, evidence),
+                bn.marginal_bruteforce(v, evidence),
+            )
+
+    def test_multistate(self):
+        bn = random_network(
+            7, cardinality=3, max_parents=2, edge_probability=0.8, seed=10
+        )
+        assert np.allclose(
+            ve_marginal(bn, 5, {0: 2}), bn.marginal_bruteforce(5, {0: 2})
+        )
+
+    def test_joint_query_matches_joint_table(self):
+        bn = random_network(
+            7, max_parents=2, edge_probability=0.8, seed=11
+        )
+        from repro.potential.primitives import marginalize
+
+        joint = ve_query(bn, [2, 5])
+        expected = marginalize(bn.joint_table(), (2, 5)).normalize()
+        assert np.allclose(joint.aligned_to((2, 5)).values, expected.values)
+
+    def test_joint_query_with_evidence(self):
+        bn = random_network(
+            7, max_parents=2, edge_probability=0.8, seed=12
+        )
+        from repro.potential.primitives import marginalize
+
+        joint = ve_query(bn, [0, 3], {5: 1})
+        expected = marginalize(
+            bn.joint_table().reduce({5: 1}), (0, 3)
+        ).normalize()
+        assert np.allclose(joint.aligned_to((0, 3)).values, expected.values)
+
+
+class TestThreeWayAgreement:
+    """HUGIN task-graph engine, Shafer-Shenoy and VE must all agree."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_engines_agree(self, seed):
+        bn = random_network(
+            10, max_parents=3, edge_probability=0.7, seed=100 + seed
+        )
+        evidence = {0: 1}
+        hugin = InferenceEngine.from_network(bn)
+        hugin.set_evidence(evidence)
+        hugin.propagate()
+        ss = ShaferShenoyEngine(junction_tree_from_network(bn))
+        ss.observe(0, 1)
+        for v in range(1, 10):
+            a = hugin.marginal(v)
+            b = ss.marginal(v)
+            c = ve_marginal(bn, v, evidence)
+            assert np.allclose(a, b)
+            assert np.allclose(b, c)
+
+
+class TestValidation:
+    def test_empty_targets_rejected(self):
+        bn = random_network(4, seed=0)
+        with pytest.raises(ValueError, match="at least one"):
+            ve_query(bn, [])
+
+    def test_observed_target_rejected(self):
+        bn = random_network(4, seed=0)
+        with pytest.raises(ValueError, match="observed"):
+            ve_query(bn, [1], {1: 0})
+
+    def test_out_of_range_target_rejected(self):
+        bn = random_network(4, seed=0)
+        with pytest.raises(ValueError, match="out of range"):
+            ve_query(bn, [9])
+
+    def test_missing_cpts_rejected(self):
+        from repro.bn.network import BayesianNetwork
+
+        bn = BayesianNetwork([2, 2])
+        with pytest.raises(ValueError, match="CPTs"):
+            ve_query(bn, [0])
+
+    def test_chain_is_efficient_shape(self):
+        # VE on a long chain must not blow up combinatorially: the biggest
+        # intermediate factor stays pairwise.
+        bn = chain_network(18, seed=1)
+        result = ve_marginal(bn, 17, {0: 1})
+        assert np.isclose(result.sum(), 1.0)
