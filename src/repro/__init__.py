@@ -11,7 +11,8 @@ Public API highlights
   inference (network -> junction tree -> reroot -> task DAG -> propagate).
 * :mod:`repro.bn` — Bayesian networks, moralization, triangulation.
 * :mod:`repro.jt` — junction trees, synthetic generators, rerooting.
-* :mod:`repro.sched` — serial/collaborative/baseline executors (threads).
+* :mod:`repro.sched` — serial/collaborative/baseline executors (threads)
+  plus the shared-memory process executor (real multicore parallelism).
 * :mod:`repro.simcore` — the discrete-event multicore simulator and
   scheduling policies used for the speedup experiments.
 """
@@ -28,6 +29,7 @@ from repro.jt.rerooting import reroot, reroot_optimally, select_root
 from repro.potential.table import PotentialTable
 from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
 from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.process import ProcessSharedMemoryExecutor
 from repro.sched.serial import SerialExecutor
 from repro.sched.workstealing import WorkStealingExecutor
 from repro.tasks.dag import build_task_graph
@@ -58,4 +60,5 @@ __all__ = [
     "LevelParallelExecutor",
     "DataParallelExecutor",
     "WorkStealingExecutor",
+    "ProcessSharedMemoryExecutor",
 ]

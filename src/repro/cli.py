@@ -32,8 +32,37 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _make_executor(name: str, threads: int, partition_threshold=None):
+    """Instantiate one of the registered executors by CLI name."""
+    from repro.sched import (
+        CollaborativeExecutor,
+        ProcessSharedMemoryExecutor,
+        SerialExecutor,
+        WorkStealingExecutor,
+    )
+
+    if name == "serial":
+        return SerialExecutor()
+    if name == "collaborative":
+        return CollaborativeExecutor(
+            num_threads=threads, partition_threshold=partition_threshold
+        )
+    if name == "workstealing":
+        return WorkStealingExecutor(
+            num_threads=threads, partition_threshold=partition_threshold
+        )
+    if name == "process":
+        return ProcessSharedMemoryExecutor(
+            num_workers=threads, partition_threshold=partition_threshold
+        )
+    raise ValueError(f"unknown executor {name!r}")
+
+
+EXECUTOR_CHOICES = ("serial", "collaborative", "workstealing", "process")
+
+
 def _cmd_demo(args) -> int:
-    from repro import CollaborativeExecutor, InferenceEngine, random_network
+    from repro import InferenceEngine, random_network
 
     bn = random_network(
         args.variables, max_parents=3, edge_probability=0.6, seed=args.seed
@@ -45,7 +74,11 @@ def _cmd_demo(args) -> int:
         f"{engine.task_graph.num_tasks} tasks"
     )
     engine.set_evidence({0: 1})
-    engine.propagate(CollaborativeExecutor(num_threads=args.threads))
+    executor = _make_executor(
+        args.executor, args.threads, args.partition_threshold
+    )
+    print(f"executor: {args.executor} ({args.threads} workers)")
+    engine.propagate(executor)
     target = bn.num_variables - 1
     print(
         f"P(X{target} | X0=1) = "
@@ -241,6 +274,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--variables", type=int, default=20)
     demo.add_argument("--threads", type=int, default=4)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default="collaborative",
+        help="which executor propagates the evidence (process = "
+        "shared-memory worker processes, the only one that escapes the GIL)",
+    )
+    demo.add_argument(
+        "--partition-threshold",
+        type=int,
+        default=None,
+        metavar="DELTA",
+        help="split tasks whose table slice exceeds DELTA entries",
+    )
 
     query = sub.add_parser("query", help="marginal or MPE query")
     query.add_argument("--variables", type=int, default=15)

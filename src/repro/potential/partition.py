@@ -123,3 +123,57 @@ def divide_chunk(
     out = np.zeros_like(num)
     np.divide(num, den, out=out, where=den != 0)
     return out
+
+
+# --------------------------------------------------------------------- #
+# In-place chunk writers
+# --------------------------------------------------------------------- #
+# When the output table lives in a buffer shared between workers (threads
+# or processes over multiprocessing.shared_memory), the concatenating
+# primitives need no combiner at all: each chunk owns a disjoint slice of
+# the flat output and writes it directly.  These helpers express exactly
+# that idiom; only marginalization still needs an additive combine
+# (:func:`add_partials_into`).
+
+
+def extend_chunk_into(
+    out_flat: np.ndarray,
+    table: PotentialTable,
+    variables: Sequence[int],
+    cardinalities: Sequence[int],
+    lo: int,
+    hi: int,
+) -> None:
+    """Write entries ``[lo, hi)`` of the extension directly into ``out_flat``."""
+    out_flat[lo:hi] = extend_chunk(table, variables, cardinalities, lo, hi)
+
+
+def multiply_chunk_into(
+    out_flat: np.ndarray, other_flat: np.ndarray, lo: int, hi: int
+) -> None:
+    """``out_flat[lo:hi] *= other_flat[lo:hi]`` (the in-place MULTIPLY chunk)."""
+    out_flat[lo:hi] *= other_flat[lo:hi]
+
+
+def divide_chunk_into(
+    out_flat: np.ndarray,
+    num_flat: np.ndarray,
+    den_flat: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
+    """Write the ``[lo, hi)`` ratio slice (0/0 = 0) into ``out_flat``."""
+    out_flat[lo:hi] = divide_chunk(num_flat, den_flat, lo, hi)
+
+
+def add_partials_into(
+    out_flat: np.ndarray, parts: Sequence[np.ndarray]
+) -> None:
+    """Sum partial marginalization tables into ``out_flat`` (the ``T̂_n`` add).
+
+    Partials are added in the given order so the floating-point result is
+    deterministic for a fixed chunk plan.
+    """
+    out_flat[...] = 0.0
+    for part in parts:
+        out_flat += np.asarray(part).reshape(out_flat.shape)

@@ -70,6 +70,11 @@ class PotentialTable:
         return int(self.values.size)
 
     @property
+    def nbytes(self) -> int:
+        """Bytes needed to store the entries as float64."""
+        return self.size * np.dtype(np.float64).itemsize
+
+    @property
     def width(self) -> int:
         """Number of variables in the scope (the clique width ``w``)."""
         return len(self.variables)
@@ -100,6 +105,31 @@ class PotentialTable:
     def ones(cls, variables: Sequence[int], cardinalities: Sequence[int]):
         """Identity potential (all entries 1) over the given scope."""
         return cls(variables, cardinalities)
+
+    @classmethod
+    def from_buffer(
+        cls,
+        variables: Sequence[int],
+        cardinalities: Sequence[int],
+        buffer,
+        offset: int = 0,
+    ) -> "PotentialTable":
+        """Zero-copy table view over ``buffer`` starting at byte ``offset``.
+
+        ``buffer`` is any object exposing the buffer protocol (typically the
+        ``buf`` of a ``multiprocessing.shared_memory.SharedMemory`` block).
+        The returned table's ``values`` array is a *view*: writes through it
+        are visible to every process attached to the same buffer.  Scalar
+        scopes (empty ``variables``) occupy one float64 entry.
+        """
+        cardinalities = tuple(int(c) for c in cardinalities)
+        count = 1
+        for c in cardinalities:
+            count *= c
+        values = np.frombuffer(
+            buffer, dtype=np.float64, count=count, offset=offset
+        )
+        return cls(variables, cardinalities, values)
 
     @classmethod
     def random(

@@ -1,7 +1,7 @@
 """Executors that run a task graph against a propagation state.
 
-All executors produce numerically identical results; they differ in *how*
-tasks are ordered and (for the threaded ones) interleaved:
+All executors produce numerically equivalent results; they differ in *how*
+tasks are ordered, interleaved, and mapped onto hardware:
 
 * :class:`SerialExecutor` — reference topological execution.
 * :class:`CollaborativeExecutor` — the paper's Algorithm 2 on real Python
@@ -11,11 +11,19 @@ tasks are ordered and (for the threaded ones) interleaved:
   parallel-for with a barrier per level (baseline 1).
 * :class:`DataParallelExecutor` — every primitive split across all threads
   with a fork/join per task (baseline 2).
+* :class:`WorkStealingExecutor` — per-thread deques with steal-when-empty
+  (the Section 8 future-work direction).
+* :class:`ProcessSharedMemoryExecutor` — Algorithm 2 across worker
+  *processes* with all potential tables in ``multiprocessing``
+  shared memory (zero-copy numpy views), the one executor that escapes
+  the GIL and can therefore show genuine multicore wall-clock speedup.
 
-Because of the GIL these threaded executors demonstrate *correctness* of the
-scheduling algorithms, not wall-clock speedup; speedup curves are produced
-by the multicore simulator in :mod:`repro.simcore`, which executes the same
-policies over the same task graphs with a calibrated cost model.
+The threaded executors are GIL-bound, so they demonstrate scheduling
+correctness and load balance rather than speedup; for wall-clock speedup
+use the process executor on sufficiently large tables (see
+``benchmarks/bench_real_executors.py``), or the multicore simulator in
+:mod:`repro.simcore`, which replays the same policies over the same task
+graphs with a calibrated cost model.
 """
 
 from repro.sched.stats import ExecutionStats
@@ -23,6 +31,7 @@ from repro.sched.serial import SerialExecutor
 from repro.sched.collaborative import CollaborativeExecutor
 from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
 from repro.sched.workstealing import WorkStealingExecutor
+from repro.sched.process import ProcessSharedMemoryExecutor
 from repro.sched.generic import run_dag
 from repro.sched.online import OnlineScheduler, TaskHandle
 
@@ -33,6 +42,7 @@ __all__ = [
     "LevelParallelExecutor",
     "DataParallelExecutor",
     "WorkStealingExecutor",
+    "ProcessSharedMemoryExecutor",
     "run_dag",
     "OnlineScheduler",
     "TaskHandle",

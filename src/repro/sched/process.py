@@ -1,0 +1,433 @@
+"""Shared-memory process executor: Algorithm 2 on real cores, past the GIL.
+
+The threaded executors in this package demonstrate the paper's scheduling
+*correctness* but are GIL-bound, so their wall clock cannot show multicore
+speedup.  :class:`ProcessSharedMemoryExecutor` runs the same task DAG across
+worker *processes* with every potential table, separator and pipeline
+intermediate placed in one ``multiprocessing.shared_memory`` arena:
+
+* Workers attach to the arena once (at pool start) and build zero-copy
+  numpy views over it via :meth:`PotentialTable.from_buffer`; no table is
+  ever pickled during execution.
+* The master process runs the Allocate module: it tracks dependency
+  degrees, dispatches ready tasks, and applies the Partition module
+  (:func:`~repro.tasks.partition_plan.plan_partition`) to split tasks whose
+  slice exceeds δ into chunk subtasks spread over the pool.
+* Chunks of EXTEND / MULTIPLY / DIVIDE own disjoint slices of the flat
+  output and write them in place, so — exactly as
+  :func:`~repro.tasks.partition_plan.combine_flops` models — their combiner
+  degenerates to bookkeeping.  MARGINALIZE chunks return small partial
+  separator tables; the last subtask ``T̂_n`` is a pool-executed combiner
+  that sums them into the shared output.
+* Tasks whose partitionable slice is at most ``inline_threshold`` entries
+  run inline in the master over the same shared views, keeping the tiny
+  separator-sized divides off the IPC path.
+
+Results match :class:`~repro.sched.serial.SerialExecutor` to floating-point
+round-off (identical when no marginalization is partitioned).  Speedup
+needs genuinely parallel hardware and tables large enough that numpy time
+dominates dispatch; ``benchmarks/bench_real_executors.py`` records the
+curve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import shared_memory
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.potential import partition as chunked
+from repro.potential.primitives import PrimitiveKind, divide, extend, marginalize
+from repro.potential.table import PotentialTable
+from repro.sched.stats import ExecutionStats
+from repro.tasks.partition_plan import plan_partition
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+_FLOAT_BYTES = np.dtype(np.float64).itemsize
+
+
+class _Slot(NamedTuple):
+    """Location and scope of one table inside the shared arena."""
+
+    offset: int  # byte offset
+    variables: Tuple[int, ...]
+    cardinalities: Tuple[int, ...]
+
+
+class _TaskSpec(NamedTuple):
+    """Everything a worker needs to execute one task (no numeric payload)."""
+
+    tid: int
+    kind: PrimitiveKind
+    phase: str
+    edge: Tuple[int, int]
+    source: int
+    target: int
+
+
+def _attach_tables(buf, layout: Dict[tuple, _Slot]) -> Dict[tuple, PotentialTable]:
+    """Zero-copy table views over a shared buffer, one per layout slot."""
+    return {
+        key: PotentialTable.from_buffer(
+            slot.variables, slot.cardinalities, buf, slot.offset
+        )
+        for key, slot in layout.items()
+    }
+
+
+class _ShmOps:
+    """Primitive execution against shared-memory table views.
+
+    Mirrors :class:`~repro.tasks.state.PropagationState` semantics but
+    writes results into preallocated buffers instead of rebinding table
+    objects, so master and workers observe each other's updates.
+    """
+
+    def __init__(self, tables: Dict[tuple, PotentialTable]):
+        self.tables = tables
+
+    def _keys(self, spec: _TaskSpec):
+        inter = lambda stage: ("inter", spec.phase, spec.edge, stage)  # noqa: E731
+        return {
+            "src": ("pot", spec.source),
+            "tgt": ("pot", spec.target),
+            "sep": ("sep", spec.edge),
+            "sep_new": inter("sep_new"),
+            "ratio": inter("ratio"),
+            "extended": inter("extended"),
+        }
+
+    def run_task(self, spec: _TaskSpec) -> None:
+        k = self._keys(spec)
+        t = self.tables
+        if spec.kind is PrimitiveKind.MARGINALIZE:
+            out = t[k["sep_new"]]
+            out.values[...] = marginalize(t[k["src"]], out.variables).values
+        elif spec.kind is PrimitiveKind.DIVIDE:
+            sep_new, sep, ratio = t[k["sep_new"]], t[k["sep"]], t[k["ratio"]]
+            ratio.values[...] = divide(sep_new, sep).values
+            sep.values[...] = sep_new.values
+        elif spec.kind is PrimitiveKind.EXTEND:
+            out = t[k["extended"]]
+            out.values[...] = extend(
+                t[k["ratio"]], out.variables, out.cardinalities
+            ).values
+        elif spec.kind is PrimitiveKind.MULTIPLY:
+            t[k["tgt"]].values[...] *= t[k["extended"]].values
+        else:
+            raise ValueError(f"task {spec.tid} has unexpected kind {spec.kind}")
+
+    def run_chunk(self, spec: _TaskSpec, lo: int, hi: int) -> Optional[np.ndarray]:
+        """One chunk; returns a partial table only for MARGINALIZE."""
+        k = self._keys(spec)
+        t = self.tables
+        if spec.kind is PrimitiveKind.MARGINALIZE:
+            onto = t[k["sep_new"]].variables
+            partial = chunked.marginalize_chunk(t[k["src"]], onto, lo, hi)
+            return partial.values.reshape(-1)
+        if spec.kind is PrimitiveKind.DIVIDE:
+            sep_new = t[k["sep_new"]].values.reshape(-1)
+            sep = t[k["sep"]].values.reshape(-1)
+            chunked.divide_chunk_into(
+                t[k["ratio"]].values.reshape(-1), sep_new, sep, lo, hi
+            )
+            # The old separator slice is consumed above; promote the new one.
+            sep[lo:hi] = sep_new[lo:hi]
+            return None
+        if spec.kind is PrimitiveKind.EXTEND:
+            out = t[k["extended"]]
+            chunked.extend_chunk_into(
+                out.values.reshape(-1),
+                t[k["ratio"]],
+                out.variables,
+                out.cardinalities,
+                lo,
+                hi,
+            )
+            return None
+        if spec.kind is PrimitiveKind.MULTIPLY:
+            chunked.multiply_chunk_into(
+                t[k["tgt"]].values.reshape(-1),
+                t[k["extended"]].values.reshape(-1),
+                lo,
+                hi,
+            )
+            return None
+        raise ValueError(f"task {spec.tid} has unexpected kind {spec.kind}")
+
+    def combine_marginalize(self, spec: _TaskSpec, parts: List[np.ndarray]) -> None:
+        """The last subtask ``T̂_n``: sum chunk partials into the shared output."""
+        out = self.tables[("inter", spec.phase, spec.edge, "sep_new")]
+        chunked.add_partials_into(out.values.reshape(-1), parts)
+
+
+# --------------------------------------------------------------------- #
+# Worker-process entry points (module-level so they pickle by reference)
+# --------------------------------------------------------------------- #
+
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(shm_name: str, layout: Dict[tuple, _Slot], specs) -> None:
+    # Attaching re-registers the segment with the resource tracker, but pool
+    # workers inherit the master's tracker (fork and spawn alike on POSIX),
+    # where re-adding an already-tracked name is a no-op — so the master
+    # stays the sole owner of cleanup and no unregister dance is needed.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER["shm"] = shm
+    _WORKER["ops"] = _ShmOps(_attach_tables(shm.buf, layout))
+    _WORKER["specs"] = specs
+
+
+def _exec_task(tid: int):
+    t0 = time.perf_counter()
+    _WORKER["ops"].run_task(_WORKER["specs"][tid])
+    return os.getpid(), time.perf_counter() - t0, None
+
+
+def _exec_chunk(tid: int, lo: int, hi: int):
+    t0 = time.perf_counter()
+    partial = _WORKER["ops"].run_chunk(_WORKER["specs"][tid], lo, hi)
+    return os.getpid(), time.perf_counter() - t0, partial
+
+
+def _exec_combine(tid: int, parts: List[np.ndarray]):
+    t0 = time.perf_counter()
+    _WORKER["ops"].combine_marginalize(_WORKER["specs"][tid], parts)
+    return os.getpid(), time.perf_counter() - t0, None
+
+
+class _ChunkProgress:
+    """Outstanding chunks of one partitioned task (master-side bookkeeping)."""
+
+    __slots__ = ("ranges", "parts", "remaining")
+
+    def __init__(self, ranges):
+        self.ranges = ranges
+        self.parts: List[Optional[np.ndarray]] = [None] * len(ranges)
+        self.remaining = len(ranges)
+
+
+class ProcessSharedMemoryExecutor:
+    """Algorithm 2 over a process pool with shared-memory potential tables.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-process count (the paper's ``P``; the master is extra and
+        only runs sub-``inline_threshold`` tasks).
+    partition_threshold:
+        The paper's δ in table entries; tasks above it are split into chunk
+        subtasks spread over the pool.  ``None`` disables partitioning.
+    max_chunks:
+        Upper bound on chunks per partitioned task.
+    inline_threshold:
+        Tasks whose partitionable slice has at most this many entries run
+        inline in the master instead of paying a dispatch round-trip.
+        ``0`` forces everything through the pool (useful for testing).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheapest) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        partition_threshold: Optional[int] = None,
+        max_chunks: int = 32,
+        inline_threshold: int = 2048,
+        start_method: Optional[str] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if partition_threshold is not None and partition_threshold < 1:
+            raise ValueError("partition_threshold must be >= 1 or None")
+        if max_chunks < 2:
+            raise ValueError("max_chunks must be >= 2")
+        if inline_threshold < 0:
+            raise ValueError("inline_threshold must be >= 0")
+        methods = mp.get_all_start_methods()
+        if start_method is not None and start_method not in methods:
+            raise ValueError(
+                f"start_method must be one of {methods}, got {start_method!r}"
+            )
+        self.num_workers = num_workers
+        self.partition_threshold = partition_threshold
+        self.max_chunks = max_chunks
+        self.inline_threshold = inline_threshold
+        self.start_method = start_method or (
+            "fork" if "fork" in methods else methods[0]
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _build_layout(self, plan):
+        """Byte offsets for every planned table; returns (layout, total_bytes)."""
+        layout: Dict[tuple, _Slot] = {}
+        offset = 0
+        for key, variables, cards, _init in plan:
+            layout[key] = _Slot(offset, tuple(variables), tuple(cards))
+            count = 1
+            for c in cards:
+                count *= c
+            offset += count * _FLOAT_BYTES
+        return layout, offset
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        p = self.num_workers
+        master_slot = p  # trailing per-worker stats slot for inline work
+        stats = ExecutionStats(
+            num_threads=p,
+            compute_time=[0.0] * (p + 1),
+            sched_time=[0.0] * (p + 1),
+            tasks_per_thread=[0] * (p + 1),
+            worker_pids=[0] * (p + 1),
+        )
+        stats.worker_pids[master_slot] = os.getpid()
+        if graph.num_tasks == 0:
+            return stats
+
+        plan = state.shared_table_plan(graph)
+        layout, total_bytes = self._build_layout(plan)
+        specs = {}
+        for task in graph.tasks:
+            source, _sep_vars, _sep_cards, target = state.edge_scopes(task)
+            specs[task.tid] = _TaskSpec(
+                task.tid, task.kind, task.phase, task.edge, source, target
+            )
+        shm = shared_memory.SharedMemory(create=True, size=max(total_bytes, 1))
+        stats.shared_bytes = total_bytes
+        start = time.perf_counter()
+        try:
+            tables = _attach_tables(shm.buf, layout)
+            for key, _vars, _cards, init in plan:
+                if init is None:
+                    tables[key].values[...] = 0.0
+                else:
+                    tables[key].values[...] = init
+            ops = _ShmOps(tables)
+            ctx = mp.get_context(self.start_method)
+            with ProcessPoolExecutor(
+                max_workers=p,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(shm.name, layout, specs),
+            ) as pool:
+                self._schedule(graph, specs, ops, pool, stats, master_slot)
+            stats.wall_time = time.perf_counter() - start
+            state.absorb_shared(tables)
+        except BaseException as exc:
+            # Frames in the traceback pin the numpy views over the arena;
+            # clear them so the buffer can actually be released below.
+            traceback.clear_frames(exc.__traceback__)
+            raise
+        finally:
+            # Drop every view before freeing the arena (numpy arrays keep
+            # the exported buffer alive, which would make close() fail).
+            tables = ops = None
+            try:
+                shm.close()
+            except BufferError:  # a stray view survived; unlink regardless
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked by a dying tracker
+                pass
+        return stats
+
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, graph, specs, ops, pool, stats, master_slot):
+        """The master's Allocate loop: dispatch ready tasks, resolve deps."""
+        p = self.num_workers
+        dep_count = graph.indegrees()
+        ready = deque(graph.roots())
+        pending = {}  # future -> ("task"|"chunk"|"combine", tid[, chunk idx])
+        progress: Dict[int, _ChunkProgress] = {}
+        completed = 0
+        pid_slots: Dict[int, int] = {}
+
+        def slot_of(pid: int) -> int:
+            if pid not in pid_slots:
+                slot = len(pid_slots)
+                if slot >= p:  # replacement worker after a crash-restart
+                    slot = p - 1
+                pid_slots[pid] = slot
+                stats.worker_pids[slot] = pid
+            return pid_slots[pid]
+
+        def finish(tid: int, slot: int) -> None:
+            nonlocal completed
+            completed += 1
+            stats.tasks_executed += 1
+            stats.tasks_per_thread[slot] += 1
+            for succ in graph.succs[tid]:
+                dep_count[succ] -= 1
+                if dep_count[succ] == 0:
+                    ready.append(succ)
+
+        while completed < graph.num_tasks:
+            while ready:
+                tid = ready.popleft()
+                task = graph.tasks[tid]
+                ranges = plan_partition(
+                    task, self.partition_threshold, self.max_chunks
+                )
+                if ranges is not None:
+                    stats.tasks_partitioned += 1
+                    progress[tid] = _ChunkProgress(ranges)
+                    for idx, (lo, hi) in enumerate(ranges):
+                        fut = pool.submit(_exec_chunk, tid, lo, hi)
+                        pending[fut] = ("chunk", tid, idx)
+                elif task.partition_size <= self.inline_threshold:
+                    t0 = time.perf_counter()
+                    ops.run_task(specs[tid])
+                    stats.compute_time[master_slot] += time.perf_counter() - t0
+                    stats.tasks_inline += 1
+                    finish(tid, master_slot)
+                else:
+                    fut = pool.submit(_exec_task, tid)
+                    pending[fut] = ("task", tid)
+            if completed == graph.num_tasks:
+                break
+            if not pending:
+                raise RuntimeError(
+                    f"process executor stalled with "
+                    f"{graph.num_tasks - completed} tasks unexecuted"
+                )
+            t0 = time.perf_counter()
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            stats.sched_time[master_slot] += time.perf_counter() - t0
+            for fut in done:
+                item = pending.pop(fut)
+                pid, elapsed, payload = fut.result()
+                slot = slot_of(pid)
+                stats.compute_time[slot] += elapsed
+                kind, tid = item[0], item[1]
+                if kind == "task":
+                    finish(tid, slot)
+                elif kind == "combine":
+                    progress.pop(tid)
+                    finish(tid, slot)
+                else:
+                    prog = progress[tid]
+                    prog.parts[item[2]] = payload
+                    prog.remaining -= 1
+                    stats.chunks_executed += 1
+                    if prog.remaining == 0:
+                        if graph.tasks[tid].kind is PrimitiveKind.MARGINALIZE:
+                            fut2 = pool.submit(_exec_combine, tid, prog.parts)
+                            pending[fut2] = ("combine", tid)
+                        else:
+                            # Concatenating chunks wrote the output in place;
+                            # the combiner is pure bookkeeping.
+                            progress.pop(tid)
+                            finish(tid, slot)

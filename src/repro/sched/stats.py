@@ -13,6 +13,10 @@ class ExecutionStats:
     ``compute_time`` / ``sched_time`` are per-thread (index = thread id);
     the paper's Fig. 8 plots exactly these: per-thread primitive time for
     load balance, and the scheduling share of execution time.
+
+    The process executor records one extra trailing slot in the per-worker
+    lists for work its master process ran inline (small tasks it keeps out
+    of the dispatch path), plus the process-specific counters below.
     """
 
     num_threads: int = 1
@@ -26,6 +30,12 @@ class ExecutionStats:
     # Optional per-task event log (task id, thread, start, end) relative
     # to the run's start; populated when the executor records events.
     events: List[tuple] = field(default_factory=list)
+    # Process-executor extras: tasks the master ran inline instead of
+    # dispatching, bytes of the shared-memory arena, and the worker
+    # process pids in per-slot order (for correlating with OS tooling).
+    tasks_inline: int = 0
+    shared_bytes: int = 0
+    worker_pids: List[int] = field(default_factory=list)
 
     def total_compute(self) -> float:
         return sum(self.compute_time)
@@ -39,6 +49,31 @@ class ExecutionStats:
         if busy == 0:
             return 0.0
         return self.total_sched() / busy
+
+    def per_worker_summary(self) -> List[dict]:
+        """One dict per worker slot: pid (if known), compute time, tasks.
+
+        For the process executor the final slot (pid ``None`` unless
+        recorded) is the master's inline-execution share.
+        """
+        rows = []
+        for slot, compute in enumerate(self.compute_time):
+            rows.append(
+                {
+                    "slot": slot,
+                    "pid": self.worker_pids[slot]
+                    if slot < len(self.worker_pids)
+                    else None,
+                    "compute_time": compute,
+                    "sched_time": self.sched_time[slot]
+                    if slot < len(self.sched_time)
+                    else 0.0,
+                    "tasks": self.tasks_per_thread[slot]
+                    if slot < len(self.tasks_per_thread)
+                    else 0,
+                }
+            )
+        return rows
 
     def load_imbalance(self) -> float:
         """max/mean per-thread compute time; 1.0 means perfectly balanced."""

@@ -92,7 +92,7 @@ class PropagationState:
     # Scope helpers
     # ------------------------------------------------------------------ #
 
-    def _edge_scopes(self, task: Task):
+    def edge_scopes(self, task: Task):
         """(source clique id, separator scope/cards, target clique) per task."""
         parent, child = task.edge
         sep_vars = self.jt.separator(child, parent)
@@ -100,6 +100,9 @@ class PropagationState:
         if task.phase == COLLECT:
             return child, sep_vars, sep_cards, parent
         return parent, sep_vars, sep_cards, child
+
+    # Backwards-compatible private alias (pre-shared-memory callers).
+    _edge_scopes = edge_scopes
 
     # ------------------------------------------------------------------ #
     # Whole-task execution
@@ -214,6 +217,75 @@ class PropagationState:
             )
         else:
             raise ValueError(f"task {task} has unexpected kind {task.kind}")
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory handoff (pickling-free)
+    # ------------------------------------------------------------------ #
+
+    def shared_table_plan(self, graph: "TaskGraph"):
+        """Every buffer a zero-copy shared-memory run of ``graph`` needs.
+
+        Returns a list of ``(key, variables, cardinalities, init)`` entries:
+        one per working clique potential (``("pot", i)``, initialized from
+        the evidence-absorbed working copy), one per separator
+        (``("sep", (parent, child))``), and three per (phase, edge) message
+        pipeline (``("inter", phase, edge, stage)`` for the ``sep_new``,
+        ``ratio`` and ``extended`` intermediates, zero-initialized).
+
+        The plan carries only scopes and small init arrays — workers attach
+        to the buffers by offset, so no potential table is ever pickled.
+        """
+        plan = []
+        for i in range(self.jt.num_cliques):
+            table = self.potentials[i]
+            plan.append(
+                (("pot", i), table.variables, table.cardinalities, table.values)
+            )
+        for edge, table in self.separators.items():
+            plan.append(
+                (("sep", edge), table.variables, table.cardinalities, table.values)
+            )
+        seen = set()
+        for task in graph.tasks:
+            pipe = (task.phase, task.edge)
+            if pipe in seen:
+                continue
+            seen.add(pipe)
+            _, sep_vars, sep_cards, target = self.edge_scopes(task)
+            clique = self.jt.cliques[target]
+            plan.append(
+                (("inter", task.phase, task.edge, "sep_new"), sep_vars, sep_cards, None)
+            )
+            plan.append(
+                (("inter", task.phase, task.edge, "ratio"), sep_vars, sep_cards, None)
+            )
+            plan.append(
+                (
+                    ("inter", task.phase, task.edge, "extended"),
+                    clique.variables,
+                    clique.cardinalities,
+                    None,
+                )
+            )
+        return plan
+
+    def absorb_shared(self, tables: Mapping[tuple, PotentialTable]) -> None:
+        """Copy results of a shared-memory run back into this state.
+
+        ``tables`` maps :meth:`shared_table_plan` keys to tables whose values
+        may be views into a buffer about to be freed, so everything is
+        deep-copied.  After this call the state is indistinguishable from
+        one produced by in-process execution of the same task graph.
+        """
+        for key, table in tables.items():
+            if key[0] == "pot":
+                self.potentials[key[1]] = table.copy()
+            elif key[0] == "sep":
+                self.separators[key[1]] = table.copy()
+            elif key[0] == "inter":
+                self._inter[(key[1], key[2], key[3])] = table.copy()
+            else:
+                raise KeyError(f"unknown shared table key {key!r}")
 
     # ------------------------------------------------------------------ #
     # Results

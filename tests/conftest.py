@@ -1,13 +1,23 @@
-"""Shared fixtures: small networks and junction trees used across tests."""
+"""Shared fixtures: small networks and junction trees used across tests.
+
+Also pins the Hypothesis profile to ``derandomize`` so tier-1 is fully
+reproducible: every property test replays the same example sequence on
+every run instead of drawing fresh random examples.  (All other randomness
+in the suite goes through explicitly seeded ``np.random.default_rng``.)
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.bn.generation import random_network
 from repro.jt.build import junction_tree_from_network
 from repro.jt.generation import synthetic_tree, template_tree
+
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.load_profile("deterministic")
 
 
 @pytest.fixture

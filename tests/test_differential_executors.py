@@ -1,0 +1,160 @@
+"""Differential equivalence harness across ALL six executors.
+
+Generates a battery of randomized junction trees (varying clique count,
+width, state count, branching, evidence) and asserts that every executor —
+Serial, Collaborative, LevelParallel, DataParallel, WorkStealing, and the
+shared-memory Process executor — produces beliefs within 1e-9 of each
+other, and (for trees built from Bayesian networks) of variable
+elimination, an independent inference algorithm sharing no propagation
+code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+from repro.inference.variable_elimination import ve_query
+from repro.jt.generation import synthetic_tree
+from repro.sched import (
+    CollaborativeExecutor,
+    DataParallelExecutor,
+    LevelParallelExecutor,
+    ProcessSharedMemoryExecutor,
+    SerialExecutor,
+    WorkStealingExecutor,
+)
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+# The five parallel executors, each with partitioning exercised.  Worker
+# counts stay small so the whole battery is cheap; correctness must not
+# depend on them.
+PARALLEL_EXECUTORS = [
+    ("collaborative", lambda: CollaborativeExecutor(num_threads=3, partition_threshold=16)),
+    ("level-parallel", lambda: LevelParallelExecutor(num_threads=3)),
+    ("data-parallel", lambda: DataParallelExecutor(num_threads=3)),
+    ("work-stealing", lambda: WorkStealingExecutor(num_threads=3, partition_threshold=16)),
+    ("process", lambda: ProcessSharedMemoryExecutor(num_workers=2, partition_threshold=16, inline_threshold=4)),
+]
+
+# (seed, num_cliques, width, states, avg_children, num_evidence) — 14
+# synthetic-tree scenarios spanning chains, bushy trees, ternary variables,
+# and varying evidence set sizes.
+TREE_SCENARIOS = [
+    (0, 2, 2, 2, 1, 0),
+    (1, 4, 3, 2, 1, 1),
+    (2, 6, 2, 3, 2, 0),
+    (3, 8, 4, 2, 2, 2),
+    (4, 10, 3, 2, 3, 1),
+    (5, 12, 4, 2, 1, 0),
+    (6, 14, 2, 3, 2, 3),
+    (7, 16, 4, 2, 3, 2),
+    (8, 18, 3, 3, 2, 1),
+    (9, 20, 4, 2, 4, 0),
+    (10, 22, 3, 2, 2, 4),
+    (11, 24, 4, 2, 3, 2),
+    (12, 9, 5, 2, 2, 1),
+    (13, 7, 3, 4, 2, 1),
+]
+
+# (seed, num_variables, cardinality, num_evidence) — randomized Bayesian
+# networks for the variable-elimination cross-check.
+NETWORK_SCENARIOS = [
+    (20, 6, 2, 0),
+    (21, 8, 2, 1),
+    (22, 9, 2, 2),
+    (23, 7, 3, 1),
+    (24, 10, 2, 2),
+    (25, 8, 3, 0),
+]
+
+
+def _tree_workload(seed, num_cliques, width, states, children, num_evidence):
+    tree = synthetic_tree(
+        num_cliques,
+        clique_width=width,
+        states=states,
+        avg_children=children,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    tree.initialize_potentials(rng)
+    variables = sorted(
+        {v for c in tree.cliques for v in c.variables}
+    )
+    evidence = {}
+    for var in rng.choice(variables, size=min(num_evidence, len(variables)), replace=False):
+        var = int(var)
+        card = next(
+            c.card_of(var) for c in tree.cliques if var in c.variables
+        )
+        evidence[var] = int(rng.integers(card))
+    return tree, build_task_graph(tree), evidence
+
+
+def _assert_states_close(tree, ref, other, label):
+    for i in range(tree.num_cliques):
+        assert np.allclose(
+            ref.potentials[i].values,
+            other.potentials[i].values,
+            rtol=RTOL,
+            atol=ATOL,
+        ), f"{label}: clique {i} diverges"
+    assert np.isclose(
+        ref.likelihood(), other.likelihood(), rtol=RTOL, atol=ATOL
+    ), f"{label}: likelihood diverges"
+
+
+@pytest.mark.parametrize(
+    "seed,num_cliques,width,states,children,num_evidence", TREE_SCENARIOS
+)
+def test_all_executors_agree_on_randomized_trees(
+    seed, num_cliques, width, states, children, num_evidence
+):
+    tree, graph, evidence = _tree_workload(
+        seed, num_cliques, width, states, children, num_evidence
+    )
+    reference = PropagationState(tree, evidence)
+    SerialExecutor().run(graph, reference)
+    for label, make in PARALLEL_EXECUTORS:
+        state = PropagationState(tree, evidence)
+        stats = make().run(graph, state)
+        assert stats.tasks_executed == graph.num_tasks, label
+        _assert_states_close(tree, reference, state, f"{label} seed={seed}")
+
+
+@pytest.mark.parametrize("seed,num_vars,card,num_evidence", NETWORK_SCENARIOS)
+def test_executors_match_variable_elimination(seed, num_vars, card, num_evidence):
+    """Propagation beliefs equal VE's, per executor, on BN-derived trees."""
+    bn = random_network(
+        num_vars,
+        cardinality=card,
+        max_parents=3,
+        edge_probability=0.7,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    evidence_vars = rng.choice(num_vars, size=num_evidence, replace=False)
+    evidence = {
+        int(v): int(rng.integers(bn.cardinalities[int(v)])) for v in evidence_vars
+    }
+    targets = [v for v in range(num_vars) if v not in evidence]
+    expected = {
+        t: ve_query(bn, [t], evidence).values for t in targets
+    }
+    executors = [("serial", SerialExecutor)] + [
+        (label, make) for label, make in PARALLEL_EXECUTORS
+    ]
+    engine = InferenceEngine.from_network(bn)
+    engine.set_evidence(evidence)
+    for label, make in executors:
+        engine.set_evidence(evidence)  # invalidate previous propagation
+        engine.propagate(make())
+        for t in targets:
+            assert np.allclose(
+                engine.marginal(t), expected[t], rtol=RTOL, atol=ATOL
+            ), f"{label} seed={seed}: P(X{t}) diverges from VE"

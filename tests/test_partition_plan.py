@@ -1,8 +1,33 @@
-"""Tests for the shared Partition-module planning rules."""
+"""Tests for the shared Partition-module planning rules.
 
+Besides the example-based planning tests, this module carries Hypothesis
+property tests for the chunked primitives: any chunk plan must cover the
+flat index space exactly once, and reassembling the chunks (combiner
+semantics) must reproduce the unpartitioned primitive bit-for-bit within
+floating-point tolerance.
+"""
+
+import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.potential.primitives import PrimitiveKind
+from repro.potential.partition import (
+    add_partials_into,
+    chunk_ranges,
+    divide_chunk_into,
+    extend_chunk_into,
+    marginalize_chunk,
+    multiply_chunk_into,
+)
+from repro.potential.primitives import (
+    PrimitiveKind,
+    divide,
+    extend,
+    marginalize,
+    multiply,
+)
+from repro.potential.table import PotentialTable
 from repro.tasks.partition_plan import combine_flops, plan_partition
 from repro.tasks.task import COLLECT, Task
 
@@ -65,3 +90,120 @@ class TestCombineFlops:
     def test_concat_combine_is_bookkeeping(self):
         t = _task(PrimitiveKind.MULTIPLY, 1 << 16, 1 << 16)
         assert combine_flops(t, 8) == 8.0
+
+
+# --------------------------------------------------------------------- #
+# Property tests: chunk plans and chunked-primitive round-trips
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def _scoped_table(draw, max_vars=4, max_card=4):
+    """A small random potential table with distinct variable labels."""
+    n = draw(st.integers(1, max_vars))
+    labels = tuple(draw(st.permutations(range(8)))[:n])
+    cards = tuple(draw(st.integers(2, max_card)) for _ in range(n))
+    seed = draw(st.integers(0, 2**16 - 1))
+    values = np.random.default_rng(seed).uniform(0.1, 2.0, int(np.prod(cards)))
+    return PotentialTable(labels, cards, values)
+
+
+@given(
+    kind=st.sampled_from(list(PrimitiveKind)),
+    input_size=st.integers(1, 1 << 16),
+    output_size=st.integers(1, 1 << 16),
+    delta=st.integers(1, 1 << 12),
+    max_chunks=st.integers(2, 64),
+)
+def test_plan_ranges_cover_partition_space_exactly_once(
+    kind, input_size, output_size, delta, max_chunks
+):
+    task = _task(kind, input_size, output_size)
+    ranges = plan_partition(task, delta, max_chunks=max_chunks)
+    if ranges is None:
+        return
+    assert 2 <= len(ranges) <= max_chunks
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == task.partition_size
+    for (lo, hi), (nlo, _) in zip(ranges, ranges[1:]):
+        assert lo < hi
+        assert hi == nlo, "ranges must tile contiguously without overlap"
+    assert all(lo < hi for lo, hi in ranges)
+
+
+@given(data=st.data())
+def test_chunked_marginalize_reassembles_to_primitive(data):
+    table = data.draw(_scoped_table())
+    k = data.draw(st.integers(0, len(table.variables)))
+    onto = tuple(data.draw(st.permutations(table.variables)))[:k]
+    max_chunk = data.draw(st.integers(1, table.size))
+    expected = marginalize(table, onto)
+    parts = [
+        marginalize_chunk(table, onto, lo, hi).values.reshape(-1)
+        for lo, hi in chunk_ranges(table.size, max_chunk)
+    ]
+    out = np.empty(expected.size)
+    add_partials_into(out, parts)
+    np.testing.assert_allclose(
+        out, expected.values.reshape(-1), rtol=1e-12, atol=0
+    )
+
+
+@given(data=st.data())
+def test_chunked_extend_reassembles_to_primitive(data):
+    table = data.draw(_scoped_table(max_vars=3, max_card=3))
+    extra_n = data.draw(st.integers(0, 2))
+    extra = [
+        (8 + i, data.draw(st.integers(2, 3))) for i in range(extra_n)
+    ]
+    combined = list(zip(table.variables, table.cardinalities)) + extra
+    perm = data.draw(st.permutations(combined))
+    sup_vars = tuple(v for v, _ in perm)
+    sup_cards = tuple(c for _, c in perm)
+    expected = extend(table, sup_vars, sup_cards)
+    max_chunk = data.draw(st.integers(1, expected.size))
+    out = np.empty(expected.size)
+    for lo, hi in chunk_ranges(expected.size, max_chunk):
+        extend_chunk_into(out, table, sup_vars, sup_cards, lo, hi)
+    np.testing.assert_allclose(out, expected.values.reshape(-1), rtol=0)
+
+
+@given(data=st.data())
+def test_chunked_multiply_reassembles_to_primitive(data):
+    a = data.draw(_scoped_table())
+    k = data.draw(st.integers(1, len(a.variables)))
+    sub_vars = tuple(data.draw(st.permutations(a.variables)))[:k]
+    sub_cards = tuple(a.card_of(v) for v in sub_vars)
+    seed = data.draw(st.integers(0, 2**16 - 1))
+    b = PotentialTable(
+        sub_vars,
+        sub_cards,
+        np.random.default_rng(seed).uniform(0.1, 2.0, int(np.prod(sub_cards))),
+    )
+    expected = multiply(a, b)
+    b_extended = extend(b, a.variables, a.cardinalities)
+    out = a.values.reshape(-1).copy()
+    max_chunk = data.draw(st.integers(1, a.size))
+    for lo, hi in chunk_ranges(a.size, max_chunk):
+        multiply_chunk_into(out, b_extended.values.reshape(-1), lo, hi)
+    np.testing.assert_allclose(out, expected.values.reshape(-1), rtol=1e-15)
+
+
+@given(data=st.data())
+def test_chunked_divide_reassembles_to_primitive(data):
+    num = data.draw(_scoped_table())
+    seed = data.draw(st.integers(0, 2**16 - 1))
+    rng = np.random.default_rng(seed)
+    den_values = rng.uniform(0.1, 2.0, num.size)
+    # Zero out a random subset of denominator entries to exercise 0/0 = 0.
+    zero_mask = rng.random(num.size) < 0.25
+    den_values[zero_mask] = 0.0
+    den = PotentialTable(num.variables, num.cardinalities, den_values)
+    expected = divide(num, den)
+    out = np.empty(num.size)
+    max_chunk = data.draw(st.integers(1, num.size))
+    for lo, hi in chunk_ranges(num.size, max_chunk):
+        divide_chunk_into(
+            out, num.values.reshape(-1), den.values.reshape(-1), lo, hi
+        )
+    np.testing.assert_allclose(out, expected.values.reshape(-1), rtol=0)
