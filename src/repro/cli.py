@@ -32,8 +32,15 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _make_executor(name: str, threads: int, partition_threshold=None):
-    """Instantiate one of the registered executors by CLI name."""
+def _make_executor(
+    name: str, threads: int, partition_threshold=None, **fault_kwargs
+):
+    """Instantiate one of the registered executors by CLI name.
+
+    ``fault_kwargs`` (task_timeout / max_retries / fault_plan) configure
+    the process executor's fault-tolerance layer; the thread and serial
+    executors have no crash surface, so the kwargs are rejected there.
+    """
     from repro.sched import (
         CollaborativeExecutor,
         ProcessSharedMemoryExecutor,
@@ -41,6 +48,12 @@ def _make_executor(name: str, threads: int, partition_threshold=None):
         WorkStealingExecutor,
     )
 
+    if name != "process" and any(
+        v is not None for v in fault_kwargs.values()
+    ):
+        raise ValueError(
+            "fault-injection / deadline options need --executor process"
+        )
     if name == "serial":
         return SerialExecutor()
     if name == "collaborative":
@@ -52,8 +65,11 @@ def _make_executor(name: str, threads: int, partition_threshold=None):
             num_threads=threads, partition_threshold=partition_threshold
         )
     if name == "process":
+        kwargs = {k: v for k, v in fault_kwargs.items() if v is not None}
         return ProcessSharedMemoryExecutor(
-            num_workers=threads, partition_threshold=partition_threshold
+            num_workers=threads,
+            partition_threshold=partition_threshold,
+            **kwargs,
         )
     raise ValueError(f"unknown executor {name!r}")
 
@@ -74,17 +90,51 @@ def _cmd_demo(args) -> int:
         f"{engine.task_graph.num_tasks} tasks"
     )
     engine.set_evidence({0: 1})
+    fault_plan = None
+    if args.inject_kill is not None:
+        from repro.sched import FaultPlan
+
+        fault_plan = FaultPlan(kill_before_dispatch={args.inject_kill: 0})
     executor = _make_executor(
-        args.executor, args.threads, args.partition_threshold
+        args.executor,
+        args.threads,
+        args.partition_threshold,
+        task_timeout=args.deadline,
+        max_retries=args.retries if args.retries else None,
+        fault_plan=fault_plan,
+        # A demo network's tables sit under the inline threshold; force
+        # real dispatches so the injected fault has a worker to hit.
+        inline_threshold=0 if fault_plan is not None else None,
     )
     print(f"executor: {args.executor} ({args.threads} workers)")
-    engine.propagate(executor)
+    if fault_plan is not None:
+        print(f"fault injection: kill a worker before dispatch "
+              f"{args.inject_kill}")
+    engine.propagate(executor, resilience=args.resilience or None)
     target = bn.num_variables - 1
     print(
         f"P(X{target} | X0=1) = "
         f"{np.round(engine.marginal(target), 4).tolist()}"
     )
     print(f"P(evidence) = {engine.likelihood():.6f}")
+    stats = engine.last_stats
+    if (
+        stats.retries_total or stats.pool_restarts
+        or stats.workers_restarted or stats.deadline_misses
+        or stats.fault_events or stats.degradations
+    ):
+        print(
+            f"recovery: {stats.retries_total} retries, "
+            f"{stats.deadline_misses} deadline misses, "
+            f"{stats.pool_restarts} pool restarts, "
+            f"{stats.workers_restarted} workers restarted"
+        )
+        for event in stats.fault_events:
+            print(f"  fault injected: {event}")
+        for record in stats.degradations:
+            print(f"  degraded: {record}")
+    if stats.health:
+        print(f"health: {stats.health}")
     return 0
 
 
@@ -287,6 +337,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DELTA",
         help="split tasks whose table slice exceeds DELTA entries",
+    )
+    demo.add_argument(
+        "--resilience",
+        action="store_true",
+        help="wrap the executor in the degradation cascade "
+        "(process -> threads -> serial) with numerical health guards",
+    )
+    demo.add_argument(
+        "--inject-kill",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: SIGKILL one worker before the Nth task "
+        "dispatch (process executor only)",
+    )
+    demo.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline; overdue tasks are retried on a fresh "
+        "pool (process executor only)",
+    )
+    demo.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry budget per task for crashes/deadline misses "
+        "(process executor only)",
     )
 
     query = sub.add_parser("query", help="marginal or MPE query")

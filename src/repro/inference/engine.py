@@ -106,11 +106,18 @@ class InferenceEngine:
         self._state = None
         return self
 
-    def propagate(self, executor=None) -> PropagationState:
+    def propagate(self, executor=None, resilience=None) -> PropagationState:
         """Run two-phase evidence propagation; returns the calibrated state.
 
         ``executor`` is any object with ``run(task_graph, state)``; defaults
         to :class:`~repro.sched.serial.SerialExecutor`.
+
+        ``resilience`` wraps the executor in a
+        :class:`~repro.sched.resilient.ResilientExecutor` (degradation
+        cascade + NaN/Inf health guard + log-space underflow rescue):
+        pass ``True`` for the defaults, or a dict of ``ResilientExecutor``
+        keyword arguments (e.g. ``{"logspace_fallback": False}``).  The
+        steps taken, if any, land in ``self.last_stats.degradations``.
         """
         cards = self._cardinalities()
         assignments = self.evidence.checked_against(cards)
@@ -118,6 +125,12 @@ class InferenceEngine:
             self.jt, assignments, self.evidence.soft_as_dict()
         )
         executor = executor or SerialExecutor()
+        if resilience:
+            from repro.sched.resilient import ResilientExecutor
+
+            if not isinstance(executor, ResilientExecutor):
+                kwargs = resilience if isinstance(resilience, dict) else {}
+                executor = ResilientExecutor(executor, **kwargs)
         self.last_stats = executor.run(self.task_graph, state)
         self._state = state
         return state

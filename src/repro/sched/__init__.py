@@ -24,6 +24,13 @@ use the process executor on sufficiently large tables (see
 ``benchmarks/bench_real_executors.py``), or the multicore simulator in
 :mod:`repro.simcore`, which replays the same policies over the same task
 graphs with a calibrated cost model.
+
+Fault tolerance: :class:`ResilientExecutor` wraps any executor in a
+degradation cascade (processes → threads → serial) with numerical health
+guards and a log-space underflow rescue; :class:`FaultPlan` injects
+deterministic crashes/delays/corruption for testing the recovery paths,
+and the process executor natively supports per-task deadlines, bounded
+retry with backoff, and arena-preserving pool restarts after a crash.
 """
 
 from repro.sched.stats import ExecutionStats
@@ -34,6 +41,15 @@ from repro.sched.workstealing import WorkStealingExecutor
 from repro.sched.process import ProcessSharedMemoryExecutor
 from repro.sched.generic import run_dag
 from repro.sched.online import OnlineScheduler, TaskHandle
+from repro.sched.faults import (
+    FaultPlan,
+    FaultRecord,
+    HealthReport,
+    TaskExecutionError,
+    check_state_health,
+    scan_tables,
+)
+from repro.sched.resilient import DegradationRecord, ResilientExecutor
 
 __all__ = [
     "ExecutionStats",
@@ -46,4 +62,12 @@ __all__ = [
     "run_dag",
     "OnlineScheduler",
     "TaskHandle",
+    "FaultPlan",
+    "FaultRecord",
+    "HealthReport",
+    "TaskExecutionError",
+    "check_state_health",
+    "scan_tables",
+    "DegradationRecord",
+    "ResilientExecutor",
 ]

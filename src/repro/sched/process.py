@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
 import time
 import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
@@ -46,6 +48,12 @@ import numpy as np
 from repro.potential import partition as chunked
 from repro.potential.primitives import PrimitiveKind, divide, extend, marginalize
 from repro.potential.table import PotentialTable
+from repro.sched.faults import (
+    FaultPlan,
+    FaultRecord,
+    TaskExecutionError,
+    corrupt_array,
+)
 from repro.sched.stats import ExecutionStats
 from repro.tasks.partition_plan import plan_partition
 from repro.tasks.state import PropagationState
@@ -168,6 +176,34 @@ class _ShmOps:
         out = self.tables[("inter", spec.phase, spec.edge, "sep_new")]
         chunked.add_partials_into(out.values.reshape(-1), parts)
 
+    def output_table(self, spec: _TaskSpec) -> PotentialTable:
+        """The table a task writes (fault injection / recovery target)."""
+        k = self._keys(spec)
+        if spec.kind is PrimitiveKind.MARGINALIZE:
+            return self.tables[k["sep_new"]]
+        if spec.kind is PrimitiveKind.DIVIDE:
+            return self.tables[k["ratio"]]
+        if spec.kind is PrimitiveKind.EXTEND:
+            return self.tables[k["extended"]]
+        return self.tables[k["tgt"]]
+
+    def mutated_flat(self, spec: _TaskSpec) -> Optional[np.ndarray]:
+        """Flat view of the buffer a task mutates *non-idempotently*.
+
+        MARGINALIZE and EXTEND fully overwrite their output, so a retry
+        after a mid-task crash recomputes the same values.  DIVIDE
+        promotes the separator (``sep <- sep_new``) and MULTIPLY updates
+        the target in place (``tgt *= extended``); re-running either over
+        a partially-updated buffer is wrong, so recovery must restore
+        this region from a pre-dispatch snapshot first.
+        """
+        k = self._keys(spec)
+        if spec.kind is PrimitiveKind.DIVIDE:
+            return self.tables[k["sep"]].values.reshape(-1)
+        if spec.kind is PrimitiveKind.MULTIPLY:
+            return self.tables[k["tgt"]].values.reshape(-1)
+        return None
+
 
 # --------------------------------------------------------------------- #
 # Worker-process entry points (module-level so they pickle by reference)
@@ -187,21 +223,70 @@ def _worker_init(shm_name: str, layout: Dict[tuple, _Slot], specs) -> None:
     _WORKER["specs"] = specs
 
 
-def _exec_task(tid: int):
+def _worker_ping():
+    """No-op task: forces worker spawn and reports the worker's pid."""
+    return os.getpid()
+
+
+def _apply_faults(spec: _TaskSpec, delay: float, fail: bool) -> None:
+    if delay:
+        time.sleep(delay)
+    if fail:
+        raise ValueError("injected task failure (FaultPlan.fail_task)")
+
+
+def _exec_task(tid: int, delay: float = 0.0, corrupt=None, fail: bool = False):
+    spec = _WORKER["specs"][tid]
     t0 = time.perf_counter()
-    _WORKER["ops"].run_task(_WORKER["specs"][tid])
+    try:
+        _apply_faults(spec, delay, fail)
+        _WORKER["ops"].run_task(spec)
+        if corrupt is not None:
+            corrupt_array(_WORKER["ops"].output_table(spec).values, corrupt)
+    except TaskExecutionError:
+        raise
+    except Exception as exc:
+        raise TaskExecutionError.wrap(exc, spec) from exc
     return os.getpid(), time.perf_counter() - t0, None
 
 
-def _exec_chunk(tid: int, lo: int, hi: int):
+def _exec_chunk(
+    tid: int, lo: int, hi: int,
+    delay: float = 0.0, corrupt=None, fail: bool = False,
+):
+    spec = _WORKER["specs"][tid]
     t0 = time.perf_counter()
-    partial = _WORKER["ops"].run_chunk(_WORKER["specs"][tid], lo, hi)
+    try:
+        _apply_faults(spec, delay, fail)
+        partial = _WORKER["ops"].run_chunk(spec, lo, hi)
+        if corrupt is not None:
+            if partial is not None:
+                corrupt_array(partial, corrupt)
+            else:
+                out = _WORKER["ops"].output_table(spec).values.reshape(-1)
+                corrupt_array(out[lo:hi], corrupt)
+    except TaskExecutionError:
+        raise
+    except Exception as exc:
+        raise TaskExecutionError.wrap(exc, spec, chunk=(lo, hi)) from exc
     return os.getpid(), time.perf_counter() - t0, partial
 
 
-def _exec_combine(tid: int, parts: List[np.ndarray]):
+def _exec_combine(
+    tid: int, parts: List[np.ndarray],
+    delay: float = 0.0, corrupt=None, fail: bool = False,
+):
+    spec = _WORKER["specs"][tid]
     t0 = time.perf_counter()
-    _WORKER["ops"].combine_marginalize(_WORKER["specs"][tid], parts)
+    try:
+        _apply_faults(spec, delay, fail)
+        _WORKER["ops"].combine_marginalize(spec, parts)
+        if corrupt is not None:
+            corrupt_array(_WORKER["ops"].output_table(spec).values, corrupt)
+    except TaskExecutionError:
+        raise
+    except Exception as exc:
+        raise TaskExecutionError.wrap(exc, spec) from exc
     return os.getpid(), time.perf_counter() - t0, None
 
 
@@ -214,6 +299,40 @@ class _ChunkProgress:
         self.ranges = ranges
         self.parts: List[Optional[np.ndarray]] = [None] * len(ranges)
         self.remaining = len(ranges)
+
+
+class _Dispatch:
+    """One pool submission and its recovery bookkeeping.
+
+    ``kind`` is ``"task"``, ``"chunk"`` or ``"combine"``; ``snapshot``
+    holds the pre-dispatch copy of the non-idempotently mutated region
+    (DIVIDE's separator, MULTIPLY's target slice) restored before any
+    retry, and ``deadline`` the monotonic-clock instant after which the
+    dispatch counts as hung.
+    """
+
+    __slots__ = ("kind", "tid", "idx", "lo", "hi",
+                 "attempts", "deadline", "snapshot")
+
+    def __init__(self, kind: str, tid: int, idx: int = 0,
+                 lo: int = 0, hi: int = 0):
+        self.kind = kind
+        self.tid = tid
+        self.idx = idx
+        self.lo = lo
+        self.hi = hi
+        self.attempts = 0
+        self.deadline: Optional[float] = None
+        self.snapshot: Optional[np.ndarray] = None
+
+
+def _kill_pids(pids) -> None:
+    """SIGKILL each pid, ignoring already-dead or foreign processes."""
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
 
 
 class ProcessSharedMemoryExecutor:
@@ -236,6 +355,33 @@ class ProcessSharedMemoryExecutor:
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheapest) and ``spawn`` elsewhere.
+    task_timeout:
+        Per-dispatch deadline in seconds.  A pooled task/chunk that does
+        not complete in time is treated as hung: the pool's workers are
+        killed, the pool is restarted over the same shared arena, and
+        every in-flight dispatch is re-issued (the overdue one counts
+        against its retry budget).  ``None`` (default) disables deadlines.
+    max_retries:
+        How many times one dispatch may be retried after a worker-side
+        exception or a missed deadline before the run fails.  ``0``
+        (default) fails fast, exactly like the pre-fault-tolerance
+        executor.
+    retry_backoff:
+        Base of the exponential backoff slept before the n-th retry of a
+        failed dispatch (``retry_backoff * 2**(n-1)`` seconds).
+    max_pool_restarts:
+        Hard cap on arena-preserving pool restarts (crash recovery and
+        deadline recovery combined) before the run gives up.
+    fault_plan:
+        A :class:`~repro.sched.faults.FaultPlan` of injected faults for
+        deterministic recovery testing.  Plans are single-use; pass a
+        fresh one per ``run()``.  Faults apply to pool-dispatched work
+        (inline master-side tasks are never faulted).
+
+    Resilience features (a deadline, a retry budget, or a fault plan)
+    switch the pool to eager worker spawn so worker pids are known up
+    front; ``stats.worker_pids`` then lists every worker that was ever
+    alive, with replacement workers appended after the master's slot.
     """
 
     def __init__(
@@ -245,6 +391,11 @@ class ProcessSharedMemoryExecutor:
         max_chunks: int = 32,
         inline_threshold: int = 2048,
         start_method: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        max_pool_restarts: int = 3,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -254,6 +405,14 @@ class ProcessSharedMemoryExecutor:
             raise ValueError("max_chunks must be >= 2")
         if inline_threshold < 0:
             raise ValueError("inline_threshold must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be > 0 or None")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
         methods = mp.get_all_start_methods()
         if start_method is not None and start_method not in methods:
             raise ValueError(
@@ -266,6 +425,27 @@ class ProcessSharedMemoryExecutor:
         self.start_method = start_method or (
             "fork" if "fork" in methods else methods[0]
         )
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_pool_restarts = max_pool_restarts
+        self.fault_plan = fault_plan
+        # Live pool-worker pids (refreshed at every pool (re)start when
+        # resilience features are active); lets tests and monitors target
+        # a worker externally, e.g. ``os.kill(executor.worker_pids()[0], 9)``.
+        self._pool_pids: List[int] = []
+
+    @property
+    def _resilient(self) -> bool:
+        return (
+            self.task_timeout is not None
+            or self.max_retries > 0
+            or self.fault_plan is not None
+        )
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the current pool's workers (resilient mode only)."""
+        return list(self._pool_pids)
 
     # ------------------------------------------------------------------ #
 
@@ -315,13 +495,16 @@ class ProcessSharedMemoryExecutor:
                     tables[key].values[...] = init
             ops = _ShmOps(tables)
             ctx = mp.get_context(self.start_method)
-            with ProcessPoolExecutor(
-                max_workers=p,
-                mp_context=ctx,
-                initializer=_worker_init,
-                initargs=(shm.name, layout, specs),
-            ) as pool:
-                self._schedule(graph, specs, ops, pool, stats, master_slot)
+
+            def make_pool() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=p,
+                    mp_context=ctx,
+                    initializer=_worker_init,
+                    initargs=(shm.name, layout, specs),
+                )
+
+            self._schedule(graph, specs, ops, make_pool, stats, master_slot)
             stats.wall_time = time.perf_counter() - start
             state.absorb_shared(tables)
         except BaseException as exc:
@@ -345,24 +528,48 @@ class ProcessSharedMemoryExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def _schedule(self, graph, specs, ops, pool, stats, master_slot):
-        """The master's Allocate loop: dispatch ready tasks, resolve deps."""
+    def _schedule(self, graph, specs, ops, make_pool, stats, master_slot):
+        """The master's Allocate loop: dispatch ready tasks, resolve deps.
+
+        In resilient mode (a deadline, a retry budget, or a fault plan)
+        the loop additionally: snapshots the non-idempotently mutated
+        region of each DIVIDE/MULTIPLY dispatch so it can be restored
+        before any retry; retries worker-side failures with exponential
+        backoff; detects ``BrokenProcessPool`` and missed deadlines,
+        kills the (possibly hung) workers, restarts the pool over the
+        same shared arena, and re-issues every in-flight dispatch.
+        """
         p = self.num_workers
+        resilient = self._resilient
+        plan = self.fault_plan
         dep_count = graph.indegrees()
         ready = deque(graph.roots())
-        pending = {}  # future -> ("task"|"chunk"|"combine", tid[, chunk idx])
+        pending: Dict[object, _Dispatch] = {}
+        requeue: List[_Dispatch] = []
         progress: Dict[int, _ChunkProgress] = {}
         completed = 0
         pid_slots: Dict[int, int] = {}
+        counters = {"dispatch": 0}
+        broken = [False]
 
         def slot_of(pid: int) -> int:
-            if pid not in pid_slots:
-                slot = len(pid_slots)
-                if slot >= p:  # replacement worker after a crash-restart
-                    slot = p - 1
+            slot = pid_slots.get(pid)
+            if slot is None:
+                if len(pid_slots) < p:
+                    slot = len(pid_slots)
+                else:
+                    # Replacement worker after a crash/restart: its own
+                    # stats row, appended after the master's slot, instead
+                    # of silently merging into slot p-1.
+                    slot = len(stats.compute_time)
+                    stats.compute_time.append(0.0)
+                    stats.sched_time.append(0.0)
+                    stats.tasks_per_thread.append(0)
+                    stats.worker_pids.append(0)
+                    stats.workers_restarted += 1
                 pid_slots[pid] = slot
                 stats.worker_pids[slot] = pid
-            return pid_slots[pid]
+            return slot
 
         def finish(tid: int, slot: int) -> None:
             nonlocal completed
@@ -374,60 +581,285 @@ class ProcessSharedMemoryExecutor:
                 if dep_count[succ] == 0:
                     ready.append(succ)
 
-        while completed < graph.num_tasks:
-            while ready:
-                tid = ready.popleft()
-                task = graph.tasks[tid]
-                ranges = plan_partition(
-                    task, self.partition_threshold, self.max_chunks
-                )
-                if ranges is not None:
-                    stats.tasks_partitioned += 1
-                    progress[tid] = _ChunkProgress(ranges)
-                    for idx, (lo, hi) in enumerate(ranges):
-                        fut = pool.submit(_exec_chunk, tid, lo, hi)
-                        pending[fut] = ("chunk", tid, idx)
-                elif task.partition_size <= self.inline_threshold:
-                    t0 = time.perf_counter()
-                    ops.run_task(specs[tid])
-                    stats.compute_time[master_slot] += time.perf_counter() - t0
-                    stats.tasks_inline += 1
-                    finish(tid, master_slot)
+        def start_pool():
+            new = make_pool()
+            if resilient:
+                # Eager spawn: one ping fills the pool, so worker pids are
+                # known before any real dispatch (kill faults and hung-pool
+                # recovery need someone to signal).
+                try:
+                    new.submit(_worker_ping).result(timeout=60.0)
+                except Exception:
+                    new.shutdown(wait=False, cancel_futures=True)
+                    raise
+                self._pool_pids = sorted(getattr(new, "_processes", None) or {})
+                for wpid in self._pool_pids:
+                    slot_of(wpid)
+            else:
+                self._pool_pids = []
+            return new
+
+        pool = start_pool()
+
+        def take_snapshot(disp: "_Dispatch"):
+            if not resilient or disp.kind == "combine":
+                return None
+            flat = ops.mutated_flat(specs[disp.tid])
+            if flat is None:
+                return None
+            if disp.kind == "chunk":
+                return flat[disp.lo:disp.hi].copy()
+            return flat.copy()
+
+        def restore_snapshot(disp: "_Dispatch") -> None:
+            if disp.kind == "combine":
+                # Re-zero a possibly partially-summed MARGINALIZE output so
+                # the additive combiner restarts from a clean slate.
+                ops.output_table(specs[disp.tid]).values[...] = 0.0
+                return
+            if disp.snapshot is None:
+                return
+            flat = ops.mutated_flat(specs[disp.tid])
+            if disp.kind == "chunk":
+                flat[disp.lo:disp.hi] = disp.snapshot
+            else:
+                flat[:] = disp.snapshot
+
+        def dispatch(disp: "_Dispatch") -> None:
+            if broken[0]:
+                requeue.append(disp)
+                return
+            if plan is not None and self._pool_pids:
+                offset = plan.take_kill(counters["dispatch"])
+                if offset is not None:
+                    victim = self._pool_pids[offset % len(self._pool_pids)]
+                    _kill_pids([victim])
+                    stats.fault_events.append(FaultRecord(
+                        "kill", disp.tid,
+                        f"SIGKILL worker {victim} before dispatch "
+                        f"{counters['dispatch']}",
+                    ))
+            delay = plan.take_delay(disp.tid) if plan is not None else 0.0
+            corrupt = plan.take_corruption(disp.tid) if plan is not None else None
+            fail = plan.take_failure(disp.tid) if plan is not None else False
+            if delay:
+                stats.fault_events.append(
+                    FaultRecord("delay", disp.tid, f"{delay:g}s"))
+            if corrupt is not None:
+                stats.fault_events.append(
+                    FaultRecord("corrupt", disp.tid, corrupt))
+            if fail:
+                stats.fault_events.append(
+                    FaultRecord("fail", disp.tid, "injected exception"))
+            try:
+                if disp.kind == "task":
+                    fut = pool.submit(
+                        _exec_task, disp.tid, delay, corrupt, fail)
+                elif disp.kind == "chunk":
+                    fut = pool.submit(
+                        _exec_chunk, disp.tid, disp.lo, disp.hi,
+                        delay, corrupt, fail)
                 else:
-                    fut = pool.submit(_exec_task, tid)
-                    pending[fut] = ("task", tid)
-            if completed == graph.num_tasks:
-                break
-            if not pending:
+                    fut = pool.submit(
+                        _exec_combine, disp.tid, progress[disp.tid].parts,
+                        delay, corrupt, fail)
+            except BrokenProcessPool:
+                if not resilient:
+                    raise
+                broken[0] = True
+                requeue.append(disp)
+                return
+            counters["dispatch"] += 1
+            if self.task_timeout is not None:
+                disp.deadline = time.monotonic() + self.task_timeout
+            pending[fut] = disp
+
+        def recover(reason: str) -> None:
+            """Arena-preserving pool restart + re-dispatch of in-flight work."""
+            nonlocal pool
+            if not resilient:
                 raise RuntimeError(
-                    f"process executor stalled with "
-                    f"{graph.num_tasks - completed} tasks unexecuted"
+                    f"process pool broke ({reason}) with resilience disabled"
                 )
-            t0 = time.perf_counter()
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            stats.sched_time[master_slot] += time.perf_counter() - t0
-            for fut in done:
-                item = pending.pop(fut)
-                pid, elapsed, payload = fut.result()
-                slot = slot_of(pid)
-                stats.compute_time[slot] += elapsed
-                kind, tid = item[0], item[1]
-                if kind == "task":
-                    finish(tid, slot)
-                elif kind == "combine":
-                    progress.pop(tid)
-                    finish(tid, slot)
-                else:
-                    prog = progress[tid]
-                    prog.parts[item[2]] = payload
-                    prog.remaining -= 1
-                    stats.chunks_executed += 1
-                    if prog.remaining == 0:
-                        if graph.tasks[tid].kind is PrimitiveKind.MARGINALIZE:
-                            fut2 = pool.submit(_exec_combine, tid, prog.parts)
-                            pending[fut2] = ("combine", tid)
-                        else:
-                            # Concatenating chunks wrote the output in place;
-                            # the combiner is pure bookkeeping.
-                            progress.pop(tid)
-                            finish(tid, slot)
+            requeue.extend(pending.values())
+            pending.clear()
+            while True:
+                stats.pool_restarts += 1
+                if stats.pool_restarts > self.max_pool_restarts:
+                    raise RuntimeError(
+                        f"process executor giving up after "
+                        f"{stats.pool_restarts - 1} pool restarts ({reason})"
+                    )
+                # Hung workers never drain the call queue; kill them so
+                # shutdown() returns instead of joining a sleeping child.
+                _kill_pids(self._pool_pids)
+                try:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                except Exception:
+                    pass
+                pool = start_pool()
+                broken[0] = False
+                batch, requeue[:] = list(requeue), []
+                for disp in batch:
+                    restore_snapshot(disp)
+                for disp in batch:
+                    dispatch(disp)
+                if not broken[0]:
+                    return
+                requeue.extend(pending.values())
+                pending.clear()
+
+        def handle_deadlines() -> None:
+            if self.task_timeout is None or not pending:
+                return
+            now = time.monotonic()
+            overdue = [
+                d for d in pending.values()
+                if d.deadline is not None and d.deadline <= now
+            ]
+            if not overdue:
+                return
+            stats.deadline_misses += len(overdue)
+            for disp in overdue:
+                disp.attempts += 1
+                spec = specs[disp.tid]
+                stats.fault_events.append(FaultRecord(
+                    "deadline", disp.tid,
+                    f"attempt {disp.attempts} exceeded "
+                    f"{self.task_timeout:g}s",
+                ))
+                if disp.attempts > self.max_retries:
+                    raise TaskExecutionError(
+                        f"task {disp.tid} ({spec.kind.value}, {spec.phase}, "
+                        f"edge {spec.edge}) missed its "
+                        f"{self.task_timeout:g}s deadline "
+                        f"{disp.attempts} time(s)",
+                        tid=disp.tid,
+                        kind=spec.kind.value,
+                        phase=spec.phase,
+                        edge=tuple(spec.edge),
+                        chunk=(disp.lo, disp.hi)
+                        if disp.kind == "chunk" else None,
+                    )
+                stats.retries_total += 1
+            recover("deadline miss")
+
+        try:
+            while completed < graph.num_tasks:
+                while ready:
+                    tid = ready.popleft()
+                    task = graph.tasks[tid]
+                    ranges = plan_partition(
+                        task, self.partition_threshold, self.max_chunks
+                    )
+                    if ranges is not None:
+                        stats.tasks_partitioned += 1
+                        progress[tid] = _ChunkProgress(ranges)
+                        for idx, (lo, hi) in enumerate(ranges):
+                            disp = _Dispatch("chunk", tid, idx, lo, hi)
+                            disp.snapshot = take_snapshot(disp)
+                            dispatch(disp)
+                    elif task.partition_size <= self.inline_threshold:
+                        t0 = time.perf_counter()
+                        ops.run_task(specs[tid])
+                        stats.compute_time[master_slot] += (
+                            time.perf_counter() - t0)
+                        stats.tasks_inline += 1
+                        finish(tid, master_slot)
+                    else:
+                        disp = _Dispatch("task", tid)
+                        disp.snapshot = take_snapshot(disp)
+                        dispatch(disp)
+                if broken[0]:
+                    stats.fault_events.append(FaultRecord(
+                        "pool-broken", None, "pool broke during dispatch"))
+                    recover("broken pool during dispatch")
+                    continue
+                if completed == graph.num_tasks:
+                    break
+                if not pending:
+                    raise RuntimeError(
+                        f"process executor stalled with "
+                        f"{graph.num_tasks - completed} tasks unexecuted"
+                    )
+                timeout = None
+                if self.task_timeout is not None:
+                    deadlines = [
+                        d.deadline for d in pending.values()
+                        if d.deadline is not None
+                    ]
+                    if deadlines:
+                        timeout = max(min(deadlines) - time.monotonic(), 0.0)
+                t0 = time.perf_counter()
+                done, _ = wait(
+                    list(pending), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                stats.sched_time[master_slot] += time.perf_counter() - t0
+                for fut in done:
+                    disp = pending.pop(fut, None)
+                    if disp is None:
+                        # A recover() this batch already re-dispatched it.
+                        continue
+                    try:
+                        pid, elapsed, payload = fut.result()
+                    except BrokenProcessPool as exc:
+                        if not resilient:
+                            raise
+                        stats.fault_events.append(FaultRecord(
+                            "pool-broken", disp.tid,
+                            str(exc) or "worker died"))
+                        requeue.append(disp)
+                        recover("BrokenProcessPool")
+                        continue
+                    except Exception:
+                        disp.attempts += 1
+                        if disp.attempts > self.max_retries:
+                            raise
+                        stats.retries_total += 1
+                        if self.retry_backoff:
+                            time.sleep(
+                                self.retry_backoff
+                                * (2 ** (disp.attempts - 1))
+                            )
+                        restore_snapshot(disp)
+                        dispatch(disp)
+                        continue
+                    slot = slot_of(pid)
+                    stats.compute_time[slot] += elapsed
+                    if disp.kind == "task":
+                        finish(disp.tid, slot)
+                    elif disp.kind == "combine":
+                        progress.pop(disp.tid)
+                        finish(disp.tid, slot)
+                    else:
+                        prog = progress[disp.tid]
+                        prog.parts[disp.idx] = payload
+                        prog.remaining -= 1
+                        stats.chunks_executed += 1
+                        if prog.remaining == 0:
+                            if graph.tasks[disp.tid].kind is (
+                                    PrimitiveKind.MARGINALIZE):
+                                dispatch(_Dispatch("combine", disp.tid))
+                            else:
+                                # Concatenating chunks wrote the output in
+                                # place; the combiner is pure bookkeeping.
+                                progress.pop(disp.tid)
+                                finish(disp.tid, slot)
+                if broken[0]:
+                    recover("broken pool during retry dispatch")
+                handle_deadlines()
+        except BaseException:
+            # Quiesce before the arena teardown in run(): drop queued work,
+            # kill possibly-hung workers, and wait the pool down so no live
+            # worker races the shared-memory unlink.
+            for fut in list(pending):
+                fut.cancel()
+            if resilient:
+                _kill_pids(self._pool_pids)
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+            raise
+        pool.shutdown(wait=True)

@@ -1,0 +1,221 @@
+"""Degradation-cascade executor wrapper: finish the run, record why.
+
+:class:`ResilientExecutor` wraps any executor with three layers of
+last-resort robustness that the executor itself cannot provide:
+
+* **Degradation cascade** — if a tier raises (crashed pool past its
+  restart budget, exhausted retries, anything), the propagation state is
+  rolled back to its pre-run snapshot and the next tier runs instead.
+  The default cascade mirrors the deployment ladder: shared-memory
+  processes → collaborative threads → serial, each strictly simpler and
+  more reliable than the one before.
+* **Numerical health guard** — after every successful tier the clique
+  tables are scanned for NaN/Inf (:func:`repro.sched.faults.scan_tables`).
+  Poisoned results degrade to the next tier exactly like a crash, so a
+  corrupted shared buffer cannot leak into posteriors.
+* **Log-space rescue** — a run whose tables fully underflowed (every
+  entry exactly zero) is re-run in the log domain via
+  :mod:`repro.potential.logspace`; clique potentials are replaced by
+  their stably-normalized linear forms and the true log-likelihood is
+  recorded in ``stats.log_likelihood`` (the linear ``state.likelihood()``
+  is meaningless after underflow).
+
+Every step taken is recorded as a :class:`DegradationRecord` in
+``stats.degradations``, so an operator can see that a run *finished* but
+also exactly what it cost to finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sched.faults import HealthReport, check_state_health
+from repro.sched.stats import ExecutionStats
+from repro.tasks.state import PropagationState
+from repro.tasks.task import TaskGraph
+
+
+@dataclass
+class DegradationRecord:
+    """One step down the cascade (or a log-space rescue) and its cause."""
+
+    from_executor: str
+    to_executor: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.from_executor} -> {self.to_executor}: {self.reason}"
+
+
+def _executor_name(executor) -> str:
+    return type(executor).__name__
+
+
+def default_cascade(primary) -> List[object]:
+    """Fallback tiers below ``primary``: processes → threads → serial.
+
+    The thread tier reuses the primary's worker count and partition
+    threshold where it exposes them, so a degraded run still balances
+    load the same way — it only gives up on escaping the GIL.
+    """
+    from repro.sched.collaborative import CollaborativeExecutor
+    from repro.sched.process import ProcessSharedMemoryExecutor
+    from repro.sched.serial import SerialExecutor
+
+    if isinstance(primary, SerialExecutor):
+        return []
+    if isinstance(primary, ProcessSharedMemoryExecutor):
+        threads = CollaborativeExecutor(
+            num_threads=primary.num_workers,
+            partition_threshold=primary.partition_threshold,
+            max_chunks=primary.max_chunks,
+        )
+        return [threads, SerialExecutor()]
+    return [SerialExecutor()]
+
+
+class ResilientExecutor:
+    """Run a task graph through a cascade of ever-simpler executors.
+
+    Parameters
+    ----------
+    executor:
+        The primary (fastest, least reliable) tier; defaults to a
+        :class:`~repro.sched.serial.SerialExecutor` — wrap your real
+        executor to get the safety layers.
+    fallbacks:
+        Tiers tried in order after the primary; defaults to
+        :func:`default_cascade` of the primary.
+    health_check:
+        Scan clique tables for NaN/Inf after each tier and treat a
+        poisoned result as that tier's failure.
+    logspace_fallback:
+        Re-run a fully-underflowed propagation in the log domain
+        (hard-evidence runs only; soft evidence is recorded and skipped).
+    """
+
+    def __init__(
+        self,
+        executor=None,
+        fallbacks: Optional[Sequence] = None,
+        health_check: bool = True,
+        logspace_fallback: bool = True,
+    ):
+        from repro.sched.serial import SerialExecutor
+
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.fallbacks = (
+            list(fallbacks) if fallbacks is not None
+            else default_cascade(self.executor)
+        )
+        self.health_check = health_check
+        self.logspace_fallback = logspace_fallback
+
+    # ------------------------------------------------------------------ #
+    # State snapshot/rollback (tiers mutate the state in place)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _snapshot(state: PropagationState):
+        return (
+            {i: t.copy() for i, t in state.potentials.items()},
+            {e: t.copy() for e, t in state.separators.items()},
+            {k: t.copy() for k, t in state._inter.items()},
+        )
+
+    @staticmethod
+    def _restore(state: PropagationState, snap) -> None:
+        pots, seps, inter = snap
+        state.potentials = {i: t.copy() for i, t in pots.items()}
+        state.separators = {e: t.copy() for e, t in seps.items()}
+        state._inter = {k: t.copy() for k, t in inter.items()}
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+        tiers = [self.executor] + self.fallbacks
+        snapshot = self._snapshot(state)
+        records: List[DegradationRecord] = []
+        last_exc: Optional[BaseException] = None
+        stats: Optional[ExecutionStats] = None
+        report: Optional[HealthReport] = None
+
+        for i, tier in enumerate(tiers):
+            name = _executor_name(tier)
+            next_name = (
+                _executor_name(tiers[i + 1]) if i + 1 < len(tiers) else "none"
+            )
+            if i > 0:
+                self._restore(state, snapshot)
+            try:
+                stats = tier.run(graph, state)
+            except Exception as exc:
+                last_exc = exc
+                records.append(DegradationRecord(
+                    name, next_name, f"{type(exc).__name__}: {exc}"))
+                stats = None
+                continue
+            if self.health_check:
+                report = check_state_health(state)
+                if not report.healthy:
+                    records.append(DegradationRecord(
+                        name, next_name, f"unhealthy result: {report.summary()}"
+                    ))
+                    stats = None
+                    continue
+            break
+
+        if stats is None:
+            detail = "; ".join(str(r) for r in records)
+            raise RuntimeError(
+                f"every executor tier failed: {detail}"
+            ) from last_exc
+
+        if report is not None:
+            stats.health = report.summary()
+            if report.underflowed and self.logspace_fallback:
+                rescued = self._rescue_logspace(state, stats, records)
+                if rescued:
+                    stats.health = check_state_health(state).summary()
+        stats.degradations.extend(records)
+        return stats
+
+    # ------------------------------------------------------------------ #
+
+    def _rescue_logspace(
+        self,
+        state: PropagationState,
+        stats: ExecutionStats,
+        records: List[DegradationRecord],
+    ) -> bool:
+        """Re-run an underflowed propagation in the log domain.
+
+        Replaces each clique potential with its stably-normalized linear
+        form (so per-clique and per-variable marginals read off exactly
+        as usual) and records the evidence log-likelihood in
+        ``stats.log_likelihood``.  Returns True when the rescue ran.
+        """
+        from repro.potential.logspace import propagate_reference_log
+        from repro.potential.table import PotentialTable
+
+        if state.soft_evidence:
+            records.append(DegradationRecord(
+                "logspace", "none",
+                "underflow detected but log-space rescue does not support "
+                "soft evidence",
+            ))
+            return False
+        log_pots = propagate_reference_log(state.jt, state.evidence)
+        for i, log_table in log_pots.items():
+            state.potentials[i] = PotentialTable(
+                log_table.variables,
+                log_table.cardinalities,
+                log_table.normalized_linear(),
+            )
+        stats.log_likelihood = log_pots[state.jt.root].log_total()
+        records.append(DegradationRecord(
+            "linear", "logspace",
+            "clique tables underflowed; re-ran propagation in log domain",
+        ))
+        return True

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 
 @dataclass
@@ -33,9 +33,31 @@ class ExecutionStats:
     # Process-executor extras: tasks the master ran inline instead of
     # dispatching, bytes of the shared-memory arena, and the worker
     # process pids in per-slot order (for correlating with OS tooling).
+    # After a crash recovery, replacement workers get their own trailing
+    # slots (after the master's), so pids are never merged across lives.
     tasks_inline: int = 0
     shared_bytes: int = 0
     worker_pids: List[int] = field(default_factory=list)
+    # Fault-tolerance accounting: dispatch retries (worker exceptions and
+    # missed deadlines), per-dispatch deadline misses, arena-preserving
+    # pool restarts, replacement workers observed, injected/observed
+    # fault records (repro.sched.faults.FaultRecord), and the degradation
+    # steps a ResilientExecutor took to finish the run.
+    retries_total: int = 0
+    deadline_misses: int = 0
+    pool_restarts: int = 0
+    workers_restarted: int = 0
+    fault_events: List[object] = field(default_factory=list)
+    degradations: List[object] = field(default_factory=list)
+    # Post-run numerical health summary (set by ResilientExecutor) and,
+    # when the log-space fallback ran, the log-likelihood of the evidence
+    # (the linear-domain state.likelihood() is unreliable after a rescue).
+    health: str = ""
+    log_likelihood: Optional[float] = None
+
+    def degraded(self) -> bool:
+        """True when a ResilientExecutor had to fall back or rescue."""
+        return bool(self.degradations)
 
     def total_compute(self) -> float:
         return sum(self.compute_time)

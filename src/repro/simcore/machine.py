@@ -22,8 +22,18 @@ class Machine:
         self.profile = profile
         self.num_cores = num_cores
 
-    def run(self, policy, graph: TaskGraph, **kwargs) -> SimResult:
-        """Simulate ``policy`` over ``graph`` on this machine."""
+    def run(
+        self, policy, graph: TaskGraph, fault_plan=None, **kwargs
+    ) -> SimResult:
+        """Simulate ``policy`` over ``graph`` on this machine.
+
+        ``fault_plan`` (a :class:`~repro.sched.faults.FaultPlan` using its
+        ``sim_*`` hooks) injects core kills and task delays into policies
+        that support them; only forwarded when set, so fault-oblivious
+        policies keep their signatures.
+        """
+        if fault_plan is not None:
+            kwargs["fault_plan"] = fault_plan
         return policy.simulate(graph, self.profile, self.num_cores, **kwargs)
 
     def compare(

@@ -48,6 +48,7 @@ def _greedy_schedule(
     dispatch_fn=None,
     worker_cores: Optional[int] = None,
     trace: "Optional[Trace]" = None,
+    fault_plan=None,
 ) -> SimResult:
     """Event-driven greedy list scheduling.
 
@@ -57,6 +58,14 @@ def _greedy_schedule(
     scheduling bookkeeping precede every task.  With ``dispatch_latency``
     > 0, ready tasks additionally pass through a serial dispatcher before
     they may start (the centralized baseline's bottleneck).
+
+    ``fault_plan`` hooks the simulator's fault model
+    (:class:`~repro.sched.faults.FaultPlan`): ``sim_kill_core`` removes a
+    core from service before the Nth dispatch (its remaining work
+    reschedules onto the survivors — the model of crash-and-re-execute
+    recovery), and ``sim_delay_task`` stretches one node's duration (the
+    model of a straggling/hung task under a deadline).  The simulator
+    never kills its last core.
     """
     workers = worker_cores if worker_cores is not None else num_cores
     workers = max(workers, 1)
@@ -67,6 +76,10 @@ def _greedy_schedule(
     finish = [0.0] * sim.num_nodes
     dispatcher_free = 0.0
     use_dispatcher = dispatch_latency > 0.0 or dispatch_fn is not None
+    dead: set = set()
+    dispatch_index = 0
+    cores_lost = 0
+    faults_injected = 0
 
     ready: List = []
     counter = 0
@@ -78,15 +91,30 @@ def _greedy_schedule(
     makespan = 0.0
     while ready:
         t_ready, _, nid = heapq.heappop(ready)
+        if fault_plan is not None:
+            victim = fault_plan.take_sim_kill(dispatch_index)
+            if victim is not None:
+                victim %= workers
+                if victim not in dead and len(dead) < workers - 1:
+                    dead.add(victim)
+                    cores_lost += 1
+                    faults_injected += 1
+        dispatch_index += 1
         if use_dispatcher:
             latency = dispatch_latency
             if dispatch_fn is not None:
                 latency = dispatch_fn(nid)
             dispatcher_free = max(dispatcher_free, t_ready) + latency
             t_ready = dispatcher_free
-        core = min(range(workers), key=lambda c: (max(core_free[c], t_ready), c))
+        alive = [c for c in range(workers) if c not in dead]
+        core = min(alive, key=lambda c: (max(core_free[c], t_ready), c))
         start = max(core_free[core], t_ready)
         duration = profile.duration(sim.weights[nid], num_cores)
+        if fault_plan is not None:
+            extra = fault_plan.take_sim_delay(nid)
+            if extra:
+                duration += extra
+                faults_injected += 1
         end = start + per_task_overhead + duration
         core_free[core] = end
         compute[core] += duration
@@ -112,6 +140,8 @@ def _greedy_schedule(
         compute_time=compute,
         sched_time=sched,
         tasks_executed=done,
+        cores_lost=cores_lost,
+        faults_injected=faults_injected,
     )
 
 
@@ -159,6 +189,7 @@ class CollaborativePolicy:
         profile: PlatformProfile,
         num_cores: int,
         record_trace: bool = False,
+        fault_plan=None,
     ) -> SimResult:
         sim = build_sim_graph(graph, self.partition_threshold, self.max_chunks)
         overhead = profile.task_sched_overhead(num_cores)
@@ -174,6 +205,7 @@ class CollaborativePolicy:
             overhead,
             dispatch_latency=profile.lock_cost if num_cores > 1 else 0.0,
             trace=trace,
+            fault_plan=fault_plan,
         )
         result.policy = self.name
         if record_trace:
@@ -201,6 +233,7 @@ class WorkStealingPolicy(CollaborativePolicy):
         profile: PlatformProfile,
         num_cores: int,
         record_trace: bool = False,
+        fault_plan=None,
     ) -> SimResult:
         sim = build_sim_graph(graph, self.partition_threshold, self.max_chunks)
         # Own-deque push/pop needs no contended lock; only the (short)
@@ -216,6 +249,7 @@ class WorkStealingPolicy(CollaborativePolicy):
                 profile.lock_cost * 0.25 if num_cores > 1 else 0.0
             ),
             trace=trace,
+            fault_plan=fault_plan,
         )
         result.policy = self.name
         if record_trace:

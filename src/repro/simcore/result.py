@@ -24,6 +24,11 @@ class SimResult:
     # Populated only when the policy was asked to record a trace.
     trace: object = None
     sim_graph: object = None
+    # Fault-injection accounting (see repro.sched.faults.FaultPlan's
+    # sim_* hooks): cores removed from service mid-run and total faults
+    # (kills + delays) the simulation applied.
+    cores_lost: int = 0
+    faults_injected: int = 0
 
     def total_compute(self) -> float:
         return sum(self.compute_time)

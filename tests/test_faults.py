@@ -1,0 +1,590 @@
+"""Fault-injection, crash-recovery, and degradation-cascade tests.
+
+Covers the fault-tolerant execution layer end to end:
+
+* :class:`~repro.sched.faults.FaultPlan` one-shot semantics and validation.
+* :class:`~repro.sched.faults.TaskExecutionError` attribution + pickling
+  (``concurrent.futures`` round-trips worker exceptions through pickle).
+* The numerical health guard (:func:`~repro.sched.faults.scan_tables`).
+* :class:`~repro.sched.process.ProcessSharedMemoryExecutor` recovery:
+  SIGKILLed workers (injected and external), per-task deadlines, bounded
+  retries, with results asserted against the serial oracle to 1e-9.
+* :class:`~repro.sched.resilient.ResilientExecutor`: the degradation
+  cascade, NaN quarantine, and the log-space underflow rescue.
+* The simulator's fault hooks (``sim_kill_core`` / ``sim_delay_task``).
+
+Pool creation is expensive; the number of process-executor ``run()``
+calls is kept deliberately small.
+"""
+
+import os
+import pickle
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.jt.generation import synthetic_tree
+from repro.potential.table import PotentialTable
+from repro.sched.faults import (
+    FaultPlan,
+    HealthReport,
+    TaskExecutionError,
+    check_state_health,
+    corrupt_array,
+    scan_tables,
+)
+from repro.sched.process import ProcessSharedMemoryExecutor
+from repro.sched.resilient import DegradationRecord, ResilientExecutor
+from repro.sched.serial import SerialExecutor
+from repro.tasks.dag import build_task_graph
+from repro.tasks.state import PropagationState
+
+
+def _workload(num_cliques=8, width=3, states=2, seed=11, evidence=None):
+    tree = synthetic_tree(
+        num_cliques, clique_width=width, states=states, avg_children=2,
+        seed=seed,
+    )
+    tree.initialize_potentials(np.random.default_rng(seed))
+    graph = build_task_graph(tree)
+    reference = PropagationState(tree, evidence)
+    SerialExecutor().run(graph, reference)
+    return tree, graph, reference
+
+
+def _assert_matches(tree, reference, state):
+    for i in range(tree.num_cliques):
+        np.testing.assert_allclose(
+            state.potentials[i].values,
+            reference.potentials[i].values,
+            rtol=1e-9,
+            atol=1e-12,
+        )
+    assert np.isclose(state.likelihood(), reference.likelihood(), rtol=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan
+# --------------------------------------------------------------------- #
+
+
+class TestFaultPlan:
+    def test_faults_are_one_shot(self):
+        plan = FaultPlan(
+            kill_before_dispatch={3: 1},
+            delay_task={7: 0.5},
+            corrupt_task={2: "nan"},
+            sim_kill_core={4: 0},
+            sim_delay_task={9: 1.0},
+        )
+        assert plan.take_kill(3) == 1
+        assert plan.take_kill(3) is None
+        assert plan.take_delay(7) == 0.5
+        assert plan.take_delay(7) == 0.0
+        assert plan.take_corruption(2) == "nan"
+        assert plan.take_corruption(2) is None
+        assert plan.take_sim_kill(4) == 0
+        assert plan.take_sim_kill(4) is None
+        assert plan.take_sim_delay(9) == 1.0
+        assert plan.take_sim_delay(9) == 0.0
+
+    def test_unplanned_faults_never_fire(self):
+        plan = FaultPlan(delay_task={7: 0.5})
+        assert plan.take_kill(0) is None
+        assert plan.take_delay(6) == 0.0
+        assert plan.take_corruption(7) is None
+        assert not plan.take_failure(7)
+
+    def test_failure_budget_counts_down(self):
+        plan = FaultPlan(fail_task={5: 2})
+        assert plan.take_failure(5)
+        assert plan.take_failure(5)
+        assert not plan.take_failure(5)
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(delay_task={0: 1.0}).empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="corruption mode"):
+            FaultPlan(corrupt_task={0: "gremlins"})
+        with pytest.raises(ValueError, match="delay"):
+            FaultPlan(delay_task={0: -1.0})
+        with pytest.raises(ValueError, match="fail count"):
+            FaultPlan(fail_task={0: 0})
+
+
+class TestTaskExecutionError:
+    def test_pickle_round_trip_keeps_attribution(self):
+        err = TaskExecutionError(
+            "task 3 (divide, collect, edge (1, 2)) failed: boom",
+            tid=3, kind="divide", phase="collect", edge=(1, 2), chunk=(0, 8),
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, TaskExecutionError)
+        assert clone.tid == 3
+        assert clone.kind == "divide"
+        assert clone.phase == "collect"
+        assert clone.edge == (1, 2)
+        assert clone.chunk == (0, 8)
+        assert str(clone) == str(err)
+
+
+class TestCorruptArray:
+    def test_modes(self):
+        for mode, check in [
+            ("nan", lambda a: np.isnan(a).all()),
+            ("inf", lambda a: np.isinf(a).all()),
+            ("garbage", lambda a: (np.abs(a) == 1e300).all()),
+        ]:
+            flat = np.ones(6)
+            corrupt_array(flat, mode)
+            assert check(flat), mode
+
+
+# --------------------------------------------------------------------- #
+# Health guard
+# --------------------------------------------------------------------- #
+
+
+def _table(values):
+    values = np.asarray(values, dtype=float)
+    return PotentialTable((0,), (values.size,), values)
+
+
+class TestHealthScan:
+    def test_healthy_tables(self):
+        report = scan_tables({0: _table([0.5, 0.5]), 1: _table([1.0, 0.0])})
+        assert report.healthy
+        assert not report.underflowed
+        assert report.tables_scanned == 2
+        assert "healthy" in report.summary()
+
+    def test_detects_nan_inf_underflow(self):
+        report = scan_tables({
+            "a": _table([np.nan, 1.0]),
+            "b": _table([np.inf, 1.0]),
+            "c": _table([0.0, 0.0]),
+            "d": _table([0.2, 0.8]),
+        })
+        assert report.nan_tables == ["a"]
+        assert report.inf_tables == ["b"]
+        assert report.underflowed_tables == ["c"]
+        assert not report.healthy
+        assert report.underflowed
+        summary = report.summary()
+        assert "NaN" in summary and "Inf" in summary and "underflow" in summary
+
+    def test_check_state_health_scans_potentials(self):
+        tree, graph, _ = _workload(num_cliques=4, seed=3)
+        state = PropagationState(tree)
+        SerialExecutor().run(graph, state)
+        assert check_state_health(state).healthy
+
+    def test_empty_report_is_healthy(self):
+        assert HealthReport().healthy
+
+
+# --------------------------------------------------------------------- #
+# Process-executor crash recovery
+# --------------------------------------------------------------------- #
+
+
+class TestProcessRecovery:
+    def test_injected_worker_kill_recovers_and_matches_serial(self):
+        tree, graph, reference = _workload(seed=17)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            max_retries=2,
+            fault_plan=FaultPlan(kill_before_dispatch={2: 0}),
+        )
+        state = PropagationState(tree)
+        stats = executor.run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.pool_restarts >= 1
+        assert stats.workers_restarted >= 1
+        kinds = {event.kind for event in stats.fault_events}
+        assert "kill" in kinds
+        # Replacement workers get their own stats rows past the master's.
+        assert len(stats.worker_pids) > executor.num_workers + 1
+
+    def test_external_sigkill_mid_run_recovers(self):
+        tree, graph, reference = _workload(seed=29)
+        # The delay stretches the run so the external kill lands mid-flight
+        # (and switches the executor into resilient eager-spawn mode).
+        delayed_tid = graph.tasks[0].tid
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            max_retries=2,
+            fault_plan=FaultPlan(delay_task={delayed_tid: 1.5}),
+        )
+        state = PropagationState(tree)
+        result = {}
+
+        def target():
+            result["stats"] = executor.run(graph, state)
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        killed = False
+        while time.monotonic() < deadline:
+            pids = executor.worker_pids()
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+                killed = True
+                break
+            time.sleep(0.01)
+        thread.join(timeout=60.0)
+        assert killed, "never saw a live worker pid to kill"
+        assert not thread.is_alive()
+        stats = result["stats"]
+        _assert_matches(tree, reference, state)
+        assert stats.pool_restarts >= 1
+
+    def test_deadline_miss_retries_and_matches_serial(self):
+        tree, graph, reference = _workload(seed=41)
+        delayed_tid = graph.tasks[1].tid
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            task_timeout=0.4,
+            max_retries=2,
+            fault_plan=FaultPlan(delay_task={delayed_tid: 2.0}),
+        )
+        state = PropagationState(tree)
+        stats = executor.run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.deadline_misses >= 1
+        assert stats.retries_total >= 1
+        assert stats.pool_restarts >= 1
+
+    def test_injected_failures_consume_retry_budget(self):
+        tree, graph, reference = _workload(seed=53)
+        failing_tid = graph.tasks[0].tid
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            max_retries=2,
+            retry_backoff=0.0,
+            fault_plan=FaultPlan(fail_task={failing_tid: 2}),
+        )
+        state = PropagationState(tree)
+        stats = executor.run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.retries_total == 2
+        assert stats.pool_restarts == 0
+
+    def test_exhausted_retries_raise_with_attribution(self):
+        tree, graph, _ = _workload(num_cliques=5, seed=67)
+        failing = graph.tasks[0]
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            max_retries=1,
+            retry_backoff=0.0,
+            fault_plan=FaultPlan(fail_task={failing.tid: 5}),
+        )
+        with pytest.raises(TaskExecutionError) as excinfo:
+            executor.run(graph, PropagationState(tree))
+        assert excinfo.value.tid == failing.tid
+        assert f"task {failing.tid}" in str(excinfo.value)
+        assert excinfo.value.phase == failing.phase
+
+    def test_fail_fast_without_retry_budget(self):
+        tree, graph, _ = _workload(num_cliques=5, seed=71)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            fault_plan=FaultPlan(fail_task={graph.tasks[0].tid: 1}),
+        )
+        with pytest.raises(TaskExecutionError):
+            executor.run(graph, PropagationState(tree))
+
+    def test_partitioned_kill_recovers_and_matches_serial(self):
+        evidence = {0: 1}
+        tree, graph, reference = _workload(
+            num_cliques=8, width=4, seed=83, evidence=evidence
+        )
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            partition_threshold=8,
+            inline_threshold=0,
+            max_retries=2,
+            fault_plan=FaultPlan(kill_before_dispatch={10: 1}),
+        )
+        state = PropagationState(tree, evidence)
+        stats = executor.run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.pool_restarts >= 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessSharedMemoryExecutor(task_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ProcessSharedMemoryExecutor(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ProcessSharedMemoryExecutor(retry_backoff=-0.1)
+        with pytest.raises(ValueError, match="max_pool_restarts"):
+            ProcessSharedMemoryExecutor(max_pool_restarts=-1)
+
+
+# --------------------------------------------------------------------- #
+# ResilientExecutor: cascade, quarantine, log-space rescue
+# --------------------------------------------------------------------- #
+
+
+class _AlwaysRaises:
+    """A tier that always fails (stand-in for an unrecoverable executor)."""
+
+    def __init__(self, message="synthetic tier failure"):
+        self.message = message
+
+    def run(self, graph, state):
+        raise RuntimeError(self.message)
+
+
+class TestResilientExecutor:
+    def test_no_degradation_on_clean_run(self):
+        tree, graph, reference = _workload(num_cliques=4, seed=5)
+        state = PropagationState(tree)
+        stats = ResilientExecutor(SerialExecutor()).run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.degradations == []
+        assert not stats.degraded()
+        assert "healthy" in stats.health
+
+    def test_failing_primary_degrades_to_serial(self):
+        tree, graph, reference = _workload(num_cliques=4, seed=7)
+        state = PropagationState(tree)
+        stats = ResilientExecutor(_AlwaysRaises("pool exploded")).run(
+            graph, state
+        )
+        _assert_matches(tree, reference, state)
+        assert stats.degraded()
+        record = stats.degradations[0]
+        assert record.from_executor == "_AlwaysRaises"
+        assert record.to_executor == "SerialExecutor"
+        assert "pool exploded" in record.reason
+
+    def test_nan_result_is_quarantined_and_rerun(self):
+        tree, graph, reference = _workload(seed=13)
+        primary = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            fault_plan=FaultPlan(corrupt_task={graph.tasks[0].tid: "nan"}),
+        )
+        state = PropagationState(tree)
+        stats = ResilientExecutor(primary).run(graph, state)
+        # The corrupted tier's result never leaks into the final state.
+        _assert_matches(tree, reference, state)
+        assert stats.degraded()
+        assert any("unhealthy" in r.reason for r in stats.degradations)
+        assert "healthy" in stats.health
+
+    def test_every_tier_failing_raises(self):
+        tree, graph, _ = _workload(num_cliques=4, seed=19)
+        resilient = ResilientExecutor(
+            _AlwaysRaises("a"), fallbacks=[_AlwaysRaises("b")]
+        )
+        with pytest.raises(RuntimeError, match="every executor tier failed"):
+            resilient.run(graph, PropagationState(tree))
+
+    def test_underflow_triggers_logspace_rescue(self):
+        tree, graph, reference = _workload(num_cliques=6, seed=23)
+        # Scale every clique potential so the joint underflows float64.
+        for i, table in tree.potentials.items():
+            tree.potentials[i] = PotentialTable(
+                table.variables, table.cardinalities, table.values * 1e-300
+            )
+        state = PropagationState(tree)
+        stats = ResilientExecutor(SerialExecutor()).run(graph, state)
+        assert any(r.to_executor == "logspace" for r in stats.degradations)
+        assert stats.log_likelihood is not None
+        assert np.isfinite(stats.log_likelihood)
+        # Rescued normalized marginals match the unscaled reference.
+        for i in range(tree.num_cliques):
+            np.testing.assert_allclose(
+                state.clique_marginal(i).values,
+                reference.clique_marginal(i).values,
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+    def test_logspace_rescue_can_be_disabled(self):
+        tree, graph, _ = _workload(num_cliques=4, seed=23)
+        for i, table in tree.potentials.items():
+            tree.potentials[i] = PotentialTable(
+                table.variables, table.cardinalities, table.values * 1e-300
+            )
+        state = PropagationState(tree)
+        stats = ResilientExecutor(
+            SerialExecutor(), logspace_fallback=False
+        ).run(graph, state)
+        assert stats.log_likelihood is None
+        assert "underflow" in stats.health
+
+    def test_default_cascade_for_process_primary(self):
+        from repro.sched.resilient import default_cascade
+
+        primary = ProcessSharedMemoryExecutor(
+            num_workers=3, partition_threshold=16
+        )
+        tiers = [type(t).__name__ for t in default_cascade(primary)]
+        assert tiers == ["CollaborativeExecutor", "SerialExecutor"]
+        assert default_cascade(SerialExecutor()) == []
+
+    def test_degradation_record_str(self):
+        record = DegradationRecord("A", "B", "because")
+        assert str(record) == "A -> B: because"
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: kill + deadline miss, full recovery within 1e-9 of serial
+# --------------------------------------------------------------------- #
+
+
+class TestAcceptance:
+    def test_kill_plus_deadline_recovers_within_tolerance(self):
+        tree, graph, reference = _workload(seed=97)
+        delayed_tid = graph.tasks[2].tid
+        primary = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            task_timeout=0.5,
+            max_retries=2,
+            fault_plan=FaultPlan(
+                kill_before_dispatch={1: 0},
+                delay_task={delayed_tid: 2.0},
+            ),
+        )
+        state = PropagationState(tree)
+        stats = ResilientExecutor(primary).run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert stats.pool_restarts >= 1
+        assert stats.retries_total >= 1
+        # Fully recovered in-tier: the cascade never had to step down.
+        assert stats.degradations == []
+
+    def test_forced_degradation_is_reported(self):
+        tree, graph, reference = _workload(num_cliques=5, seed=101)
+        state = PropagationState(tree)
+        stats = ResilientExecutor(
+            _AlwaysRaises(), fallbacks=[SerialExecutor()]
+        ).run(graph, state)
+        _assert_matches(tree, reference, state)
+        assert len(stats.degradations) == 1
+
+
+# --------------------------------------------------------------------- #
+# Engine integration
+# --------------------------------------------------------------------- #
+
+
+class TestEngineResilience:
+    def test_propagate_resilience_flag_wraps_executor(self):
+        from repro import InferenceEngine, random_network
+
+        bn = random_network(12, seed=2)
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({0: 1})
+        engine.propagate(_AlwaysRaises(), resilience=True)
+        assert engine.last_stats.degraded()
+        baseline = InferenceEngine.from_network(bn)
+        baseline.set_evidence({0: 1})
+        baseline.propagate()
+        np.testing.assert_allclose(
+            engine.marginal(5), baseline.marginal(5), rtol=1e-9
+        )
+
+    def test_resilience_kwargs_dict(self):
+        from repro import InferenceEngine, random_network
+
+        bn = random_network(10, seed=4)
+        engine = InferenceEngine.from_network(bn)
+        engine.propagate(resilience={"logspace_fallback": False})
+        assert engine.last_stats.degradations == []
+
+
+# --------------------------------------------------------------------- #
+# Simulator fault hooks
+# --------------------------------------------------------------------- #
+
+
+class TestSimulatorFaults:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        tree = synthetic_tree(
+            10, clique_width=3, states=2, avg_children=2, seed=9
+        )
+        tree.initialize_potentials(np.random.default_rng(9))
+        return build_task_graph(tree)
+
+    def test_core_kill_stretches_makespan(self, graph):
+        from repro.simcore.machine import Machine
+        from repro.simcore.policies import CollaborativePolicy
+        from repro.simcore.profiles import XEON
+
+        machine = Machine(XEON, 4)
+        base = machine.run(CollaborativePolicy(), graph)
+        faulty = machine.run(
+            CollaborativePolicy(), graph,
+            fault_plan=FaultPlan(sim_kill_core={1: 0}),
+        )
+        assert faulty.cores_lost == 1
+        assert faulty.faults_injected == 1
+        assert faulty.makespan >= base.makespan
+        # Every task still executes: work reschedules onto survivors.
+        assert faulty.tasks_executed == base.tasks_executed
+
+    def test_simulator_never_kills_last_core(self, graph):
+        from repro.simcore.machine import Machine
+        from repro.simcore.policies import WorkStealingPolicy
+        from repro.simcore.profiles import XEON
+
+        machine = Machine(XEON, 2)
+        base = machine.run(WorkStealingPolicy(), graph)
+        result = machine.run(
+            WorkStealingPolicy(), graph,
+            fault_plan=FaultPlan(sim_kill_core={0: 0, 1: 1, 2: 0}),
+        )
+        # Three kills planned, but the simulator refuses to take the last
+        # core: only the first lands.
+        assert result.cores_lost == 1
+        assert result.tasks_executed == base.tasks_executed
+
+    def test_sim_delay_adds_duration(self, graph):
+        from repro.simcore.machine import Machine
+        from repro.simcore.policies import CollaborativePolicy
+        from repro.simcore.profiles import XEON
+
+        machine = Machine(XEON, 2)
+        base = machine.run(CollaborativePolicy(), graph)
+        faulty = machine.run(
+            CollaborativePolicy(), graph,
+            fault_plan=FaultPlan(sim_delay_task={0: 0.25}),
+        )
+        assert faulty.faults_injected == 1
+        # Other cores overlap the stall, so the delay is a lower bound on
+        # the makespan, not an additive term.
+        assert faulty.makespan >= 0.25
+        assert faulty.makespan > base.makespan
+
+    def test_fault_free_plan_changes_nothing(self, graph):
+        from repro.simcore.machine import Machine
+        from repro.simcore.policies import CollaborativePolicy
+        from repro.simcore.profiles import XEON
+
+        machine = Machine(XEON, 4)
+        base = machine.run(CollaborativePolicy(), graph)
+        with_plan = machine.run(
+            CollaborativePolicy(), graph, fault_plan=FaultPlan()
+        )
+        assert with_plan.makespan == base.makespan
+        assert with_plan.cores_lost == 0
+        assert with_plan.faults_injected == 0
