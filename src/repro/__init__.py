@@ -15,6 +15,8 @@ Public API highlights
   plus the shared-memory process executor (real multicore parallelism).
 * :mod:`repro.simcore` — the discrete-event multicore simulator and
   scheduling policies used for the speedup experiments.
+* :mod:`repro.obs` — span tracing for every executor, Chrome-trace/
+  Perfetto export, derived metrics, and simulator calibration reports.
 """
 
 from repro.bn.generation import chain_network, naive_bayes_network, random_network
@@ -32,6 +34,8 @@ from repro.sched.collaborative import CollaborativeExecutor
 from repro.sched.process import ProcessSharedMemoryExecutor
 from repro.sched.serial import SerialExecutor
 from repro.sched.workstealing import WorkStealingExecutor
+from repro.obs.trace import PropagationTrace
+from repro.obs.tracer import Tracer
 from repro.tasks.dag import build_task_graph
 
 __version__ = "1.0.0"
@@ -61,4 +65,6 @@ __all__ = [
     "DataParallelExecutor",
     "WorkStealingExecutor",
     "ProcessSharedMemoryExecutor",
+    "Tracer",
+    "PropagationTrace",
 ]

@@ -110,7 +110,11 @@ def _cmd_demo(args) -> int:
     if fault_plan is not None:
         print(f"fault injection: kill a worker before dispatch "
               f"{args.inject_kill}")
-    engine.propagate(executor, resilience=args.resilience or None)
+    engine.propagate(
+        executor,
+        resilience=args.resilience or None,
+        trace=getattr(args, "trace", None),
+    )
     target = bn.num_variables - 1
     print(
         f"P(X{target} | X0=1) = "
@@ -135,6 +139,57 @@ def _cmd_demo(args) -> int:
             print(f"  degraded: {record}")
     if stats.health:
         print(f"health: {stats.health}")
+    if getattr(args, "trace", None):
+        trace = engine.last_trace
+        print(trace.summary())
+        print(
+            f"trace written to {args.trace} "
+            f"(open in https://ui.perfetto.dev or chrome://tracing; "
+            f"inspect with `repro trace report {args.trace}`)"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import PropagationTrace, validate_chrome_trace
+
+    if args.trace_command == "validate":
+        try:
+            counts = validate_chrome_trace(args.file)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"{args.file}: invalid trace — {exc}")
+            return 1
+        print(
+            f"{args.file}: valid Chrome trace — {counts['events']} events, "
+            f"{counts['spans']} spans, {counts['counters']} counter "
+            f"samples, {counts['rows']} rows"
+        )
+        return 0
+
+    try:
+        trace = PropagationTrace.load(args.file)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"{args.file}: cannot load trace — {exc}")
+        return 1
+    if args.trace_command == "gantt":
+        print(trace.summary())
+        print()
+        print("\n".join(trace.gantt(width=args.width)))
+        return 0
+
+    # report: metrics + observed-vs-predicted simcore calibration
+    print(trace.summary())
+    print()
+    print(trace.metrics().format())
+    print()
+    try:
+        report = trace.calibrate()
+    except ValueError as exc:
+        print(f"calibration skipped: {exc}")
+        return 0
+    print(report.format())
     return 0
 
 
@@ -368,6 +423,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per task for crashes/deadline misses "
         "(process executor only)",
     )
+    demo.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record a span trace of the propagation and write it as "
+        "Chrome-trace JSON (open in Perfetto)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect a recorded propagation trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help="metrics plus observed-vs-simcore-predicted calibration",
+    )
+    trace_report.add_argument("file", help="Chrome-trace JSON from --trace")
+    trace_gantt = trace_sub.add_parser(
+        "gantt", help="ASCII Gantt of the per-worker timelines"
+    )
+    trace_gantt.add_argument("file", help="Chrome-trace JSON from --trace")
+    trace_gantt.add_argument("--width", type=int, default=72)
+    trace_validate = trace_sub.add_parser(
+        "validate", help="check the file against the Chrome trace format"
+    )
+    trace_validate.add_argument("file", help="Chrome-trace JSON to check")
 
     query = sub.add_parser("query", help="marginal or MPE query")
     query.add_argument("--variables", type=int, default=15)
@@ -425,6 +506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "info": _cmd_info,
         "demo": _cmd_demo,
+        "trace": _cmd_trace,
         "query": _cmd_query,
         "model": _cmd_model,
         "experiment": _cmd_experiment,

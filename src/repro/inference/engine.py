@@ -64,6 +64,8 @@ class InferenceEngine:
         self.evidence = Evidence()
         self._state: Optional[PropagationState] = None
         self.last_stats: Optional[ExecutionStats] = None
+        # PropagationTrace of the last traced propagate(trace=...), if any.
+        self.last_trace = None
 
     @classmethod
     def from_network(
@@ -106,7 +108,9 @@ class InferenceEngine:
         self._state = None
         return self
 
-    def propagate(self, executor=None, resilience=None) -> PropagationState:
+    def propagate(
+        self, executor=None, resilience=None, trace=None
+    ) -> PropagationState:
         """Run two-phase evidence propagation; returns the calibrated state.
 
         ``executor`` is any object with ``run(task_graph, state)``; defaults
@@ -118,6 +122,13 @@ class InferenceEngine:
         pass ``True`` for the defaults, or a dict of ``ResilientExecutor``
         keyword arguments (e.g. ``{"logspace_fallback": False}``).  The
         steps taken, if any, land in ``self.last_stats.degradations``.
+
+        ``trace`` enables the span tracer (:mod:`repro.obs`): pass ``True``
+        to record a :class:`~repro.obs.trace.PropagationTrace` into
+        ``self.last_trace``, a path to additionally save it as
+        Chrome-trace JSON (open in Perfetto), or a prepared
+        :class:`~repro.obs.tracer.Tracer` to control its settings.
+        Executors that predate tracing still run, just untraced.
         """
         cards = self._cardinalities()
         assignments = self.evidence.checked_against(cards)
@@ -125,13 +136,46 @@ class InferenceEngine:
             self.jt, assignments, self.evidence.soft_as_dict()
         )
         executor = executor or SerialExecutor()
+        base_executor = executor
         if resilience:
             from repro.sched.resilient import ResilientExecutor
 
             if not isinstance(executor, ResilientExecutor):
                 kwargs = resilience if isinstance(resilience, dict) else {}
                 executor = ResilientExecutor(executor, **kwargs)
-        self.last_stats = executor.run(self.task_graph, state)
+
+        tracer = None
+        if trace is not None and trace is not False:
+            from repro.obs.tracer import Tracer
+
+            tracer = trace if isinstance(trace, Tracer) else Tracer()
+            threshold = getattr(base_executor, "partition_threshold", None)
+            if threshold is not None:
+                tracer.meta["partition_threshold"] = threshold
+
+        if tracer is not None:
+            import inspect
+
+            try:
+                params = inspect.signature(executor.run).parameters
+            except (TypeError, ValueError):
+                params = {}
+            if "tracer" in params:
+                stats = executor.run(self.task_graph, state, tracer=tracer)
+            else:
+                stats = executor.run(self.task_graph, state)
+            self.last_trace = tracer.finalize(
+                graph=self.task_graph,
+                stats=stats,
+                executor=type(base_executor).__name__,
+            )
+            if isinstance(trace, (str, bytes)) or hasattr(
+                trace, "__fspath__"
+            ):
+                self.last_trace.save(trace)
+        else:
+            stats = executor.run(self.task_graph, state)
+        self.last_stats = stats
         self._state = state
         return state
 

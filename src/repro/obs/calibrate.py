@@ -1,0 +1,197 @@
+"""Calibrating the simcore cost model against a measured trace.
+
+The simulator (:mod:`repro.simcore`) predicts makespans from a platform
+profile; until now nothing checked those predictions against real runs.
+:func:`calibrate` closes the loop: it rebuilds the task DAG from the
+metadata embedded in a :class:`~repro.obs.trace.PropagationTrace`, fits
+the profile's ``flops_per_second`` to the trace's own measured execute
+throughput, replays the DAG through
+:class:`~repro.simcore.policies.CollaborativePolicy` at the traced worker
+count, and reports predicted vs. measured makespan, critical path, and
+per-core busy time.  A saved trace file is self-contained, so
+``repro trace report out.json`` works without the original network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import TraceMetrics, compute_metrics
+from repro.obs.span import TaskMeta
+from repro.obs.trace import PropagationTrace
+from repro.potential.primitives import PrimitiveKind
+from repro.simcore.policies import (
+    DEFAULT_PARTITION_THRESHOLD,
+    CollaborativePolicy,
+)
+from repro.simcore.profiles import XEON, PlatformProfile
+from repro.simcore.result import SimResult
+from repro.tasks.task import TaskGraph
+
+
+def rebuild_task_graph(tasks: List[TaskMeta]) -> TaskGraph:
+    """Reconstruct the :class:`TaskGraph` from embedded trace metadata."""
+    graph = TaskGraph()
+    for meta in sorted(tasks, key=lambda t: t.tid):
+        tid = graph.add_task(
+            kind=PrimitiveKind(meta.kind),
+            phase=meta.phase,
+            edge=tuple(meta.edge),
+            clique=meta.clique,
+            input_size=meta.input_size,
+            output_size=meta.output_size,
+            deps=list(meta.deps),
+        )
+        if tid != meta.tid:
+            raise ValueError(
+                f"trace task ids are not dense: expected {tid}, "
+                f"got {meta.tid}"
+            )
+    return graph
+
+
+@dataclass
+class CalibrationReport:
+    """Predicted-vs-measured comparison for one traced run."""
+
+    executor: str
+    num_workers: int
+    profile_name: str
+    fitted_flops_per_second: float
+    measured_makespan: float
+    predicted_makespan: float
+    measured_critical_path: float
+    predicted_critical_path: float
+    # Per-core busy seconds: measured rows use trace worker ids, predicted
+    # rows use simulated core ids (both sorted ascending for display).
+    measured_busy: Dict[int, float] = field(default_factory=dict)
+    predicted_busy: List[float] = field(default_factory=list)
+    metrics: Optional[TraceMetrics] = None
+    sim_result: Optional[SimResult] = None
+
+    @property
+    def makespan_error(self) -> float:
+        """Signed relative error: (predicted - measured) / measured."""
+        if self.measured_makespan <= 0:
+            return 0.0
+        return (
+            self.predicted_makespan - self.measured_makespan
+        ) / self.measured_makespan
+
+    @property
+    def critical_path_error(self) -> float:
+        if self.measured_critical_path <= 0:
+            return 0.0
+        return (
+            self.predicted_critical_path - self.measured_critical_path
+        ) / self.measured_critical_path
+
+    def format(self) -> str:
+        """The ``repro trace report`` comparison table."""
+
+        def row(label: str, measured: float, predicted: float) -> str:
+            if measured > 0:
+                diff = f"{(predicted - measured) / measured:+8.1%}"
+            else:
+                diff = "     n/a"
+            return (
+                f"  {label:<16} {measured * 1e3:10.2f} ms "
+                f"{predicted * 1e3:10.2f} ms {diff}"
+            )
+
+        lines = [
+            f"calibration: {self.executor or 'unknown executor'} run on "
+            f"{self.num_workers} worker(s) vs simcore "
+            f"[{self.profile_name}]",
+            f"  fitted throughput: "
+            f"{self.fitted_flops_per_second / 1e6:.1f} MFLOP/s",
+            f"  {'':<16} {'measured':>13} {'predicted':>13} {'diff':>8}",
+            row("makespan", self.measured_makespan, self.predicted_makespan),
+            row(
+                "critical path",
+                self.measured_critical_path,
+                self.predicted_critical_path,
+            ),
+        ]
+        mean_measured = (
+            sum(self.measured_busy.values()) / len(self.measured_busy)
+            if self.measured_busy
+            else 0.0
+        )
+        mean_predicted = (
+            sum(self.predicted_busy) / len(self.predicted_busy)
+            if self.predicted_busy
+            else 0.0
+        )
+        lines.append(row("mean core busy", mean_measured, mean_predicted))
+        return "\n".join(lines)
+
+
+def calibrate(
+    trace: PropagationTrace,
+    profile: Optional[PlatformProfile] = None,
+    partition_threshold: Optional[int] = None,
+) -> CalibrationReport:
+    """Replay the traced DAG through simcore and diff against measurement.
+
+    The base ``profile`` (default :data:`~repro.simcore.profiles.XEON`)
+    supplies the overhead constants; its ``flops_per_second`` is replaced
+    by the throughput the trace actually achieved, so the comparison
+    isolates the *scheduling* model from raw per-core speed.
+    ``partition_threshold`` defaults to the one recorded in the trace's
+    metadata (falling back to the simulator's default δ).
+    """
+    if not trace.tasks:
+        raise ValueError(
+            "trace has no embedded task metadata; re-record it with a "
+            "task graph (engine.propagate(trace=...) always embeds one)"
+        )
+    base = profile if profile is not None else XEON
+    metrics = compute_metrics(trace)
+
+    execute_seconds = metrics.total_execute_seconds
+    if metrics.total_flops > 0 and execute_seconds > 0:
+        fitted_fps = metrics.total_flops / execute_seconds
+    else:
+        fitted_fps = base.flops_per_second
+    fitted = dataclasses.replace(
+        base,
+        name=f"{base.name} (calibrated)",
+        flops_per_second=fitted_fps,
+    )
+
+    if partition_threshold is None:
+        partition_threshold = trace.meta.get(
+            "partition_threshold", DEFAULT_PARTITION_THRESHOLD
+        )
+    graph = rebuild_task_graph(trace.tasks)
+    policy = CollaborativePolicy(partition_threshold=partition_threshold)
+    num_cores = max(trace.num_workers, 1)
+    result = policy.simulate(graph, fitted, num_cores, record_trace=True)
+
+    # Undo the memory-pressure scale so the span is in single-stream
+    # seconds, comparable with the measured dependency-chain time.
+    predicted_cp = (
+        result.sim_graph.critical_path()
+        / fitted_fps
+        * fitted.memory_scale(num_cores)
+    )
+
+    return CalibrationReport(
+        executor=trace.executor,
+        num_workers=trace.num_workers,
+        profile_name=base.name,
+        fitted_flops_per_second=fitted_fps,
+        measured_makespan=trace.wall_seconds,
+        predicted_makespan=result.makespan,
+        measured_critical_path=metrics.critical_path_seconds,
+        predicted_critical_path=predicted_cp,
+        measured_busy={
+            w: s for w, s in sorted(metrics.busy_seconds.items())
+        },
+        predicted_busy=list(result.compute_time),
+        metrics=metrics,
+        sim_result=result,
+    )

@@ -1,0 +1,217 @@
+"""Derived metrics over a :class:`~repro.obs.trace.PropagationTrace`.
+
+Turns raw spans into the quantities the paper reasons about: where time
+went per primitive (Fig. 8's primitive-vs-scheduling split), how deep the
+ready queues ran, how much of the run was spent waiting on the GL/LL
+locks (Section 8's scalability concern), and the *observed* critical path
+— the longest dependency chain measured through actual span durations,
+the empirical counterpart of ``TaskGraph.critical_path_work()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.span import CAT_EXECUTE, CAT_IPC, CAT_SCHED, ROLE_COMBINE
+from repro.obs.trace import PropagationTrace
+
+
+@dataclass
+class PrimitiveMetrics:
+    """Aggregate execute-time accounting for one primitive kind."""
+
+    kind: str
+    count: int = 0
+    seconds: float = 0.0
+    flops: float = 0.0
+    table_bytes: int = 0
+
+    @property
+    def flops_per_second(self) -> float:
+        return self.flops / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class TraceMetrics:
+    """Everything :func:`compute_metrics` derives from one trace."""
+
+    wall_seconds: float
+    num_workers: int
+    per_primitive: Dict[str, PrimitiveMetrics] = field(default_factory=dict)
+    busy_seconds: Dict[int, float] = field(default_factory=dict)
+    sched_seconds: Dict[int, float] = field(default_factory=dict)
+    lock_wait_seconds: Dict[str, float] = field(default_factory=dict)
+    ipc_seconds: float = 0.0
+    queue_depth_mean: float = 0.0
+    queue_depth_max: int = 0
+    # Longest dependency chain through measured per-task durations.
+    critical_path_seconds: float = 0.0
+    critical_path_tasks: List[int] = field(default_factory=list)
+    total_flops: float = 0.0
+    total_table_bytes: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_execute_seconds(self) -> float:
+        return sum(m.seconds for m in self.per_primitive.values())
+
+    @property
+    def effective_flops_per_second(self) -> float:
+        """Aggregate FLOP throughput over time actually spent executing."""
+        seconds = self.total_execute_seconds
+        return self.total_flops / seconds if seconds > 0 else 0.0
+
+    @property
+    def sched_share(self) -> float:
+        """Scheduling time as a fraction of busy + scheduling time."""
+        busy = sum(self.busy_seconds.values())
+        sched = sum(self.sched_seconds.values())
+        total = busy + sched
+        return sched / total if total > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy time / (workers x wall): 1.0 means no idle gaps at all."""
+        denom = self.wall_seconds * max(self.num_workers, 1)
+        return sum(self.busy_seconds.values()) / denom if denom > 0 else 0.0
+
+    def format(self) -> str:
+        """Multi-line human rendering (``repro trace report`` prints this)."""
+        lines = [
+            f"wall time          {self.wall_seconds * 1e3:10.2f} ms"
+            f"   workers {self.num_workers}",
+            f"execute time       {self.total_execute_seconds * 1e3:10.2f} ms"
+            f"   ({self.effective_flops_per_second / 1e6:.1f} MFLOP/s "
+            f"effective)",
+            f"parallel efficiency{self.parallel_efficiency:10.2%}",
+            f"observed crit path {self.critical_path_seconds * 1e3:10.2f} ms"
+            f"   ({len(self.critical_path_tasks)} tasks)",
+        ]
+        if self.per_primitive:
+            lines.append("per primitive:")
+            for kind in sorted(self.per_primitive):
+                m = self.per_primitive[kind]
+                lines.append(
+                    f"  {kind:<12} {m.count:6d} spans "
+                    f"{m.seconds * 1e3:10.2f} ms "
+                    f"{m.flops / 1e6:10.2f} MFLOP "
+                    f"{m.table_bytes / 1e6:8.2f} MB"
+                )
+        if self.lock_wait_seconds:
+            per = ", ".join(
+                f"{which} {s * 1e3:.3f} ms"
+                for which, s in sorted(self.lock_wait_seconds.items())
+            )
+            lines.append(f"lock wait:         {per}")
+        if self.ipc_seconds:
+            lines.append(
+                f"ipc round-trips    {self.ipc_seconds * 1e3:10.2f} ms total"
+            )
+        if self.queue_depth_max:
+            lines.append(
+                f"ready-queue depth  mean {self.queue_depth_mean:.1f}, "
+                f"max {self.queue_depth_max}"
+            )
+        return "\n".join(lines)
+
+
+def observed_critical_path(
+    trace: PropagationTrace,
+) -> Tuple[float, List[int]]:
+    """Longest dependency chain through measured task durations.
+
+    Uses each task's total execute-span time (chunks of one partitioned
+    task sum) and the dependency edges embedded in the trace's
+    :class:`~repro.obs.span.TaskMeta`.  Returns ``(seconds, [tids])`` with
+    the chain in execution order; tasks that never ran contribute zero.
+    """
+    if not trace.tasks:
+        return 0.0, []
+    duration: Dict[int, float] = {}
+    for span in trace.execute_spans():
+        if span.tid is None:
+            continue
+        duration[span.tid] = duration.get(span.tid, 0.0) + span.duration
+
+    deps = {meta.tid: meta.deps for meta in trace.tasks}
+    completion: Dict[int, float] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+
+    # TaskMeta is emitted in tid (topological) order, so one forward pass
+    # sees every dependency before its successor.
+    for meta in trace.tasks:
+        tid = meta.tid
+        best = 0.0
+        pred: Optional[int] = None
+        for d in deps.get(tid, []):
+            c = completion.get(d, 0.0)
+            if c > best:
+                best, pred = c, d
+        completion[tid] = best + duration.get(tid, 0.0)
+        best_pred[tid] = pred
+
+    if not completion:
+        return 0.0, []
+    tail = max(completion, key=lambda t: completion[t])
+    path: List[int] = []
+    cursor: Optional[int] = tail
+    while cursor is not None:
+        path.append(cursor)
+        cursor = best_pred.get(cursor)
+    path.reverse()
+    return completion[tail], path
+
+
+def compute_metrics(trace: PropagationTrace) -> TraceMetrics:
+    """Derive a :class:`TraceMetrics` from one trace."""
+    per_primitive: Dict[str, PrimitiveMetrics] = {}
+    busy: Dict[int, float] = {}
+    sched: Dict[int, float] = {}
+    ipc_seconds = 0.0
+    total_flops = 0.0
+    total_bytes = 0
+
+    for span in trace.spans:
+        if span.cat == CAT_EXECUTE:
+            kind = span.kind or (
+                ROLE_COMBINE if span.role == ROLE_COMBINE else "unknown"
+            )
+            metric = per_primitive.get(kind)
+            if metric is None:
+                metric = per_primitive[kind] = PrimitiveMetrics(kind)
+            metric.count += 1
+            metric.seconds += span.duration
+            if span.flops:
+                metric.flops += span.flops
+                total_flops += span.flops
+            if span.table_bytes:
+                metric.table_bytes += span.table_bytes
+                total_bytes += span.table_bytes
+            busy[span.worker] = busy.get(span.worker, 0.0) + span.duration
+        elif span.cat == CAT_SCHED:
+            sched[span.worker] = sched.get(span.worker, 0.0) + span.duration
+        elif span.cat == CAT_IPC:
+            ipc_seconds += span.duration
+
+    depths = [depth for _, _, depth in trace.queue_samples]
+    cp_seconds, cp_tasks = observed_critical_path(trace)
+
+    return TraceMetrics(
+        wall_seconds=trace.wall_seconds,
+        num_workers=trace.num_workers,
+        per_primitive=per_primitive,
+        busy_seconds=busy,
+        sched_seconds=sched,
+        lock_wait_seconds={
+            which: ns * 1e-9 for which, ns in trace.lock_wait_ns.items()
+        },
+        ipc_seconds=ipc_seconds,
+        queue_depth_mean=sum(depths) / len(depths) if depths else 0.0,
+        queue_depth_max=max(depths, default=0),
+        critical_path_seconds=cp_seconds,
+        critical_path_tasks=cp_tasks,
+        total_flops=total_flops,
+        total_table_bytes=total_bytes,
+        counters=dict(trace.counters),
+    )

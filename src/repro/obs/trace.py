@@ -1,0 +1,158 @@
+"""The finished trace of one propagation: spans + task metadata.
+
+A :class:`PropagationTrace` is what :meth:`~repro.obs.tracer.Tracer.finalize`
+produces and what every downstream consumer works from: the Chrome-trace
+exporter (:mod:`repro.obs.export`), the metrics layer
+(:mod:`repro.obs.metrics`), the simcore calibration report
+(:mod:`repro.obs.calibrate`) and the ASCII Gantt renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.span import CAT_EXECUTE, Span, TaskMeta
+
+
+@dataclass
+class PropagationTrace:
+    """Everything recorded about one traced propagation run.
+
+    ``num_workers`` is the executor's worker count (the paper's ``P``);
+    worker rows above it (the process executor's master slot, replacement
+    workers) and the negative virtual rows (control, ipc) carry their own
+    labels in ``row_names``.
+    """
+
+    executor: str = ""
+    num_workers: int = 1
+    wall_ns: int = 0
+    spans: List[Span] = field(default_factory=list)
+    # (worker, ts_ns, depth) ready-queue depth samples.
+    queue_samples: List[Tuple[int, int, int]] = field(default_factory=list)
+    # Total lock-acquisition wait per category ("GL" / "LL"), nanoseconds.
+    lock_wait_ns: Dict[str, int] = field(default_factory=dict)
+    # Merged per-buffer counters (e.g. ipc_overhead_ns, dispatches, steals).
+    counters: Dict[str, float] = field(default_factory=dict)
+    tasks: List[TaskMeta] = field(default_factory=list)
+    row_names: Dict[int, str] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_ns * 1e-9
+
+    @property
+    def num_spans(self) -> int:
+        return len(self.spans)
+
+    def execute_spans(self) -> List[Span]:
+        """Spans of category ``execute`` (tasks, chunks, combiners)."""
+        return [s for s in self.spans if s.cat == CAT_EXECUTE]
+
+    def spans_for_task(self, tid: int) -> List[Span]:
+        return [s for s in self.spans if s.tid == tid]
+
+    def workers(self) -> List[int]:
+        """Every worker row that recorded at least one span or sample."""
+        rows = {s.worker for s in self.spans}
+        rows.update(w for w, _, _ in self.queue_samples)
+        return sorted(rows)
+
+    def row_label(self, worker: int) -> str:
+        if worker in self.row_names:
+            return self.row_names[worker]
+        return f"worker-{worker}"
+
+    def busy_ns(self) -> Dict[int, int]:
+        """Per-worker nanoseconds covered by execute spans."""
+        busy: Dict[int, int] = {}
+        for span in self.execute_spans():
+            busy[span.worker] = busy.get(span.worker, 0) + span.duration_ns
+        return busy
+
+    def coverage(self, stats) -> float:
+        """Fraction of the executor-measured busy time covered by spans.
+
+        ``stats`` is the :class:`~repro.sched.stats.ExecutionStats` of the
+        same run; the acceptance bar for the tracer is >= 0.95 on every
+        executor (spans and stats are derived from the same timestamps, so
+        in practice this is 1.0 up to float rounding).
+        """
+        measured = sum(stats.compute_time)
+        if measured <= 0:
+            return 1.0
+        covered = sum(self.busy_ns().values()) * 1e-9
+        return covered / measured
+
+    # ------------------------------------------------------------------ #
+    # Derived products (lazy imports keep repro.obs cycle-free)
+    # ------------------------------------------------------------------ #
+
+    def metrics(self):
+        """Derived counters: see :func:`repro.obs.metrics.compute_metrics`."""
+        from repro.obs.metrics import compute_metrics
+
+        return compute_metrics(self)
+
+    def calibrate(self, profile=None, partition_threshold=None):
+        """Replay through simcore: see :func:`repro.obs.calibrate.calibrate`."""
+        from repro.obs.calibrate import calibrate
+
+        return calibrate(
+            self, profile=profile, partition_threshold=partition_threshold
+        )
+
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome Trace Event Format object."""
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def save(self, path) -> None:
+        """Write the Chrome-trace JSON (Perfetto / chrome://tracing)."""
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(self, path)
+
+    @classmethod
+    def load(cls, path) -> "PropagationTrace":
+        from repro.obs.export import load_chrome_trace
+
+        return load_chrome_trace(path)
+
+    def gantt(self, width: int = 72) -> List[str]:
+        """ASCII Gantt rows, one per worker timeline."""
+        from repro.obs.export import ascii_gantt
+
+        return ascii_gantt(self, width=width)
+
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the demo CLI prints this)."""
+        busy = self.busy_ns()
+        rows = len(self.workers())
+        lock_ms = sum(self.lock_wait_ns.values()) * 1e-6
+        lines = [
+            f"trace: {self.num_spans} spans on {rows} timeline rows, "
+            f"wall {self.wall_seconds * 1e3:.2f} ms "
+            f"({self.executor or 'unknown executor'})",
+            f"  busy: "
+            + ", ".join(
+                f"{self.row_label(w)} {ns * 1e-6:.2f} ms"
+                for w, ns in sorted(busy.items())
+            ),
+        ]
+        if lock_ms:
+            per = ", ".join(
+                f"{which} {ns * 1e-6:.3f} ms"
+                for which, ns in sorted(self.lock_wait_ns.items())
+            )
+            lines.append(f"  lock wait: {per}")
+        return "\n".join(lines)

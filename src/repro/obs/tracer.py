@@ -1,0 +1,341 @@
+"""Low-overhead span tracer shared by every executor.
+
+Design constraints (the Fig. 8 measurements this enables are only credible
+if the observer is cheap):
+
+* **No locks on the hot path.**  Each worker thread/slot owns one
+  :class:`SpanBuffer`; recording a span is a single ``list.append`` of a
+  plain tuple (append-only, atomic under the GIL).  The only lock in the
+  tracer guards buffer *creation*, which happens once per worker.
+* **Tuples now, objects later.**  Hot-path records are raw tuples of
+  integers; :class:`~repro.obs.span.Span` objects (with task tags looked
+  up from the graph) are materialized once, in :meth:`Tracer.finalize`.
+* **Timestamps are ``perf_counter_ns``.**  On every supported platform
+  this clock is system-wide monotonic, so spans recorded inside forked or
+  spawned worker *processes* land on the same timeline as the master's —
+  the process executor captures ``(t0, t1)`` worker-side and ships the
+  pair back with each result, and the master merges them into per-pid
+  rows at join.
+* **Disabled means absent.**  Executors take ``tracer=None`` and guard
+  every call site with one ``is not None`` test; the untraced path
+  executes the exact pre-observability code.
+
+Lock-wait attribution uses :class:`TimedLock`, a drop-in ``threading.Lock``
+wrapper that times ``acquire`` and charges the wait to the *calling*
+worker's buffer (via a thread-local bound with :meth:`Tracer.bind`).  Waits
+are accumulated as per-category counters (GL = the shared global-list /
+dependency lock, LL = per-thread local-list locks); only waits longer than
+``slow_lock_ns`` emit an individual span, so heavy contention is visible
+in the timeline without flooding the trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.span import (
+    CAT_EXECUTE,
+    CAT_FAULT,
+    CONTROL_ROW,
+    ROLE_COMBINE,
+    Span,
+    TaskMeta,
+)
+from repro.obs.trace import PropagationTrace
+
+# The shared global-task-list / dependency lock (Algorithm 2's GL) and the
+# per-thread local ready-list locks (LL) — the two lock classes the paper's
+# Section 8 worries about.
+LOCK_GL = "GL"
+LOCK_LL = "LL"
+
+# Emit an individual lock-wait span only past this wait (100 µs); shorter
+# waits are still accumulated in the per-category counters.
+DEFAULT_SLOW_LOCK_NS = 100_000
+
+
+class SpanBuffer:
+    """Per-worker append-only record buffer; no locks on any method.
+
+    One buffer belongs to exactly one worker (thread slot, process slot or
+    a virtual row); the owning worker is the only writer, the tracer reads
+    it after the run has joined.
+    """
+
+    __slots__ = (
+        "worker",
+        "task_records",
+        "misc_records",
+        "samples",
+        "lock_wait_ns",
+        "counters",
+        "slow_lock_ns",
+    )
+
+    def __init__(self, worker: int, slow_lock_ns: int = DEFAULT_SLOW_LOCK_NS):
+        self.worker = worker
+        # (role, tid, start_ns, end_ns, lo, hi, pid); lo == -1 -> no chunk.
+        self.task_records: List[Tuple] = []
+        # (name, cat, start_ns, end_ns)
+        self.misc_records: List[Tuple] = []
+        # (ts_ns, depth) queue-depth samples
+        self.samples: List[Tuple[int, int]] = []
+        self.lock_wait_ns: Dict[str, int] = {}
+        self.counters: Dict[str, float] = {}
+        self.slow_lock_ns = slow_lock_ns
+
+    # -- hot path ------------------------------------------------------- #
+
+    def task_span(
+        self,
+        role: str,
+        tid: int,
+        start_ns: int,
+        end_ns: int,
+        lo: int = -1,
+        hi: int = -1,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Record one execution interval of task ``tid``."""
+        self.task_records.append((role, tid, start_ns, end_ns, lo, hi, pid))
+
+    def span(self, name: str, cat: str, start_ns: int, end_ns: int) -> None:
+        """Record an untagged interval (sched wait, slow lock, ipc rtt)."""
+        self.misc_records.append((name, cat, start_ns, end_ns))
+
+    def instant(self, name: str, cat: str = CAT_FAULT) -> None:
+        """Record a zero-length marker at the current instant."""
+        now = time.perf_counter_ns()
+        self.misc_records.append((name, cat, now, now))
+
+    def lock_wait(self, which: str, wait_ns: int) -> None:
+        """Charge ``wait_ns`` of lock acquisition to category ``which``."""
+        self.lock_wait_ns[which] = self.lock_wait_ns.get(which, 0) + wait_ns
+        if wait_ns >= self.slow_lock_ns:
+            now = time.perf_counter_ns()
+            self.misc_records.append(
+                (f"lock-wait:{which}", "lock", now - wait_ns, now)
+            )
+
+    def count(self, key: str, delta: float = 1.0) -> None:
+        self.counters[key] = self.counters.get(key, 0.0) + delta
+
+    def sample_queue(self, depth: int) -> None:
+        self.samples.append((time.perf_counter_ns(), depth))
+
+
+class Tracer:
+    """Factory and registry of per-worker span buffers for one run.
+
+    Usage (executor side)::
+
+        buf = tracer.bind(thread)          # once, at worker start
+        t0 = time.perf_counter_ns()
+        ...execute...
+        buf.task_span("task", tid, t0, time.perf_counter_ns())
+
+    and at the end of the run (engine side)::
+
+        trace = tracer.finalize(graph=graph, stats=stats, executor="...")
+    """
+
+    def __init__(self, slow_lock_ns: int = DEFAULT_SLOW_LOCK_NS):
+        self.origin_ns = time.perf_counter_ns()
+        self.slow_lock_ns = slow_lock_ns
+        self._buffers: Dict[int, SpanBuffer] = {}
+        self._create_lock = threading.Lock()
+        self._local = threading.local()
+        self.row_names: Dict[int, str] = {}
+        self.meta: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def buffer(self, worker: int) -> SpanBuffer:
+        """The (single) buffer of worker ``worker``, created on demand."""
+        buf = self._buffers.get(worker)
+        if buf is None:
+            with self._create_lock:
+                buf = self._buffers.get(worker)
+                if buf is None:
+                    buf = SpanBuffer(worker, self.slow_lock_ns)
+                    self._buffers[worker] = buf
+        return buf
+
+    def bind(self, worker: int) -> SpanBuffer:
+        """Fetch ``worker``'s buffer and make it this thread's current one.
+
+        ``TimedLock`` charges lock waits to the *current* buffer, so every
+        worker thread must bind before touching instrumented locks.
+        """
+        buf = self.buffer(worker)
+        self._local.buf = buf
+        return buf
+
+    def current(self) -> SpanBuffer:
+        """The calling thread's bound buffer (control row if unbound)."""
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = self.bind(CONTROL_ROW)
+        return buf
+
+    def name_row(self, worker: int, name: str) -> None:
+        """Label a worker's timeline row in exported traces."""
+        self.row_names[worker] = name
+
+    # ------------------------------------------------------------------ #
+
+    def finalize(
+        self,
+        graph=None,
+        stats=None,
+        executor: str = "",
+    ) -> PropagationTrace:
+        """Materialize every buffered record into a :class:`PropagationTrace`.
+
+        ``graph`` (a :class:`~repro.tasks.task.TaskGraph`) supplies the
+        task tags — kind, phase, clique, sizes, FLOPs — and the dependency
+        structure embedded in the trace; ``stats`` supplies wall time and
+        the worker count.  Both are optional: without them the trace still
+        holds correctly-timed (but untagged) spans.
+        """
+        origin = self.origin_ns
+        spans: List[Span] = []
+        queue_samples: List[Tuple[int, int, int]] = []
+        lock_wait: Dict[str, int] = {}
+        counters: Dict[str, float] = {}
+
+        tasks = list(graph.tasks) if graph is not None else []
+        for worker in sorted(self._buffers):
+            buf = self._buffers[worker]
+            for role, tid, t0, t1, lo, hi, pid in buf.task_records:
+                task = tasks[tid] if 0 <= tid < len(tasks) else None
+                if task is not None:
+                    kind = task.kind.value
+                    name = (
+                        f"{ROLE_COMBINE}#{tid}"
+                        if role == ROLE_COMBINE
+                        else f"{kind}#{tid}"
+                    )
+                    flops = task.weight
+                    table_bytes = (task.input_size + task.output_size) * 8
+                    if lo >= 0 and task.partition_size:
+                        frac = (hi - lo) / task.partition_size
+                        flops *= frac
+                        table_bytes = int(table_bytes * frac)
+                    spans.append(
+                        Span(
+                            name=name,
+                            cat=CAT_EXECUTE,
+                            worker=worker,
+                            start_ns=t0 - origin,
+                            end_ns=t1 - origin,
+                            role=role,
+                            tid=tid,
+                            kind=kind,
+                            phase=task.phase,
+                            clique=task.clique,
+                            edge=tuple(task.edge),
+                            table_bytes=table_bytes,
+                            flops=flops,
+                            chunk=(lo, hi) if lo >= 0 else None,
+                            pid=pid,
+                        )
+                    )
+                else:
+                    spans.append(
+                        Span(
+                            name=f"{role}#{tid}",
+                            cat=CAT_EXECUTE,
+                            worker=worker,
+                            start_ns=t0 - origin,
+                            end_ns=t1 - origin,
+                            role=role,
+                            tid=tid,
+                            chunk=(lo, hi) if lo >= 0 else None,
+                            pid=pid,
+                        )
+                    )
+            for name, cat, t0, t1 in buf.misc_records:
+                spans.append(
+                    Span(
+                        name=name,
+                        cat=cat,
+                        worker=worker,
+                        start_ns=t0 - origin,
+                        end_ns=t1 - origin,
+                    )
+                )
+            for ts, depth in buf.samples:
+                queue_samples.append((worker, ts - origin, depth))
+            for which, ns in buf.lock_wait_ns.items():
+                lock_wait[which] = lock_wait.get(which, 0) + ns
+            for key, value in buf.counters.items():
+                counters[key] = counters.get(key, 0.0) + value
+
+        spans.sort(key=lambda s: (s.start_ns, s.worker))
+        if stats is not None and stats.wall_time:
+            wall_ns = int(stats.wall_time * 1e9)
+        else:
+            wall_ns = max((s.end_ns for s in spans), default=0)
+
+        task_meta = [
+            TaskMeta.from_task(task, graph.deps[task.tid]) for task in tasks
+        ]
+        num_workers = (
+            stats.num_threads
+            if stats is not None
+            else sum(1 for w in self._buffers if w >= 0) or 1
+        )
+        return PropagationTrace(
+            executor=executor,
+            num_workers=num_workers,
+            wall_ns=wall_ns,
+            spans=spans,
+            queue_samples=queue_samples,
+            lock_wait_ns=lock_wait,
+            counters=counters,
+            tasks=task_meta,
+            row_names=dict(self.row_names),
+            meta=dict(self.meta),
+        )
+
+
+class TimedLock:
+    """Drop-in ``threading.Lock`` wrapper that meters acquisition waits.
+
+    Supports the context-manager protocol and explicit
+    ``acquire``/``release``, so instrumented executors can swap it for a
+    plain lock without touching any ``with lock:`` site.  The wait is
+    charged to the calling thread's bound buffer (see :meth:`Tracer.bind`).
+    """
+
+    __slots__ = ("_lock", "_tracer", "_which")
+
+    def __init__(self, tracer: Tracer, which: str, lock=None):
+        self._lock = lock if lock is not None else threading.Lock()
+        self._tracer = tracer
+        self._which = which
+
+    def acquire(self) -> bool:
+        # Fast path: an uncontended lock costs one try-acquire and zero
+        # clock reads — only an actual *wait* is worth metering.
+        if self._lock.acquire(False):
+            return True
+        t0 = time.perf_counter_ns()
+        self._lock.acquire()
+        self._tracer.current().lock_wait(
+            self._which, time.perf_counter_ns() - t0
+        )
+        return True
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "TimedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()

@@ -33,7 +33,7 @@ and the process executor natively supports per-task deadlines, bounded
 retry with backoff, and arena-preserving pool restarts after a crash.
 """
 
-from repro.sched.stats import ExecutionStats
+from repro.sched.stats import ExecutionStats, SpanRecord
 from repro.sched.serial import SerialExecutor
 from repro.sched.collaborative import CollaborativeExecutor
 from repro.sched.baselines import DataParallelExecutor, LevelParallelExecutor
@@ -53,6 +53,7 @@ from repro.sched.resilient import DegradationRecord, ResilientExecutor
 
 __all__ = [
     "ExecutionStats",
+    "SpanRecord",
     "SerialExecutor",
     "CollaborativeExecutor",
     "LevelParallelExecutor",

@@ -25,7 +25,7 @@ import threading
 import time
 from typing import List, Optional, Tuple
 
-from repro.sched.stats import ExecutionStats
+from repro.sched.stats import ExecutionStats, SpanRecord
 from repro.tasks.partition_plan import plan_partition
 from repro.tasks.state import PropagationState
 from repro.tasks.task import Task, TaskGraph
@@ -98,23 +98,40 @@ class CollaborativeExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+    def run(
+        self,
+        graph: TaskGraph,
+        state: PropagationState,
+        tracer=None,
+    ) -> ExecutionStats:
         import random
 
         p = self.num_threads
         rng = random.Random(self._seed)
 
-        dep_lock = threading.Lock()
+        if tracer is not None:
+            # TimedLock is interface-identical to threading.Lock, so every
+            # `with lock:` site below is untouched; GL is the shared
+            # dependency lock, LL the per-thread local/id-buffer locks.
+            from repro.obs.tracer import LOCK_GL, LOCK_LL, TimedLock
+
+            dep_lock = TimedLock(tracer, LOCK_GL)
+            local_locks = [TimedLock(tracer, LOCK_LL) for _ in range(p)]
+            id_locks = [TimedLock(tracer, LOCK_LL) for _ in range(p)]
+            bufs = [tracer.buffer(i) for i in range(p)]
+        else:
+            dep_lock = threading.Lock()
+            local_locks = [threading.Lock() for _ in range(p)]
+            id_locks = [threading.Lock() for _ in range(p)]
+            bufs = None
         dep_count = graph.indegrees()
         remaining = [graph.num_tasks]
         rr_next = [0]  # round-robin allocation cursor
 
         local_lists: List[List] = [[] for _ in range(p)]
-        local_locks = [threading.Lock() for _ in range(p)]
         workload = [0.0] * p
 
         id_buffers: List[List[int]] = [[] for _ in range(p)]
-        id_locks = [threading.Lock() for _ in range(p)]
 
         stats = ExecutionStats(
             num_threads=p,
@@ -190,26 +207,31 @@ class CollaborativeExecutor:
 
         def run_chunk(thread: int, pset: _PartitionSet, idx: int) -> None:
             lo, hi = pset.ranges[idx]
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             result = state.execute_chunk(pset.task, lo, hi)
-            t1 = time.perf_counter()
+            t1 = time.perf_counter_ns()
+            if bufs is not None:
+                bufs[thread].task_span("chunk", pset.task.tid, t0, t1, lo, hi)
             with stats_lock:
-                stats.compute_time[thread] += t1 - t0
+                stats.compute_time[thread] += (t1 - t0) * 1e-9
                 stats.chunks_executed += 1
                 if self.record_events:
-                    stats.events.append(
-                        (pset.task.tid, thread, t0 - start, t1 - start)
-                    )
+                    stats.events.append(SpanRecord(
+                        pset.task.tid, thread,
+                        (t0 - start_ns) * 1e-9, (t1 - start_ns) * 1e-9,
+                    ))
             with pset.lock:
                 pset.results[idx] = result
                 pset.remaining -= 1
                 last = pset.remaining == 0
             if last:
-                t0 = time.perf_counter()
+                t0 = time.perf_counter_ns()
                 state.combine_chunks(pset.task, pset.results, pset.ranges)
-                elapsed = time.perf_counter() - t0
+                t1 = time.perf_counter_ns()
+                if bufs is not None:
+                    bufs[thread].task_span("combine", pset.task.tid, t0, t1)
                 with stats_lock:
-                    stats.compute_time[thread] += elapsed
+                    stats.compute_time[thread] += (t1 - t0) * 1e-9
                     stats.tasks_executed += 1
                     stats.tasks_per_thread[thread] += 1
                 complete(thread, pset.task.tid)
@@ -221,6 +243,8 @@ class CollaborativeExecutor:
             )
             if ranges is not None:
                 pset = _PartitionSet(task, ranges)
+                if bufs is not None:
+                    bufs[thread].instant(f"partition#{tid}", "sched")
                 with stats_lock:
                     stats.tasks_partitioned += 1
                 chunk_weight = task.weight / len(ranges)
@@ -232,27 +256,33 @@ class CollaborativeExecutor:
                     )
                 run_chunk(thread, pset, 0)
                 return
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             state.execute(task)
-            t1 = time.perf_counter()
+            t1 = time.perf_counter_ns()
+            if bufs is not None:
+                bufs[thread].task_span("task", tid, t0, t1)
             with stats_lock:
-                stats.compute_time[thread] += t1 - t0
+                stats.compute_time[thread] += (t1 - t0) * 1e-9
                 stats.tasks_executed += 1
                 stats.tasks_per_thread[thread] += 1
                 if self.record_events:
-                    stats.events.append(
-                        (tid, thread, t0 - start, t1 - start)
-                    )
+                    stats.events.append(SpanRecord(
+                        tid, thread,
+                        (t0 - start_ns) * 1e-9, (t1 - start_ns) * 1e-9,
+                    ))
             complete(thread, tid)
 
         def worker(thread: int) -> None:
+            if tracer is not None:
+                tracer.bind(thread)
             try:
                 while abort[0] is None:
-                    t0 = time.perf_counter()
+                    t0 = time.perf_counter_ns()
                     drain_buffer(thread)
                     item = fetch_item(thread)
+                    t1 = time.perf_counter_ns()
                     with stats_lock:
-                        stats.sched_time[thread] += time.perf_counter() - t0
+                        stats.sched_time[thread] += (t1 - t0) * 1e-9
                     if item is None:
                         with dep_lock:
                             done = remaining[0] == 0
@@ -260,6 +290,10 @@ class CollaborativeExecutor:
                             break
                         time.sleep(1e-5)
                         continue
+                    if bufs is not None:
+                        bufs[thread].span("fetch", "sched", t0, t1)
+                        # Racy length read: a sample, not an invariant.
+                        bufs[thread].sample_queue(len(local_lists[thread]))
                     if item[0] == "task":
                         run_task(thread, item[1])
                     else:
@@ -271,7 +305,7 @@ class CollaborativeExecutor:
         for offset, tid in enumerate(graph.roots()):
             push_item(offset % p, ("task", tid), graph.tasks[tid].weight)
 
-        start = time.perf_counter()
+        start_ns = time.perf_counter_ns()
         threads = [
             threading.Thread(target=worker, args=(i,), name=f"collab-{i}")
             for i in range(p)
@@ -280,7 +314,7 @@ class CollaborativeExecutor:
             t.start()
         for t in threads:
             t.join()
-        stats.wall_time = time.perf_counter() - start
+        stats.wall_time = (time.perf_counter_ns() - start_ns) * 1e-9
         if abort[0] is not None:
             raise abort[0]
         if remaining[0] != 0:

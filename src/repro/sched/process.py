@@ -235,9 +235,16 @@ def _apply_faults(spec: _TaskSpec, delay: float, fail: bool) -> None:
         raise ValueError("injected task failure (FaultPlan.fail_task)")
 
 
+# Each entry point returns ``(pid, elapsed_s, payload, t0_ns, t1_ns)``.
+# The ns pair is captured worker-side on the system-wide monotonic clock
+# (perf_counter_ns is CLOCK_MONOTONIC on Linux, fork and spawn alike), so
+# the master can merge worker execution spans onto its own timeline — the
+# process-executor form of per-pid buffers merged at join.
+
+
 def _exec_task(tid: int, delay: float = 0.0, corrupt=None, fail: bool = False):
     spec = _WORKER["specs"][tid]
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     try:
         _apply_faults(spec, delay, fail)
         _WORKER["ops"].run_task(spec)
@@ -247,7 +254,8 @@ def _exec_task(tid: int, delay: float = 0.0, corrupt=None, fail: bool = False):
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec) from exc
-    return os.getpid(), time.perf_counter() - t0, None
+    t1 = time.perf_counter_ns()
+    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1
 
 
 def _exec_chunk(
@@ -255,7 +263,7 @@ def _exec_chunk(
     delay: float = 0.0, corrupt=None, fail: bool = False,
 ):
     spec = _WORKER["specs"][tid]
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     try:
         _apply_faults(spec, delay, fail)
         partial = _WORKER["ops"].run_chunk(spec, lo, hi)
@@ -269,7 +277,8 @@ def _exec_chunk(
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec, chunk=(lo, hi)) from exc
-    return os.getpid(), time.perf_counter() - t0, partial
+    t1 = time.perf_counter_ns()
+    return os.getpid(), (t1 - t0) * 1e-9, partial, t0, t1
 
 
 def _exec_combine(
@@ -277,7 +286,7 @@ def _exec_combine(
     delay: float = 0.0, corrupt=None, fail: bool = False,
 ):
     spec = _WORKER["specs"][tid]
-    t0 = time.perf_counter()
+    t0 = time.perf_counter_ns()
     try:
         _apply_faults(spec, delay, fail)
         _WORKER["ops"].combine_marginalize(spec, parts)
@@ -287,7 +296,8 @@ def _exec_combine(
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec) from exc
-    return os.getpid(), time.perf_counter() - t0, None
+    t1 = time.perf_counter_ns()
+    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1
 
 
 class _ChunkProgress:
@@ -307,12 +317,13 @@ class _Dispatch:
     ``kind`` is ``"task"``, ``"chunk"`` or ``"combine"``; ``snapshot``
     holds the pre-dispatch copy of the non-idempotently mutated region
     (DIVIDE's separator, MULTIPLY's target slice) restored before any
-    retry, and ``deadline`` the monotonic-clock instant after which the
-    dispatch counts as hung.
+    retry, ``deadline`` the monotonic-clock instant after which the
+    dispatch counts as hung, and ``submit_ns`` the submission timestamp
+    used for tracing the dispatch round-trip.
     """
 
     __slots__ = ("kind", "tid", "idx", "lo", "hi",
-                 "attempts", "deadline", "snapshot")
+                 "attempts", "deadline", "snapshot", "submit_ns")
 
     def __init__(self, kind: str, tid: int, idx: int = 0,
                  lo: int = 0, hi: int = 0):
@@ -324,6 +335,7 @@ class _Dispatch:
         self.attempts = 0
         self.deadline: Optional[float] = None
         self.snapshot: Optional[np.ndarray] = None
+        self.submit_ns: int = 0
 
 
 def _kill_pids(pids) -> None:
@@ -461,7 +473,12 @@ class ProcessSharedMemoryExecutor:
             offset += count * _FLOAT_BYTES
         return layout, offset
 
-    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+    def run(
+        self,
+        graph: TaskGraph,
+        state: PropagationState,
+        tracer=None,
+    ) -> ExecutionStats:
         p = self.num_workers
         master_slot = p  # trailing per-worker stats slot for inline work
         stats = ExecutionStats(
@@ -470,6 +487,7 @@ class ProcessSharedMemoryExecutor:
             sched_time=[0.0] * (p + 1),
             tasks_per_thread=[0] * (p + 1),
             worker_pids=[0] * (p + 1),
+            master_slot=master_slot,
         )
         stats.worker_pids[master_slot] = os.getpid()
         if graph.num_tasks == 0:
@@ -504,7 +522,9 @@ class ProcessSharedMemoryExecutor:
                     initargs=(shm.name, layout, specs),
                 )
 
-            self._schedule(graph, specs, ops, make_pool, stats, master_slot)
+            self._schedule(
+                graph, specs, ops, make_pool, stats, master_slot, tracer
+            )
             stats.wall_time = time.perf_counter() - start
             state.absorb_shared(tables)
         except BaseException as exc:
@@ -528,7 +548,9 @@ class ProcessSharedMemoryExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def _schedule(self, graph, specs, ops, make_pool, stats, master_slot):
+    def _schedule(
+        self, graph, specs, ops, make_pool, stats, master_slot, tracer=None
+    ):
         """The master's Allocate loop: dispatch ready tasks, resolve deps.
 
         In resilient mode (a deadline, a retry budget, or a fault plan)
@@ -552,6 +574,19 @@ class ProcessSharedMemoryExecutor:
         counters = {"dispatch": 0}
         broken = [False]
 
+        if tracer is not None:
+            # The master thread is the only writer of every buffer here:
+            # worker-process spans arrive as (t0, t1) pairs in results and
+            # are recorded master-side into the owning worker's row.
+            from repro.obs.span import CAT_FAULT, CAT_IPC, CAT_SCHED, IPC_ROW
+
+            mbuf = tracer.bind(master_slot)
+            tracer.name_row(master_slot, "master")
+            tracer.name_row(IPC_ROW, "ipc")
+            ipc_buf = tracer.buffer(IPC_ROW)
+        else:
+            mbuf = ipc_buf = None
+
         def slot_of(pid: int) -> int:
             slot = pid_slots.get(pid)
             if slot is None:
@@ -569,6 +604,8 @@ class ProcessSharedMemoryExecutor:
                     stats.workers_restarted += 1
                 pid_slots[pid] = slot
                 stats.worker_pids[slot] = pid
+                if tracer is not None:
+                    tracer.name_row(slot, f"worker-{slot} (pid {pid})")
             return slot
 
         def finish(tid: int, slot: int) -> None:
@@ -639,6 +676,8 @@ class ProcessSharedMemoryExecutor:
                         f"SIGKILL worker {victim} before dispatch "
                         f"{counters['dispatch']}",
                     ))
+                    if mbuf is not None:
+                        mbuf.instant(f"fault:kill pid {victim}", CAT_FAULT)
             delay = plan.take_delay(disp.tid) if plan is not None else 0.0
             corrupt = plan.take_corruption(disp.tid) if plan is not None else None
             fail = plan.take_failure(disp.tid) if plan is not None else False
@@ -651,6 +690,9 @@ class ProcessSharedMemoryExecutor:
             if fail:
                 stats.fault_events.append(
                     FaultRecord("fail", disp.tid, "injected exception"))
+            if mbuf is not None and (delay or corrupt is not None or fail):
+                mbuf.instant(f"fault:inject#{disp.tid}", CAT_FAULT)
+            disp.submit_ns = time.perf_counter_ns()
             try:
                 if disp.kind == "task":
                     fut = pool.submit(
@@ -681,6 +723,8 @@ class ProcessSharedMemoryExecutor:
                 raise RuntimeError(
                     f"process pool broke ({reason}) with resilience disabled"
                 )
+            if mbuf is not None:
+                mbuf.instant(f"fault:pool-restart ({reason})", CAT_FAULT)
             requeue.extend(pending.values())
             pending.clear()
             while True:
@@ -728,6 +772,8 @@ class ProcessSharedMemoryExecutor:
                     f"attempt {disp.attempts} exceeded "
                     f"{self.task_timeout:g}s",
                 ))
+                if mbuf is not None:
+                    mbuf.instant(f"fault:deadline#{disp.tid}", CAT_FAULT)
                 if disp.attempts > self.max_retries:
                     raise TaskExecutionError(
                         f"task {disp.tid} ({spec.kind.value}, {spec.phase}, "
@@ -760,10 +806,14 @@ class ProcessSharedMemoryExecutor:
                             disp.snapshot = take_snapshot(disp)
                             dispatch(disp)
                     elif task.partition_size <= self.inline_threshold:
-                        t0 = time.perf_counter()
+                        t0 = time.perf_counter_ns()
                         ops.run_task(specs[tid])
-                        stats.compute_time[master_slot] += (
-                            time.perf_counter() - t0)
+                        t1 = time.perf_counter_ns()
+                        if mbuf is not None:
+                            mbuf.task_span(
+                                "inline", tid, t0, t1, pid=os.getpid()
+                            )
+                        stats.compute_time[master_slot] += (t1 - t0) * 1e-9
                         stats.tasks_inline += 1
                         finish(tid, master_slot)
                     else:
@@ -790,19 +840,24 @@ class ProcessSharedMemoryExecutor:
                     ]
                     if deadlines:
                         timeout = max(min(deadlines) - time.monotonic(), 0.0)
-                t0 = time.perf_counter()
+                if mbuf is not None:
+                    mbuf.sample_queue(len(pending))
+                t0 = time.perf_counter_ns()
                 done, _ = wait(
                     list(pending), timeout=timeout,
                     return_when=FIRST_COMPLETED,
                 )
-                stats.sched_time[master_slot] += time.perf_counter() - t0
+                t1 = time.perf_counter_ns()
+                if mbuf is not None:
+                    mbuf.span("wait", CAT_SCHED, t0, t1)
+                stats.sched_time[master_slot] += (t1 - t0) * 1e-9
                 for fut in done:
                     disp = pending.pop(fut, None)
                     if disp is None:
                         # A recover() this batch already re-dispatched it.
                         continue
                     try:
-                        pid, elapsed, payload = fut.result()
+                        pid, elapsed, payload, t0_ns, t1_ns = fut.result()
                     except BrokenProcessPool as exc:
                         if not resilient:
                             raise
@@ -817,6 +872,12 @@ class ProcessSharedMemoryExecutor:
                         if disp.attempts > self.max_retries:
                             raise
                         stats.retries_total += 1
+                        if mbuf is not None:
+                            mbuf.instant(
+                                f"fault:retry#{disp.tid} "
+                                f"(attempt {disp.attempts})",
+                                CAT_FAULT,
+                            )
                         if self.retry_backoff:
                             time.sleep(
                                 self.retry_backoff
@@ -826,6 +887,22 @@ class ProcessSharedMemoryExecutor:
                         dispatch(disp)
                         continue
                     slot = slot_of(pid)
+                    if tracer is not None:
+                        tracer.buffer(slot).task_span(
+                            disp.kind, disp.tid, t0_ns, t1_ns,
+                            disp.lo if disp.kind == "chunk" else -1,
+                            disp.hi if disp.kind == "chunk" else -1,
+                            pid=pid,
+                        )
+                        now_ns = time.perf_counter_ns()
+                        ipc_buf.span(
+                            f"rtt#{disp.tid}", CAT_IPC, disp.submit_ns, now_ns
+                        )
+                        ipc_buf.count(
+                            "ipc_overhead_ns",
+                            (now_ns - disp.submit_ns) - (t1_ns - t0_ns),
+                        )
+                        ipc_buf.count("dispatches")
                     stats.compute_time[slot] += elapsed
                     if disp.kind == "task":
                         finish(disp.tid, slot)

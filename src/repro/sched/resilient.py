@@ -52,6 +52,25 @@ def _executor_name(executor) -> str:
     return type(executor).__name__
 
 
+def _run_tier(tier, graph, state, tracer):
+    """Run one tier, forwarding the tracer only if the tier accepts one.
+
+    Third-party executors predating the observability subsystem keep
+    working untraced inside a traced cascade.
+    """
+    if tracer is None:
+        return tier.run(graph, state)
+    import inspect
+
+    try:
+        params = inspect.signature(tier.run).parameters
+    except (TypeError, ValueError):
+        params = {}
+    if "tracer" in params:
+        return tier.run(graph, state, tracer=tracer)
+    return tier.run(graph, state)
+
+
 def default_cascade(primary) -> List[object]:
     """Fallback tiers below ``primary``: processes → threads → serial.
 
@@ -133,13 +152,29 @@ class ResilientExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+    def run(
+        self,
+        graph: TaskGraph,
+        state: PropagationState,
+        tracer=None,
+    ) -> ExecutionStats:
         tiers = [self.executor] + self.fallbacks
         snapshot = self._snapshot(state)
         records: List[DegradationRecord] = []
         last_exc: Optional[BaseException] = None
         stats: Optional[ExecutionStats] = None
         report: Optional[HealthReport] = None
+
+        def mark_degradation(record: DegradationRecord) -> None:
+            records.append(record)
+            if tracer is not None:
+                from repro.obs.span import CONTROL_ROW
+
+                tracer.name_row(CONTROL_ROW, "control")
+                tracer.buffer(CONTROL_ROW).instant(
+                    f"degrade:{record.from_executor}->{record.to_executor}",
+                    "fault",
+                )
 
         for i, tier in enumerate(tiers):
             name = _executor_name(tier)
@@ -149,17 +184,17 @@ class ResilientExecutor:
             if i > 0:
                 self._restore(state, snapshot)
             try:
-                stats = tier.run(graph, state)
+                stats = _run_tier(tier, graph, state, tracer)
             except Exception as exc:
                 last_exc = exc
-                records.append(DegradationRecord(
+                mark_degradation(DegradationRecord(
                     name, next_name, f"{type(exc).__name__}: {exc}"))
                 stats = None
                 continue
             if self.health_check:
                 report = check_state_health(state)
                 if not report.healthy:
-                    records.append(DegradationRecord(
+                    mark_degradation(DegradationRecord(
                         name, next_name, f"unhealthy result: {report.summary()}"
                     ))
                     stats = None

@@ -16,14 +16,24 @@ class SerialExecutor:
     ``P = 1`` baseline for speedup measurements.
     """
 
-    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
-        start = time.perf_counter()
-        compute = 0.0
+    def run(
+        self,
+        graph: TaskGraph,
+        state: PropagationState,
+        tracer=None,
+    ) -> ExecutionStats:
+        buf = tracer.bind(0) if tracer is not None else None
+        start_ns = time.perf_counter_ns()
+        compute_ns = 0
         for tid in graph.topological_order():
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             state.execute(graph.tasks[tid])
-            compute += time.perf_counter() - t0
-        wall = time.perf_counter() - start
+            t1 = time.perf_counter_ns()
+            compute_ns += t1 - t0
+            if buf is not None:
+                buf.task_span("task", tid, t0, t1)
+        wall = (time.perf_counter_ns() - start_ns) * 1e-9
+        compute = compute_ns * 1e-9
         return ExecutionStats(
             num_threads=1,
             wall_time=wall,

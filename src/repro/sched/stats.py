@@ -3,7 +3,37 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One task-execution interval in ``ExecutionStats.events``.
+
+    ``start`` / ``end`` are seconds relative to the run's start; ``worker``
+    is the executing thread/slot.  For backward compatibility the record
+    still unpacks like the old free-form 4-tuple::
+
+        tid, worker, start, end = record
+    """
+
+    tid: int
+    worker: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __iter__(self) -> Iterator:
+        return iter((self.tid, self.worker, self.start, self.end))
+
+    def __getitem__(self, index):
+        return (self.tid, self.worker, self.start, self.end)[index]
+
+    def __len__(self) -> int:
+        return 4
 
 
 @dataclass
@@ -16,7 +46,9 @@ class ExecutionStats:
 
     The process executor records one extra trailing slot in the per-worker
     lists for work its master process ran inline (small tasks it keeps out
-    of the dispatch path), plus the process-specific counters below.
+    of the dispatch path), plus the process-specific counters below; it
+    marks that slot in ``master_slot`` so load metrics can separate the
+    master's opportunistic inline work from the real workers.
     """
 
     num_threads: int = 1
@@ -27,9 +59,10 @@ class ExecutionStats:
     compute_time: List[float] = field(default_factory=list)
     sched_time: List[float] = field(default_factory=list)
     tasks_per_thread: List[int] = field(default_factory=list)
-    # Optional per-task event log (task id, thread, start, end) relative
-    # to the run's start; populated when the executor records events.
-    events: List[tuple] = field(default_factory=list)
+    # Optional per-task event log (SpanRecord: task id, worker, start, end
+    # relative to the run's start); populated when the executor records
+    # events.  Entries unpack like 4-tuples for older consumers.
+    events: List[SpanRecord] = field(default_factory=list)
     # Process-executor extras: tasks the master ran inline instead of
     # dispatching, bytes of the shared-memory arena, and the worker
     # process pids in per-slot order (for correlating with OS tooling).
@@ -38,6 +71,9 @@ class ExecutionStats:
     tasks_inline: int = 0
     shared_bytes: int = 0
     worker_pids: List[int] = field(default_factory=list)
+    # Index of the master's inline-work slot in the per-slot lists, or
+    # None when every slot is a real worker (thread executors).
+    master_slot: Optional[int] = None
     # Fault-tolerance accounting: dispatch retries (worker exceptions and
     # missed deadlines), per-dispatch deadline misses, arena-preserving
     # pool restarts, replacement workers observed, injected/observed
@@ -72,17 +108,32 @@ class ExecutionStats:
             return 0.0
         return self.total_sched() / busy
 
-    def per_worker_summary(self) -> List[dict]:
-        """One dict per worker slot: pid (if known), compute time, tasks.
+    def worker_slots(self) -> List[int]:
+        """Indices of the per-slot lists that belong to real workers.
 
-        For the process executor the final slot (pid ``None`` unless
-        recorded) is the master's inline-execution share.
+        Excludes the process executor's master slot (inline work the
+        master ran opportunistically); thread executors have no master
+        slot, so every index qualifies.
+        """
+        return [
+            slot
+            for slot in range(len(self.compute_time))
+            if slot != self.master_slot
+        ]
+
+    def per_worker_summary(self) -> List[dict]:
+        """One dict per slot: role, pid (if known), compute time, tasks.
+
+        Rows cover every slot — real workers, replacement workers after a
+        pool restart, and (process executor) the master's inline-execution
+        share, marked by ``role == "master"``.
         """
         rows = []
         for slot, compute in enumerate(self.compute_time):
             rows.append(
                 {
                     "slot": slot,
+                    "role": "master" if slot == self.master_slot else "worker",
                     "pid": self.worker_pids[slot]
                     if slot < len(self.worker_pids)
                     else None,
@@ -98,10 +149,16 @@ class ExecutionStats:
         return rows
 
     def load_imbalance(self) -> float:
-        """max/mean per-thread compute time; 1.0 means perfectly balanced."""
-        if not self.compute_time or max(self.compute_time) == 0:
+        """max/mean per-worker compute time; 1.0 means perfectly balanced.
+
+        Only real worker slots count: averaging in the process executor's
+        master slot (mostly-idle inline work) used to deflate the mean
+        and overstate imbalance.
+        """
+        compute = [self.compute_time[s] for s in self.worker_slots()]
+        if not compute or max(compute) == 0:
             return 1.0
-        mean = sum(self.compute_time) / len(self.compute_time)
+        mean = sum(compute) / len(compute)
         if mean == 0:
             return 1.0
-        return max(self.compute_time) / mean
+        return max(compute) / mean

@@ -62,14 +62,27 @@ class WorkStealingExecutor:
         self.partition_threshold = partition_threshold
         self.max_chunks = max_chunks
 
-    def run(self, graph: TaskGraph, state: PropagationState) -> ExecutionStats:
+    def run(
+        self,
+        graph: TaskGraph,
+        state: PropagationState,
+        tracer=None,
+    ) -> ExecutionStats:
         p = self.num_threads
-        dep_lock = threading.Lock()
+        if tracer is not None:
+            from repro.obs.tracer import LOCK_GL, LOCK_LL, TimedLock
+
+            dep_lock = TimedLock(tracer, LOCK_GL)
+            deque_locks = [TimedLock(tracer, LOCK_LL) for _ in range(p)]
+            bufs = [tracer.buffer(i) for i in range(p)]
+        else:
+            dep_lock = threading.Lock()
+            deque_locks = [threading.Lock() for _ in range(p)]
+            bufs = None
         dep_count = graph.indegrees()
         remaining = [graph.num_tasks]
 
         deques: List[deque] = [deque() for _ in range(p)]
-        deque_locks = [threading.Lock() for _ in range(p)]
 
         stats = ExecutionStats(
             num_threads=p,
@@ -92,9 +105,15 @@ class WorkStealingExecutor:
             # ...then steal oldest work from the first non-empty victim.
             for offset in range(1, p):
                 victim = (thread + offset) % p
+                item = None
                 with deque_locks[victim]:
                     if deques[victim]:
-                        return deques[victim].popleft()
+                        item = deques[victim].popleft()
+                if item is not None:
+                    if bufs is not None:
+                        bufs[thread].instant(f"steal<-{victim}", "sched")
+                        bufs[thread].count("steals")
+                    return item
             return None
 
         def complete(thread: int, tid: int) -> None:
@@ -110,21 +129,26 @@ class WorkStealingExecutor:
 
         def run_chunk(thread: int, cset: _ChunkSet, idx: int) -> None:
             lo, hi = cset.ranges[idx]
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             result = state.execute_chunk(cset.task, lo, hi)
-            elapsed = time.perf_counter() - t0
+            t1 = time.perf_counter_ns()
+            if bufs is not None:
+                bufs[thread].task_span("chunk", cset.task.tid, t0, t1, lo, hi)
             with stats_lock:
-                stats.compute_time[thread] += elapsed
+                stats.compute_time[thread] += (t1 - t0) * 1e-9
                 stats.chunks_executed += 1
             with cset.lock:
                 cset.results[idx] = result
                 cset.remaining -= 1
                 last = cset.remaining == 0
             if last:
-                t0 = time.perf_counter()
+                t0 = time.perf_counter_ns()
                 state.combine_chunks(cset.task, cset.results, cset.ranges)
+                t1 = time.perf_counter_ns()
+                if bufs is not None:
+                    bufs[thread].task_span("combine", cset.task.tid, t0, t1)
                 with stats_lock:
-                    stats.compute_time[thread] += time.perf_counter() - t0
+                    stats.compute_time[thread] += (t1 - t0) * 1e-9
                     stats.tasks_executed += 1
                     stats.tasks_per_thread[thread] += 1
                 complete(thread, cset.task.tid)
@@ -136,28 +160,35 @@ class WorkStealingExecutor:
             )
             if ranges is not None:
                 cset = _ChunkSet(task, ranges)
+                if bufs is not None:
+                    bufs[thread].instant(f"partition#{tid}", "sched")
                 with stats_lock:
                     stats.tasks_partitioned += 1
                 for idx in range(1, len(ranges)):
                     push_local(thread, ("chunk", cset, idx))
                 run_chunk(thread, cset, 0)
                 return
-            t0 = time.perf_counter()
+            t0 = time.perf_counter_ns()
             state.execute(task)
-            elapsed = time.perf_counter() - t0
+            t1 = time.perf_counter_ns()
+            if bufs is not None:
+                bufs[thread].task_span("task", tid, t0, t1)
             with stats_lock:
-                stats.compute_time[thread] += elapsed
+                stats.compute_time[thread] += (t1 - t0) * 1e-9
                 stats.tasks_executed += 1
                 stats.tasks_per_thread[thread] += 1
             complete(thread, tid)
 
         def worker(thread: int) -> None:
+            if tracer is not None:
+                tracer.bind(thread)
             try:
                 while abort[0] is None:
-                    t0 = time.perf_counter()
+                    t0 = time.perf_counter_ns()
                     item = pop_or_steal(thread)
+                    t1 = time.perf_counter_ns()
                     with stats_lock:
-                        stats.sched_time[thread] += time.perf_counter() - t0
+                        stats.sched_time[thread] += (t1 - t0) * 1e-9
                     if item is None:
                         with dep_lock:
                             done = remaining[0] == 0
@@ -165,6 +196,9 @@ class WorkStealingExecutor:
                             break
                         time.sleep(1e-5)
                         continue
+                    if bufs is not None:
+                        bufs[thread].span("fetch", "sched", t0, t1)
+                        bufs[thread].sample_queue(len(deques[thread]))
                     if item[0] == "task":
                         run_task(thread, item[1])
                     else:
@@ -175,7 +209,7 @@ class WorkStealingExecutor:
         for offset, tid in enumerate(graph.roots()):
             push_local(offset % p, ("task", tid))
 
-        start = time.perf_counter()
+        start_ns = time.perf_counter_ns()
         threads = [
             threading.Thread(target=worker, args=(i,), name=f"steal-{i}")
             for i in range(p)
@@ -184,7 +218,7 @@ class WorkStealingExecutor:
             t.start()
         for t in threads:
             t.join()
-        stats.wall_time = time.perf_counter() - start
+        stats.wall_time = (time.perf_counter_ns() - start_ns) * 1e-9
         if abort[0] is not None:
             raise abort[0]
         if remaining[0] != 0:

@@ -83,3 +83,48 @@ class TestHandlers:
             ]
         )
         assert code == 1
+
+
+class TestTraceCommands:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "demo_trace.json"
+        assert main(
+            ["demo", "--variables", "10", "--seed", "1", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert str(path) in out
+        assert path.exists()
+        return path
+
+    def test_demo_trace_writes_file(self, trace_file):
+        assert trace_file.stat().st_size > 0
+
+    def test_trace_validate(self, trace_file, capsys):
+        assert main(["trace", "validate", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace" in out
+
+    def test_trace_report(self, trace_file, capsys):
+        assert main(["trace", "report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        assert "per primitive" in out
+        # The embedded TaskMeta lets the report replay the DAG through
+        # the simulator without the original network.
+        assert "measured" in out and "predicted" in out
+
+    def test_trace_gantt(self, trace_file, capsys):
+        assert main(["trace", "gantt", str(trace_file), "--width", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+    def test_trace_validate_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "validate", str(tmp_path / "no.json")]) == 1
+
+    def test_trace_validate_rejects_malformed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X", "ts": 0}]}')
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out.lower()

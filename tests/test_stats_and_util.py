@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sched.stats import ExecutionStats
+from repro.sched.stats import ExecutionStats, SpanRecord
 from repro.util.rng import make_rng, spawn_rngs
 from repro.util.validation import check_positive, check_probability_vector
 
@@ -35,6 +35,84 @@ class TestExecutionStats:
         assert ExecutionStats().load_imbalance() == 1.0
         zero = ExecutionStats(num_threads=2, compute_time=[0.0, 0.0])
         assert zero.load_imbalance() == 1.0
+
+    def test_load_imbalance_excludes_master_slot(self):
+        # Process-executor shape: two balanced workers plus a mostly-idle
+        # trailing master slot.  The master must not deflate the mean.
+        stats = ExecutionStats(
+            num_threads=2,
+            compute_time=[2.0, 2.0, 0.1],
+            master_slot=2,
+        )
+        assert stats.worker_slots() == [0, 1]
+        assert stats.load_imbalance() == pytest.approx(1.0)
+        # Without the master marker all three slots count, as before.
+        unmarked = ExecutionStats(
+            num_threads=2, compute_time=[2.0, 2.0, 0.1]
+        )
+        assert unmarked.worker_slots() == [0, 1, 2]
+        assert unmarked.load_imbalance() > 1.0
+
+    def test_load_imbalance_all_workers_idle_with_master(self):
+        # Everything ran inline on the master: worker compute is all zero,
+        # which must read as "balanced", not divide by zero.
+        stats = ExecutionStats(
+            num_threads=2,
+            compute_time=[0.0, 0.0, 5.0],
+            master_slot=2,
+        )
+        assert stats.load_imbalance() == 1.0
+
+    def test_per_worker_summary_marks_master_role(self):
+        stats = ExecutionStats(
+            num_threads=2,
+            compute_time=[1.0, 2.0, 0.5],
+            sched_time=[0.1, 0.2, 0.0],
+            tasks_per_thread=[3, 4, 1],
+            worker_pids=[101, 102, 100],
+            master_slot=2,
+        )
+        rows = stats.per_worker_summary()
+        assert [r["role"] for r in rows] == ["worker", "worker", "master"]
+        assert [r["pid"] for r in rows] == [101, 102, 100]
+
+    def test_per_worker_summary_tolerates_short_lists(self):
+        # After a pool restart the per-slot lists can disagree in length
+        # (replacement workers get trailing compute slots before their
+        # pid/sched/task entries exist).  Summary rows must not IndexError.
+        stats = ExecutionStats(
+            num_threads=2,
+            compute_time=[1.0, 2.0, 0.5, 0.7],
+            sched_time=[0.1],
+            tasks_per_thread=[3, 4],
+            worker_pids=[101],
+            master_slot=2,
+        )
+        rows = stats.per_worker_summary()
+        assert len(rows) == 4
+        assert rows[0]["pid"] == 101 and rows[0]["sched_time"] == 0.1
+        for row in rows[1:]:
+            assert row["pid"] is None
+            assert row["sched_time"] == 0.0
+        assert [r["tasks"] for r in rows] == [3, 4, 0, 0]
+        assert rows[2]["role"] == "master"
+
+
+class TestSpanRecord:
+    def test_unpacks_like_legacy_tuple(self):
+        rec = SpanRecord(tid=7, worker=1, start=0.5, end=1.25)
+        tid, worker, start, end = rec
+        assert (tid, worker, start, end) == (7, 1, 0.5, 1.25)
+
+    def test_indexing_and_len(self):
+        rec = SpanRecord(tid=7, worker=1, start=0.5, end=1.25)
+        assert len(rec) == 4
+        assert rec[0] == 7
+        assert rec[-1] == 1.25
+        assert rec[1:3] == (1, 0.5)
+
+    def test_duration(self):
+        assert SpanRecord(0, 0, 1.0, 3.5).duration == pytest.approx(2.5)
 
 
 class TestRng:
