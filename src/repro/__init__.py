@@ -21,6 +21,7 @@ Public API highlights
 
 from repro.bn.generation import chain_network, naive_bayes_network, random_network
 from repro.bn.network import BayesianNetwork
+from repro.inference.cache import QueryCache
 from repro.inference.engine import InferenceEngine
 from repro.inference.evidence import Evidence
 from repro.inference.shafershenoy import ShaferShenoyEngine
@@ -57,6 +58,7 @@ __all__ = [
     "reroot_optimally",
     "build_task_graph",
     "Evidence",
+    "QueryCache",
     "InferenceEngine",
     "ShaferShenoyEngine",
     "SerialExecutor",

@@ -121,6 +121,33 @@ def _cmd_demo(args) -> int:
         f"{np.round(engine.marginal(target), 4).tolist()}"
     )
     print(f"P(evidence) = {engine.likelihood():.6f}")
+    for item in args.delta or []:
+        var_text, _, state_text = item.partition("=")
+        var = int(var_text)
+        if state_text == "-":
+            engine.retract(var)
+            print(f"delta: retract X{var}")
+        else:
+            engine.observe(var, int(state_text))
+            print(f"delta: observe X{var}={state_text}")
+        engine.propagate(executor, resilience=args.resilience or None)
+        inc = engine.last_stats
+        mode = "incremental" if inc.incremental else "full"
+        print(
+            f"  repropagated ({mode}): {inc.tasks_executed} tasks, "
+            f"{inc.tasks_skipped} skipped of "
+            f"{engine.task_graph.num_tasks}"
+        )
+        print(
+            f"  P(X{target} | evidence) = "
+            f"{np.round(engine.marginal(target), 4).tolist()}"
+        )
+    if args.delta:
+        print(
+            f"query cache: {engine.cache.hits} hits / "
+            f"{engine.cache.misses} misses "
+            f"(hit rate {engine.cache.hit_rate() * 100:.1f}%)"
+        )
     stats = engine.last_stats
     if (
         stats.retries_total or stats.pool_restarts
@@ -422,6 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retry budget per task for crashes/deadline misses "
         "(process executor only)",
+    )
+    demo.add_argument(
+        "--delta",
+        action="append",
+        metavar="VAR=STATE|VAR=-",
+        help="after the initial propagation, apply this evidence delta "
+        "(VAR=- retracts) and repropagate incrementally; repeatable, "
+        "applied in order, reports task savings and cache counters",
     )
     demo.add_argument(
         "--trace",

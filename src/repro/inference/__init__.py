@@ -5,7 +5,13 @@ junction tree, reroot it to minimize the critical path, construct the task
 dependency graph, and run evidence propagation under any executor.
 """
 
-from repro.inference.evidence import Evidence
+from repro.inference.cache import QueryCache
+from repro.inference.evidence import Evidence, evidence_delta
+from repro.inference.incremental import (
+    IncrementalPlan,
+    distribute_edges_for,
+    plan_incremental,
+)
 from repro.inference.propagation import propagate_reference
 from repro.inference.mpe import max_propagate, mpe_bruteforce
 from repro.inference.engine import InferenceEngine
@@ -20,6 +26,11 @@ from repro.inference.sensitivity import (
 
 __all__ = [
     "Evidence",
+    "evidence_delta",
+    "QueryCache",
+    "IncrementalPlan",
+    "plan_incremental",
+    "distribute_edges_for",
     "propagate_reference",
     "max_propagate",
     "mpe_bruteforce",

@@ -12,16 +12,33 @@ Typical use::
 
 The engine handles junction-tree construction, critical-path-minimizing
 rerooting (Algorithm 1), task-graph construction, and executor dispatch.
+
+Evidence may be changed at any time — including by mutating
+``engine.evidence`` directly — and queries always answer against the
+*current* findings: the engine compares ``Evidence.version`` against the
+version its cached propagation reflects and transparently repropagates
+when they diverge.  When the previous propagation is reusable, the
+repropagation is *incremental*: only cliques whose evidence context
+changed (plus their root-ward closure) are recomputed, via a restricted
+task graph that every executor runs through the unchanged
+``run(task_graph, state)`` contract (see
+:mod:`repro.inference.incremental`).  Repeated queries under identical
+findings are served from an evidence-keyed :class:`~repro.inference.cache.QueryCache`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, Iterable, Mapping, Optional, Set, Union
 
 import numpy as np
 
 from repro.bn.network import BayesianNetwork
+from repro.inference.cache import QueryCache
 from repro.inference.evidence import Evidence
+from repro.inference.incremental import (
+    distribute_edges_for,
+    plan_incremental,
+)
 from repro.jt.build import junction_tree_from_network
 from repro.jt.junction_tree import JunctionTree
 from repro.jt.rerooting import reroot_optimally
@@ -43,9 +60,16 @@ class InferenceEngine:
         When True (default), apply Algorithm 1 and reroot the tree at the
         clique minimizing the weighted critical path before building the
         task graph.
+    cache_size:
+        Capacity (distinct evidence signatures) of the query cache.
     """
 
-    def __init__(self, junction_tree: JunctionTree, reroot: bool = True):
+    def __init__(
+        self,
+        junction_tree: JunctionTree,
+        reroot: bool = True,
+        cache_size: int = 128,
+    ):
         if len(junction_tree.potentials) != junction_tree.num_cliques:
             raise ValueError(
                 "junction tree needs potentials; call initialize_potentials() "
@@ -62,7 +86,15 @@ class InferenceEngine:
         self.jt = junction_tree
         self.task_graph: TaskGraph = build_task_graph(self.jt)
         self.evidence = Evidence()
+        self.cache = QueryCache(cache_size)
         self._state: Optional[PropagationState] = None
+        # (id(evidence), evidence.version) that self._state reflects; a
+        # mismatch means the findings moved and queries must repropagate.
+        self._evidence_token = None
+        # Cliques of self._state not yet calibrated to its evidence
+        # (lazy distribute: a targeted query refreshes only the cliques
+        # on the root-to-host paths and leaves the rest stale).
+        self._stale: Set[int] = set()
         self.last_stats: Optional[ExecutionStats] = None
         # PropagationTrace of the last traced propagate(trace=...), if any.
         self.last_trace = None
@@ -82,34 +114,40 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
 
     def set_evidence(self, assignments: Union[Evidence, Mapping[int, int]]):
-        """Replace the evidence set; invalidates previous propagation."""
+        """Replace the evidence set; queries will repropagate as needed.
+
+        The previous propagation is kept so the next run can reuse the
+        parts of the tree whose findings did not change.
+        """
         if isinstance(assignments, Evidence):
             self.evidence = Evidence(assignments.as_dict())
             for var, weights in assignments.soft_as_dict().items():
                 self.evidence.observe_soft(var, weights)
         else:
             self.evidence = Evidence(assignments)
-        self._state = None
         return self
 
     def observe(self, variable: int, state: int) -> "InferenceEngine":
-        """Add one observation; invalidates previous propagation."""
+        """Add one observation; queries will repropagate as needed."""
         self.evidence.observe(variable, state)
-        self._state = None
         return self
-
-    # ------------------------------------------------------------------ #
-    # Propagation and queries
-    # ------------------------------------------------------------------ #
 
     def observe_soft(self, variable: int, weights) -> "InferenceEngine":
-        """Attach virtual (likelihood) evidence; invalidates previous results."""
+        """Attach virtual (likelihood) evidence; queries repropagate as needed."""
         self.evidence.observe_soft(variable, weights)
-        self._state = None
         return self
 
+    def retract(self, variable: int) -> "InferenceEngine":
+        """Remove the finding (hard or soft) on one variable, if any."""
+        self.evidence.retract(variable)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
     def propagate(
-        self, executor=None, resilience=None, trace=None
+        self, executor=None, resilience=None, trace=None, incremental="auto"
     ) -> PropagationState:
         """Run two-phase evidence propagation; returns the calibrated state.
 
@@ -129,12 +167,165 @@ class InferenceEngine:
         Chrome-trace JSON (open in Perfetto), or a prepared
         :class:`~repro.obs.tracer.Tracer` to control its settings.
         Executors that predate tracing still run, just untraced.
+
+        ``incremental`` controls reuse of the previous propagation:
+
+        * ``"auto"`` (default) — repropagate incrementally when a previous
+          state exists and the findings moved by a sound, nonempty delta;
+          otherwise run the full graph (an unchanged-evidence
+          ``propagate()`` still re-runs fully, preserving the historical
+          re-run semantics benchmarks rely on).
+        * ``True`` — as ``"auto"``, but an unchanged-evidence call reuses
+          the previous state outright (zero tasks when already calibrated).
+        * ``False`` — always run the full graph.
+
+        Incremental runs execute a *restricted* task graph — only the
+        collect pipelines under changed cliques plus the distribute
+        pipelines to stale cliques — and are numerically equivalent to a
+        full run; ``self.last_stats.tasks_skipped`` records the savings.
         """
         cards = self._cardinalities()
         assignments = self.evidence.checked_against(cards)
-        state = PropagationState(
-            self.jt, assignments, self.evidence.soft_as_dict()
+        soft = self.evidence.soft_as_dict()
+
+        plan = None
+        if incremental and self._state is not None:
+            plan = plan_incremental(self.jt, self._state, assignments, soft)
+
+        if plan is not None and not plan.changed_variables:
+            if incremental is True:
+                # Same findings: calibrate whatever is still stale, reuse.
+                state = self._top_up(executor=executor, targets=None)
+                self._mark_synced()
+                return state
+            plan = None  # "auto": preserve full re-run semantics
+
+        if plan is None:
+            state = PropagationState(self.jt, assignments, soft)
+            graph = self.task_graph
+            stale_after: Set[int] = set()
+            meta = {"mode": "full"}
+        else:
+            state = PropagationState.incremental(
+                self._state,
+                evidence=assignments,
+                soft_evidence=soft,
+                rebuild=sorted(plan.rebuild),
+            )
+            # Full calibration: every non-root clique is stale under the
+            # new findings, so distribute covers the whole tree (None).
+            graph = build_task_graph(
+                self.jt,
+                collect_edges=plan.collect_edges,
+                distribute_edges=None,
+            )
+            stale_after = set()
+            meta = {
+                "mode": "incremental",
+                "dirty_cliques": len(plan.dirty),
+                "rebuilt_cliques": len(plan.rebuild),
+                "tasks_skipped": self.task_graph.num_tasks - graph.num_tasks,
+            }
+
+        stats = self._run_graph(
+            graph, state, executor=executor, resilience=resilience,
+            trace=trace, meta=meta,
         )
+        if plan is not None:
+            stats.incremental = True
+            stats.tasks_skipped = self.task_graph.num_tasks - graph.num_tasks
+        self.last_stats = stats
+        self._state = state
+        self._stale = stale_after
+        self._mark_synced()
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Batch query API
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        evidence_delta: Optional[Mapping[int, object]] = None,
+        vars: Optional[Iterable[int]] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Apply an evidence delta, return posterior marginals.
+
+        ``evidence_delta`` maps variables to their new finding: an ``int``
+        observes a hard state, a sequence of weights attaches soft
+        (virtual) evidence, and ``None`` retracts the variable's finding.
+        The delta is applied to ``engine.evidence`` (it persists across
+        calls, like :meth:`observe`).  ``vars`` selects which marginals to
+        return (default: every variable in the tree).
+
+        Repropagation is incremental and *targeted*: only the cliques on
+        the paths from the root to the requested variables' host cliques
+        are refreshed, everything else stays lazily stale until asked
+        for.  Results are memoized in :attr:`cache` under the canonical
+        evidence signature, so repeated and near-duplicate queries are
+        answered without touching the tree.  The first-ever query (no
+        previous propagation) runs a full serial propagation.
+        """
+        for var, finding in (evidence_delta or {}).items():
+            if finding is None:
+                self.evidence.retract(var)
+            elif isinstance(finding, (int, np.integer)):
+                self.evidence.observe(var, int(finding))
+            else:
+                self.evidence.observe_soft(var, finding)
+
+        if vars is None:
+            variables: Set[int] = set()
+            for clique in self.jt.cliques:
+                variables.update(clique.variables)
+            requested = sorted(variables)
+        else:
+            requested = [int(v) for v in vars]
+
+        if self._state is None:
+            self.propagate()
+
+        signature = self.evidence.signature()
+        results: Dict[int, np.ndarray] = {}
+        missing = []
+        for var in requested:
+            cached = self.cache.get_marginal(signature, var)
+            if cached is not None:
+                results[var] = cached
+            else:
+                missing.append(var)
+        if missing:
+            hosts = {self.jt.clique_containing([v]) for v in missing}
+            state = self._sync(targets=hosts)
+            for var in missing:
+                values = state.marginal(var)
+                self.cache.put_marginal(signature, var, values)
+                results[var] = values
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _cardinalities(self):
+        cards: Dict[int, int] = {}
+        for clique in self.jt.cliques:
+            for var, card in zip(clique.variables, clique.cardinalities):
+                cards[var] = card
+        size = max(cards) + 1 if cards else 0
+        vec = [0] * size
+        for var, card in cards.items():
+            vec[var] = card
+        return vec
+
+    def _mark_synced(self) -> None:
+        self._evidence_token = (id(self.evidence), self.evidence.version)
+
+    def _run_graph(
+        self, graph, state, executor=None, resilience=None, trace=None,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionStats:
+        """Run ``graph`` against ``state``, handling resilience and tracing."""
         executor = executor or SerialExecutor()
         base_executor = executor
         if resilience:
@@ -152,6 +343,8 @@ class InferenceEngine:
             threshold = getattr(base_executor, "partition_threshold", None)
             if threshold is not None:
                 tracer.meta["partition_threshold"] = threshold
+            for key, value in (meta or {}).items():
+                tracer.meta[key] = value
 
         if tracer is not None:
             import inspect
@@ -161,49 +354,135 @@ class InferenceEngine:
             except (TypeError, ValueError):
                 params = {}
             if "tracer" in params:
-                stats = executor.run(self.task_graph, state, tracer=tracer)
+                stats = executor.run(graph, state, tracer=tracer)
             else:
-                stats = executor.run(self.task_graph, state)
+                stats = executor.run(graph, state)
+            # Label the trace with the executor that actually completed
+            # the run: after a ResilientExecutor degradation cascade the
+            # requested executor's name and partition threshold would
+            # mislabel it (stats.completed_executor records the survivor).
+            executor_name = type(base_executor).__name__
+            if stats.completed_executor:
+                if stats.completed_executor != executor_name:
+                    tracer.meta["requested_executor"] = executor_name
+                executor_name = stats.completed_executor
+                if stats.completed_partition_threshold is not None:
+                    tracer.meta["partition_threshold"] = (
+                        stats.completed_partition_threshold
+                    )
+                else:
+                    tracer.meta.pop("partition_threshold", None)
+            if stats.degradations:
+                tracer.meta["degradations"] = [
+                    str(r) for r in stats.degradations
+                ]
             self.last_trace = tracer.finalize(
-                graph=self.task_graph,
-                stats=stats,
-                executor=type(base_executor).__name__,
+                graph=graph, stats=stats, executor=executor_name,
             )
             if isinstance(trace, (str, bytes)) or hasattr(
                 trace, "__fspath__"
             ):
                 self.last_trace.save(trace)
         else:
-            stats = executor.run(self.task_graph, state)
-        self.last_stats = stats
-        self._state = state
+            stats = executor.run(graph, state)
+        return stats
+
+    def _top_up(
+        self, executor=None, targets: Optional[Set[int]] = None
+    ) -> PropagationState:
+        """Distribute to still-stale cliques of the current state."""
+        state = self._state
+        edges = distribute_edges_for(self.jt, self._stale, targets)
+        if edges:
+            graph = build_task_graph(
+                self.jt, collect_edges=(), distribute_edges=edges
+            )
+            stats = self._run_graph(graph, state, executor=executor)
+            stats.incremental = True
+            stats.tasks_skipped = self.task_graph.num_tasks - graph.num_tasks
+            self.last_stats = stats
+            self._stale -= {child for _, child in edges}
         return state
 
-    def _cardinalities(self):
-        cards: Dict[int, int] = {}
-        for clique in self.jt.cliques:
-            for var, card in zip(clique.variables, clique.cardinalities):
-                cards[var] = card
-        size = max(cards) + 1 if cards else 0
-        vec = [0] * size
-        for var, card in cards.items():
-            vec[var] = card
-        return vec
+    def _sync(
+        self, targets: Optional[Set[int]] = None
+    ) -> PropagationState:
+        """Make the cached state answer queries on ``targets`` correctly.
 
-    def _require_state(self) -> PropagationState:
+        Four cases, cheapest first: no propagation yet (raise — the
+        caller never asked for one), evidence unchanged and targets fresh
+        (no-op), evidence unchanged but targets stale (distribute top-up),
+        evidence changed (incremental repropagation with distribution
+        restricted to the targets; full propagation when the incremental
+        plan is unsound).
+        """
         if self._state is None:
             raise RuntimeError(
                 "no propagation results; call propagate() after setting evidence"
             )
+        if self._evidence_token != (id(self.evidence), self.evidence.version):
+            cards = self._cardinalities()
+            assignments = self.evidence.checked_against(cards)
+            soft = self.evidence.soft_as_dict()
+            plan = plan_incremental(self.jt, self._state, assignments, soft)
+            if plan is None:
+                # Unsound reuse (weakening delta over zeroed separators,
+                # or missing collect messages): full repropagation.
+                state = PropagationState(self.jt, assignments, soft)
+                self.last_stats = SerialExecutor().run(self.task_graph, state)
+                self._state = state
+                self._stale = set()
+            elif plan.changed_variables:
+                state = PropagationState.incremental(
+                    self._state,
+                    evidence=assignments,
+                    soft_evidence=soft,
+                    rebuild=sorted(plan.rebuild),
+                )
+                stale = set(range(self.jt.num_cliques)) - {self.jt.root}
+                edges = distribute_edges_for(self.jt, stale, targets)
+                graph = build_task_graph(
+                    self.jt,
+                    collect_edges=plan.collect_edges,
+                    distribute_edges=edges,
+                )
+                stats = SerialExecutor().run(graph, state)
+                stats.incremental = True
+                stats.tasks_skipped = (
+                    self.task_graph.num_tasks - graph.num_tasks
+                )
+                self.last_stats = stats
+                self._state = state
+                self._stale = stale - {child for _, child in edges}
+            self._mark_synced()
+        if self._stale and (targets is None or (targets & self._stale)):
+            self._top_up(targets=targets)
         return self._state
 
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
     def marginal(self, variable: int) -> np.ndarray:
-        """Posterior ``P(variable | evidence)``; requires propagate() first."""
-        return self._require_state().marginal(variable)
+        """Posterior ``P(variable | evidence)``; requires propagate() first.
+
+        Always reflects the *current* findings: if ``engine.evidence``
+        changed since the last propagation (including direct mutation,
+        e.g. ``engine.evidence.retract(v)``), the engine transparently
+        repropagates — incrementally where sound — before answering.
+        """
+        signature = self.evidence.signature()
+        cached = self.cache.get_marginal(signature, variable)
+        if cached is not None and self._state is not None:
+            return cached
+        host = self.jt.clique_containing([variable])
+        values = self._sync(targets={host}).marginal(variable)
+        self.cache.put_marginal(signature, variable, values)
+        return values
 
     def marginals_all(self) -> Dict[int, np.ndarray]:
         """Posterior of every variable in the tree, keyed by variable id."""
-        state = self._require_state()
+        state = self._sync()
         variables = set()
         for clique in self.jt.cliques:
             variables.update(clique.variables)
@@ -211,11 +490,17 @@ class InferenceEngine:
 
     def clique_marginal(self, clique: int):
         """Normalized joint over one clique's scope."""
-        return self._require_state().clique_marginal(clique)
+        return self._sync(targets={clique}).clique_marginal(clique)
 
     def likelihood(self) -> float:
         """Probability of the evidence, ``P(e)``."""
-        return self._require_state().likelihood()
+        signature = self.evidence.signature()
+        cached = self.cache.get_likelihood(signature)
+        if cached is not None and self._state is not None:
+            return cached
+        value = self._sync(targets={self.jt.root}).likelihood()
+        self.cache.put_likelihood(signature, value)
+        return value
 
     def mpe(self):
         """Most probable explanation under the current evidence.

@@ -207,6 +207,13 @@ class ResilientExecutor:
                 f"every executor tier failed: {detail}"
             ) from last_exc
 
+        # Record which tier actually finished: after a degradation the
+        # requested executor's name/threshold would mislabel the run.
+        stats.completed_executor = _executor_name(tier)
+        stats.completed_partition_threshold = getattr(
+            tier, "partition_threshold", None
+        )
+
         if report is not None:
             stats.health = report.summary()
             if report.underflowed and self.logspace_fallback:

@@ -90,6 +90,17 @@ class ExecutionStats:
     # (the linear-domain state.likelihood() is unreliable after a rescue).
     health: str = ""
     log_likelihood: Optional[float] = None
+    # The executor that actually completed the run.  Set by
+    # ResilientExecutor to the surviving cascade tier — after a
+    # degradation this differs from the *requested* executor, and trace
+    # labels must reflect reality, not the request.
+    completed_executor: str = ""
+    completed_partition_threshold: Optional[int] = None
+    # Incremental-repropagation accounting: whether the run executed a
+    # restricted task graph, and how many tasks of the full graph were
+    # skipped by reusing the previous propagation's tables.
+    incremental: bool = False
+    tasks_skipped: int = 0
 
     def degraded(self) -> bool:
         """True when a ResilientExecutor had to fall back or rescue."""

@@ -10,7 +10,7 @@ distribute node is its collect node's alias).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.jt.junction_tree import JunctionTree
 from repro.tasks.task import COLLECT, DISTRIBUTE
@@ -50,6 +50,40 @@ class CliqueUpdatingGraph:
         if len(order) != len(self.deps):
             raise RuntimeError("clique updating graph contains a cycle")
         return order
+
+
+def dirty_cliques(jt: JunctionTree, variables: Iterable[int]) -> Set[int]:
+    """Every clique whose scope intersects the changed-variable set.
+
+    Conservative dirty marking for incremental repropagation: a changed
+    finding on a variable invalidates the working potential of every
+    clique carrying it (hard evidence is absorbed by reduction in all of
+    them; the soft-evidence host is always among them).
+    """
+    changed = set(variables)
+    return {
+        i
+        for i in range(jt.num_cliques)
+        if changed & set(jt.cliques[i].variables)
+    }
+
+
+def dirty_ancestor_closure(jt: JunctionTree, dirty: Iterable[int]) -> Set[int]:
+    """``dirty`` plus every ancestor up to the root.
+
+    The closure is the rebuild set of an incremental run: a clique on the
+    path from a dirty clique to the root sees a changed collect message,
+    so its collect update must re-run; everything outside the closure
+    keeps valid collect messages (they depend only on the evidence in
+    their own subtree, which is unchanged).
+    """
+    closure: Set[int] = set()
+    for clique in dirty:
+        for node in jt.path_to_root(clique):
+            if node in closure:
+                break
+            closure.add(node)
+    return closure
 
 
 def build_clique_updating_graph(jt: JunctionTree) -> CliqueUpdatingGraph:

@@ -13,11 +13,19 @@ write the same table).  Cross-clique edges follow the clique updating graph:
 * the distribute pipeline over edge ``(p, c)`` starts once clique ``p``'s
   distribute update finished (the root's distribute alias is its collect
   exit).
+
+Incremental repropagation (:mod:`repro.inference.incremental`) builds
+*restricted* graphs: only the message pipelines named in
+``collect_edges`` / ``distribute_edges`` are emitted, every other clique's
+tables being reused from a previous run.  The restricted graph keeps the
+exact dependency structure of the full graph projected onto the surviving
+pipelines, so every executor runs it through the unchanged
+``run(task_graph, state)`` contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Collection, Dict, Optional, Tuple
 
 from repro.jt.junction_tree import JunctionTree
 from repro.potential.primitives import PrimitiveKind
@@ -33,13 +41,30 @@ def _sizes(jt: JunctionTree, parent: int, child: int) -> Tuple[int, int]:
     return jt.cliques[parent].table_size, sep_size
 
 
-def build_task_graph(jt: JunctionTree) -> TaskGraph:
-    """Construct the full task dependency graph ``G`` for a junction tree.
+def build_task_graph(
+    jt: JunctionTree,
+    collect_edges: Optional[Collection[Tuple[int, int]]] = None,
+    distribute_edges: Optional[Collection[Tuple[int, int]]] = None,
+) -> TaskGraph:
+    """Construct the task dependency graph ``G`` for a junction tree.
 
-    The graph has ``8 * (N - 1)`` tasks: four primitives per edge per phase.
-    A single-clique tree yields an empty graph (nothing to propagate).
+    With the default arguments the graph is *full* — ``8 * (N - 1)``
+    tasks, four primitives per edge per phase — and a single-clique tree
+    yields an empty graph (nothing to propagate).
+
+    ``collect_edges`` / ``distribute_edges`` restrict each phase to the
+    given ``(parent, child)`` tree edges (``None`` keeps the phase full;
+    an empty collection drops it entirely).  Callers must pass edge sets
+    whose cliques hold consistent state for the skipped pipelines — see
+    :func:`repro.inference.incremental.plan_incremental`, which guarantees
+    the collect set is ancestor-closed and the distribute set is closed
+    toward the root.
     """
     graph = TaskGraph()
+    collect_edges = None if collect_edges is None else set(collect_edges)
+    distribute_edges = (
+        None if distribute_edges is None else set(distribute_edges)
+    )
     # Exit task of each clique's collect / distribute update.
     collect_exit: Dict[int, Optional[int]] = {}
     distribute_exit: Dict[int, Optional[int]] = {}
@@ -48,7 +73,11 @@ def build_task_graph(jt: JunctionTree) -> TaskGraph:
     # Children must be processed before parents; postorder guarantees the
     # child's collect exit exists when the parent pipeline is created.
     for p in jt.postorder():
-        children = jt.children[p]
+        children = [
+            c
+            for c in jt.children[p]
+            if collect_edges is None or (p, c) in collect_edges
+        ]
         if not children:
             collect_exit[p] = None
             continue
@@ -88,11 +117,13 @@ def build_task_graph(jt: JunctionTree) -> TaskGraph:
     distribute_exit[jt.root] = collect_exit[jt.root]
     for p in jt.preorder():
         for c in jt.children[p]:
+            if distribute_edges is not None and (p, c) not in distribute_edges:
+                continue
             child_size = jt.cliques[c].table_size
             _, sep_size = _sizes(jt, p, c)
             edge = (p, c)
             entry_deps = []
-            if distribute_exit[p] is not None:
+            if distribute_exit.get(p) is not None:
                 entry_deps.append(distribute_exit[p])
             parent_size = jt.cliques[p].table_size
             marg = graph.add_task(

@@ -88,6 +88,94 @@ class PropagationState:
         # Message-pipeline intermediates keyed by (phase, edge, stage).
         self._inter: Dict[Tuple[str, Tuple[int, int], str], PotentialTable] = {}
 
+    def _absorb_soft(self, var: int, weights: "np.ndarray") -> None:
+        """Multiply a soft finding's weight vector into its host clique."""
+        host = self.jt.clique_containing([var])
+        table = self.potentials[host]
+        axis = table.variables.index(var)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.size != table.cardinalities[axis]:
+            raise ValueError(
+                f"soft evidence for variable {var} has {weights.size} "
+                f"weights, variable has {table.cardinalities[axis]} states"
+            )
+        shape = [1] * len(table.cardinalities)
+        shape[axis] = weights.size
+        self.potentials[host] = PotentialTable(
+            table.variables,
+            table.cardinalities,
+            table.values * weights.reshape(shape),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Incremental construction (reuse a previous run's tables)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def incremental(
+        cls,
+        prev: "PropagationState",
+        evidence: Optional[Mapping[int, int]] = None,
+        soft_evidence: Optional[Mapping[int, "np.ndarray"]] = None,
+        rebuild: Sequence[int] = (),
+    ) -> "PropagationState":
+        """State for a *restricted* repropagation reusing ``prev``'s tables.
+
+        ``rebuild`` names the cliques whose evidence context changed (the
+        dirty set plus its root-ward closure).  Their working potentials
+        are reconstructed from the tree's prior potentials with the *new*
+        evidence absorbed, then re-charged with the stored collect message
+        ``mu[c -> i]`` (``_inter[(COLLECT, (i, c), "sep_new")]``) of every
+        *clean* child — those messages depend only on evidence inside the
+        child's subtree, which is unchanged by definition of the closure.
+        Separators under rebuilt cliques reset to ones so a fresh collect
+        pipeline passes its marginal straight through; every other table is
+        carried over from ``prev``, making the skipped pipelines exact
+        no-ops.
+
+        Raises ``KeyError`` if ``prev`` lacks a stored collect message that
+        a rebuilt clique needs (it never completed a collect phase over
+        that edge); callers treat that as "fall back to full propagation".
+        """
+        jt = prev.jt
+        state = cls.__new__(cls)
+        state.jt = jt
+        state.evidence = dict(evidence or {})
+        state.soft_evidence = dict(soft_evidence or {})
+        rebuild_set = set(rebuild)
+
+        state.potentials = {}
+        for i in range(jt.num_cliques):
+            if i not in rebuild_set:
+                state.potentials[i] = prev.potentials[i].copy()
+        for i in rebuild_set:
+            table = jt.potential(i)
+            if state.evidence:
+                table = table.reduce(state.evidence)
+            else:
+                table = table.copy()
+            state.potentials[i] = table
+        for var, weights in state.soft_evidence.items():
+            if jt.clique_containing([var]) in rebuild_set:
+                state._absorb_soft(var, weights)
+        for i in rebuild_set:
+            for c in jt.children[i]:
+                if c in rebuild_set:
+                    continue  # a fresh collect pipeline will deliver mu
+                mu = prev._inter[(COLLECT, (i, c), "sep_new")]
+                state.potentials[i] = multiply(state.potentials[i], mu)
+
+        state.separators = {}
+        for edge, table in prev.separators.items():
+            if edge[1] in rebuild_set:
+                state.separators[edge] = PotentialTable.ones(
+                    table.variables, table.cardinalities
+                )
+            else:
+                state.separators[edge] = table.copy()
+        state._inter = {key: table.copy() for key, table in prev._inter.items()}
+        return state
+
     # ------------------------------------------------------------------ #
     # Scope helpers
     # ------------------------------------------------------------------ #

@@ -510,6 +510,47 @@ class TestEngineResilience:
         engine.propagate(resilience={"logspace_fallback": False})
         assert engine.last_stats.degradations == []
 
+    def test_trace_labels_executor_that_completed_the_run(self):
+        # A degradation cascade must not leave the trace labeled with the
+        # *requested* executor's name and partition threshold.
+        from repro import InferenceEngine, random_network
+
+        class _RaisingWithThreshold(_AlwaysRaises):
+            partition_threshold = 4096
+
+        bn = random_network(12, seed=2)
+        engine = InferenceEngine.from_network(bn)
+        engine.set_evidence({0: 1})
+        engine.propagate(
+            _RaisingWithThreshold(), resilience=True, trace=True
+        )
+        trace = engine.last_trace
+        assert engine.last_stats.degraded()
+        assert engine.last_stats.completed_executor == "SerialExecutor"
+        assert trace.executor == "SerialExecutor"
+        assert trace.meta["requested_executor"] == "_RaisingWithThreshold"
+        # SerialExecutor has no partition threshold; the requested tier's
+        # value must not survive in the metadata.
+        assert "partition_threshold" not in trace.meta
+        assert any(
+            "SerialExecutor" in entry for entry in trace.meta["degradations"]
+        )
+
+    def test_trace_labels_survive_clean_resilient_run(self):
+        from repro import InferenceEngine, random_network
+        from repro.sched.collaborative import CollaborativeExecutor
+
+        bn = random_network(12, seed=6)
+        engine = InferenceEngine.from_network(bn)
+        executor = CollaborativeExecutor(
+            num_threads=2, partition_threshold=512
+        )
+        engine.propagate(executor, resilience=True, trace=True)
+        assert engine.last_stats.degradations == []
+        assert engine.last_trace.executor == "CollaborativeExecutor"
+        assert engine.last_trace.meta["partition_threshold"] == 512
+        assert "requested_executor" not in engine.last_trace.meta
+
 
 # --------------------------------------------------------------------- #
 # Simulator fault hooks

@@ -42,12 +42,61 @@ def random_trees(draw, max_cliques=20):
     return JunctionTree(cliques, parent)
 
 
+@st.composite
+def random_trees_mixed_cardinalities(draw, max_cliques=14):
+    """Like :func:`random_trees`, but with per-variable cardinalities in
+    2..4 so clique costs (Eq. 2) vary non-uniformly with width."""
+    n = draw(st.integers(min_value=1, max_value=max_cliques))
+    parent = [None]
+    for i in range(1, n):
+        parent.append(draw(st.integers(min_value=0, max_value=i - 1)))
+    widths = [draw(st.integers(min_value=1, max_value=4)) for _ in range(n)]
+    next_var = 0
+    scopes = []
+    cards: dict = {}
+    for i in range(n):
+        if parent[i] is None:
+            scope = list(range(next_var, next_var + widths[i]))
+            next_var += widths[i]
+        else:
+            shared = scopes[parent[i]][0]
+            fresh = list(range(next_var, next_var + widths[i] - 1))
+            next_var += widths[i] - 1
+            scope = [shared] + fresh
+        for var in scope:
+            if var not in cards:
+                cards[var] = draw(st.integers(min_value=2, max_value=4))
+        scopes.append(scope)
+    cliques = [
+        Clique(i, scopes[i], [cards[v] for v in scopes[i]]) for i in range(n)
+    ]
+    return JunctionTree(cliques, parent)
+
+
 @given(random_trees())
 @settings(max_examples=80, deadline=None)
 def test_algorithm1_weight_equals_bruteforce(tree):
     _, fast = select_root(tree)
     _, brute = select_root_bruteforce(tree)
     assert np.isclose(fast, brute)
+
+
+@given(random_trees_mixed_cardinalities())
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_weight_equals_bruteforce_mixed_cardinalities(tree):
+    # Lemma 1's O(w_C * N) scan must agree with the O(N^2) brute force
+    # when cardinalities (hence clique costs) vary, not just widths.
+    _, fast = select_root(tree)
+    _, brute = select_root_bruteforce(tree)
+    assert np.isclose(fast, brute)
+
+
+@given(random_trees_mixed_cardinalities())
+@settings(max_examples=40, deadline=None)
+def test_selected_root_is_optimal_mixed_cardinalities(tree):
+    root, weight = select_root(tree)
+    for candidate in range(tree.num_cliques):
+        assert weight <= critical_path_weight(tree, candidate) + 1e-9
 
 
 @given(random_trees())
