@@ -17,6 +17,8 @@ Public API highlights
   scheduling policies used for the speedup experiments.
 * :mod:`repro.obs` — span tracing for every executor, Chrome-trace/
   Perfetto export, derived metrics, and simulator calibration reports.
+* :mod:`repro.serve` — the concurrent inference service: pooled engine
+  sessions, admission control, deadlines, circuit breaking, drain.
 """
 
 from repro.bn.generation import chain_network, naive_bayes_network, random_network
@@ -37,6 +39,10 @@ from repro.sched.serial import SerialExecutor
 from repro.sched.workstealing import WorkStealingExecutor
 from repro.obs.trace import PropagationTrace
 from repro.obs.tracer import Tracer
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.report import ServiceReport
+from repro.serve.request import QueryRequest, QueryResponse
+from repro.serve.service import EngineSessionPool, InferenceService
 from repro.tasks.dag import build_task_graph
 
 __version__ = "1.0.0"
@@ -69,4 +75,10 @@ __all__ = [
     "ProcessSharedMemoryExecutor",
     "Tracer",
     "PropagationTrace",
+    "CircuitBreaker",
+    "ServiceReport",
+    "QueryRequest",
+    "QueryResponse",
+    "EngineSessionPool",
+    "InferenceService",
 ]

@@ -177,6 +177,69 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_serve_demo(args) -> int:
+    """Stand up an InferenceService, fire a seeded client burst, report."""
+    import random
+    import threading
+
+    from repro import random_network
+    from repro.jt.build import junction_tree_from_network
+    from repro.serve import EngineSessionPool, InferenceService, QueryRequest
+
+    bn = random_network(
+        args.variables, max_parents=3, edge_probability=0.6, seed=args.seed
+    )
+    pool = EngineSessionPool.from_junction_tree(
+        junction_tree_from_network(bn), sessions=args.sessions
+    )
+    primary = fallback = None
+    if args.executor == "process":
+        primary = _make_executor("process", args.threads)
+    elif args.executor != "serial":
+        fallback = _make_executor(args.executor, args.threads)
+    else:
+        fallback = _make_executor("serial", 1)
+    service = InferenceService(
+        pool,
+        primary=primary,
+        fallback=fallback,
+        max_queue=args.max_queue,
+    )
+    print(
+        f"{bn.num_variables}-variable network, "
+        f"{pool.num_sessions} sessions, tier: {args.executor}"
+    )
+
+    def client(cid: int) -> None:
+        rng = random.Random(args.seed * 1000 + cid)
+        for _ in range(args.requests):
+            delta = {
+                rng.randrange(args.variables): rng.randrange(2)
+                for _ in range(rng.randrange(3))
+            }
+            vars_ = sorted(rng.sample(range(args.variables), 2))
+            service.submit(
+                QueryRequest(
+                    delta=delta,
+                    vars=vars_,
+                    deadline=args.deadline,
+                    max_staleness=args.max_staleness,
+                )
+            ).result(60.0)
+
+    threads = [
+        threading.Thread(target=client, args=(cid,), name=f"client-{cid}")
+        for cid in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report = service.drain()
+    print(report.format())
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -466,6 +529,36 @@ def build_parser() -> argparse.ArgumentParser:
         "Chrome-trace JSON (open in Perfetto)",
     )
 
+    serve = sub.add_parser(
+        "serve-demo",
+        help="concurrent inference service demo: seeded client burst, "
+        "then a drain report",
+    )
+    serve.add_argument("--variables", type=int, default=25)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=10,
+                       metavar="N", help="requests per client")
+    serve.add_argument("--sessions", type=int, default=2,
+                       help="calibrated engine sessions in the pool")
+    serve.add_argument("--threads", type=int, default=2,
+                       help="workers inside the serving executor tier")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="admission bound (queued flights)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS", help="per-request deadline")
+    serve.add_argument(
+        "--max-staleness", type=float, default=None, metavar="SECONDS",
+        help="accept cached answers this old instead of shedding",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default="collaborative",
+        help="serving tier (process = breaker-guarded primary with a "
+        "thread-tier fallback)",
+    )
+
     trace = sub.add_parser(
         "trace", help="inspect a recorded propagation trace"
     )
@@ -541,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "info": _cmd_info,
         "demo": _cmd_demo,
+        "serve-demo": _cmd_serve_demo,
         "trace": _cmd_trace,
         "query": _cmd_query,
         "model": _cmd_model,

@@ -28,6 +28,7 @@ findings are served from an evidence-keyed :class:`~repro.inference.cache.QueryC
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Mapping, Optional, Set, Union
 
 import numpy as np
@@ -98,6 +99,15 @@ class InferenceEngine:
         self.last_stats: Optional[ExecutionStats] = None
         # PropagationTrace of the last traced propagate(trace=...), if any.
         self.last_trace = None
+        # Re-entrancy guard: propagate()/query()/marginal() read and
+        # replace self._state, self._stale and self._evidence_token as one
+        # transaction; two threads interleaving _sync would leave a
+        # half-calibrated state behind.  An RLock (not a Lock) because
+        # query() calls propagate() under the same guard.  Multi-threaded
+        # callers that need *throughput* rather than mere safety should
+        # use one engine per thread via repro.serve.EngineSessionPool —
+        # this lock serializes, it does not parallelize.
+        self._lock = threading.RLock()
 
     @classmethod
     def from_network(
@@ -119,27 +129,31 @@ class InferenceEngine:
         The previous propagation is kept so the next run can reuse the
         parts of the tree whose findings did not change.
         """
-        if isinstance(assignments, Evidence):
-            self.evidence = Evidence(assignments.as_dict())
-            for var, weights in assignments.soft_as_dict().items():
-                self.evidence.observe_soft(var, weights)
-        else:
-            self.evidence = Evidence(assignments)
-        return self
+        with self._lock:
+            if isinstance(assignments, Evidence):
+                self.evidence = Evidence(assignments.as_dict())
+                for var, weights in assignments.soft_as_dict().items():
+                    self.evidence.observe_soft(var, weights)
+            else:
+                self.evidence = Evidence(assignments)
+            return self
 
     def observe(self, variable: int, state: int) -> "InferenceEngine":
         """Add one observation; queries will repropagate as needed."""
-        self.evidence.observe(variable, state)
+        with self._lock:
+            self.evidence.observe(variable, state)
         return self
 
     def observe_soft(self, variable: int, weights) -> "InferenceEngine":
         """Attach virtual (likelihood) evidence; queries repropagate as needed."""
-        self.evidence.observe_soft(variable, weights)
+        with self._lock:
+            self.evidence.observe_soft(variable, weights)
         return self
 
     def retract(self, variable: int) -> "InferenceEngine":
         """Remove the finding (hard or soft) on one variable, if any."""
-        self.evidence.retract(variable)
+        with self._lock:
+            self.evidence.retract(variable)
         return self
 
     # ------------------------------------------------------------------ #
@@ -147,7 +161,8 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
 
     def propagate(
-        self, executor=None, resilience=None, trace=None, incremental="auto"
+        self, executor=None, resilience=None, trace=None, incremental="auto",
+        deadline=None,
     ) -> PropagationState:
         """Run two-phase evidence propagation; returns the calibrated state.
 
@@ -183,7 +198,24 @@ class InferenceEngine:
         collect pipelines under changed cliques plus the distribute
         pipelines to stale cliques — and are numerically equivalent to a
         full run; ``self.last_stats.tasks_skipped`` records the savings.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant
+        forwarded to executors that support cooperative deadline checks;
+        an overrun raises :class:`~repro.sched.faults.TaskExecutionError`
+        with ``phase="deadline"`` and leaves the previous propagation
+        (and the evidence-staleness bookkeeping) untouched, so the next
+        call simply repropagates.
         """
+        with self._lock:
+            return self._propagate_locked(
+                executor=executor, resilience=resilience, trace=trace,
+                incremental=incremental, deadline=deadline,
+            )
+
+    def _propagate_locked(
+        self, executor=None, resilience=None, trace=None, incremental="auto",
+        deadline=None,
+    ) -> PropagationState:
         cards = self._cardinalities()
         assignments = self.evidence.checked_against(cards)
         soft = self.evidence.soft_as_dict()
@@ -229,7 +261,7 @@ class InferenceEngine:
 
         stats = self._run_graph(
             graph, state, executor=executor, resilience=resilience,
-            trace=trace, meta=meta,
+            trace=trace, meta=meta, deadline=deadline,
         )
         if plan is not None:
             stats.incremental = True
@@ -266,6 +298,14 @@ class InferenceEngine:
         answered without touching the tree.  The first-ever query (no
         previous propagation) runs a full serial propagation.
         """
+        with self._lock:
+            return self._query_locked(evidence_delta, vars)
+
+    def _query_locked(
+        self,
+        evidence_delta: Optional[Mapping[int, object]] = None,
+        vars: Optional[Iterable[int]] = None,
+    ) -> Dict[int, np.ndarray]:
         for var, finding in (evidence_delta or {}).items():
             if finding is None:
                 self.evidence.retract(var)
@@ -323,7 +363,7 @@ class InferenceEngine:
 
     def _run_graph(
         self, graph, state, executor=None, resilience=None, trace=None,
-        meta: Optional[Mapping[str, object]] = None,
+        meta: Optional[Mapping[str, object]] = None, deadline=None,
     ) -> ExecutionStats:
         """Run ``graph`` against ``state``, handling resilience and tracing."""
         executor = executor or SerialExecutor()
@@ -346,6 +386,17 @@ class InferenceEngine:
             for key, value in (meta or {}).items():
                 tracer.meta[key] = value
 
+        run_kwargs = {}
+        if deadline is not None:
+            import inspect
+
+            try:
+                params = inspect.signature(executor.run).parameters
+            except (TypeError, ValueError):
+                params = {}
+            if "deadline" in params:
+                run_kwargs["deadline"] = deadline
+
         if tracer is not None:
             import inspect
 
@@ -354,9 +405,9 @@ class InferenceEngine:
             except (TypeError, ValueError):
                 params = {}
             if "tracer" in params:
-                stats = executor.run(graph, state, tracer=tracer)
+                stats = executor.run(graph, state, tracer=tracer, **run_kwargs)
             else:
-                stats = executor.run(graph, state)
+                stats = executor.run(graph, state, **run_kwargs)
             # Label the trace with the executor that actually completed
             # the run: after a ResilientExecutor degradation cascade the
             # requested executor's name and partition threshold would
@@ -384,7 +435,7 @@ class InferenceEngine:
             ):
                 self.last_trace.save(trace)
         else:
-            stats = executor.run(graph, state)
+            stats = executor.run(graph, state, **run_kwargs)
         return stats
 
     def _top_up(
@@ -471,36 +522,40 @@ class InferenceEngine:
         e.g. ``engine.evidence.retract(v)``), the engine transparently
         repropagates — incrementally where sound — before answering.
         """
-        signature = self.evidence.signature()
-        cached = self.cache.get_marginal(signature, variable)
-        if cached is not None and self._state is not None:
-            return cached
-        host = self.jt.clique_containing([variable])
-        values = self._sync(targets={host}).marginal(variable)
-        self.cache.put_marginal(signature, variable, values)
-        return values
+        with self._lock:
+            signature = self.evidence.signature()
+            cached = self.cache.get_marginal(signature, variable)
+            if cached is not None and self._state is not None:
+                return cached
+            host = self.jt.clique_containing([variable])
+            values = self._sync(targets={host}).marginal(variable)
+            self.cache.put_marginal(signature, variable, values)
+            return values
 
     def marginals_all(self) -> Dict[int, np.ndarray]:
         """Posterior of every variable in the tree, keyed by variable id."""
-        state = self._sync()
-        variables = set()
-        for clique in self.jt.cliques:
-            variables.update(clique.variables)
-        return {v: state.marginal(v) for v in sorted(variables)}
+        with self._lock:
+            state = self._sync()
+            variables = set()
+            for clique in self.jt.cliques:
+                variables.update(clique.variables)
+            return {v: state.marginal(v) for v in sorted(variables)}
 
     def clique_marginal(self, clique: int):
         """Normalized joint over one clique's scope."""
-        return self._sync(targets={clique}).clique_marginal(clique)
+        with self._lock:
+            return self._sync(targets={clique}).clique_marginal(clique)
 
     def likelihood(self) -> float:
         """Probability of the evidence, ``P(e)``."""
-        signature = self.evidence.signature()
-        cached = self.cache.get_likelihood(signature)
-        if cached is not None and self._state is not None:
-            return cached
-        value = self._sync(targets={self.jt.root}).likelihood()
-        self.cache.put_likelihood(signature, value)
-        return value
+        with self._lock:
+            signature = self.evidence.signature()
+            cached = self.cache.get_likelihood(signature)
+            if cached is not None and self._state is not None:
+                return cached
+            value = self._sync(targets={self.jt.root}).likelihood()
+            self.cache.put_likelihood(signature, value)
+            return value
 
     def mpe(self):
         """Most probable explanation under the current evidence.
@@ -510,11 +565,11 @@ class InferenceEngine:
         """
         from repro.inference.mpe import max_propagate
 
-        cards = self._cardinalities()
-        assignments = self.evidence.checked_against(cards)
-        return max_propagate(
-            self.jt, assignments, self.evidence.soft_as_dict()
-        )
+        with self._lock:
+            cards = self._cardinalities()
+            assignments = self.evidence.checked_against(cards)
+            soft = self.evidence.soft_as_dict()
+        return max_propagate(self.jt, assignments, soft)
 
     def __repr__(self) -> str:
         return (

@@ -116,6 +116,26 @@ class TraceMetrics:
         return "\n".join(lines)
 
 
+def latency_percentiles(
+    seconds: List[float], points: Tuple[int, ...] = (50, 90, 99)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of a latency sample, ``{"p50": ...}``.
+
+    Nearest-rank (not interpolated) so a percentile is always a latency
+    that actually occurred — the convention serving dashboards use.
+    Empty input yields zeros, so reports render without special-casing.
+    """
+    out = {f"p{p}": 0.0 for p in points}
+    if not seconds:
+        return out
+    ordered = sorted(seconds)
+    n = len(ordered)
+    for p in points:
+        rank = max(1, -(-(p * n) // 100))  # ceil(p * n / 100), at least 1
+        out[f"p{p}"] = ordered[min(rank, n) - 1]
+    return out
+
+
 def observed_critical_path(
     trace: PropagationTrace,
 ) -> Tuple[float, List[int]]:

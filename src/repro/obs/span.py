@@ -22,8 +22,9 @@ CAT_SCHED = "sched"  # fetch, allocate, dispatch-wait, steal
 CAT_LOCK = "lock"  # slow GL/LL lock acquisitions
 CAT_IPC = "ipc"  # process-executor dispatch round-trips
 CAT_FAULT = "fault"  # retries, injected faults, degradations
+CAT_SERVE = "serve"  # inference-service request lifecycles
 
-CATEGORIES = (CAT_EXECUTE, CAT_SCHED, CAT_LOCK, CAT_IPC, CAT_FAULT)
+CATEGORIES = (CAT_EXECUTE, CAT_SCHED, CAT_LOCK, CAT_IPC, CAT_FAULT, CAT_SERVE)
 
 # Execution-span roles (stored in ``Span.role``).
 ROLE_TASK = "task"  # whole-task primitive execution

@@ -25,6 +25,7 @@ import threading
 import time
 from typing import List, Optional, Tuple
 
+from repro.sched.faults import TaskExecutionError
 from repro.sched.stats import ExecutionStats, SpanRecord
 from repro.tasks.partition_plan import plan_partition
 from repro.tasks.state import PropagationState
@@ -103,7 +104,13 @@ class CollaborativeExecutor:
         graph: TaskGraph,
         state: PropagationState,
         tracer=None,
+        deadline: Optional[float] = None,
     ) -> ExecutionStats:
+        """Run the graph; ``deadline`` is an absolute ``time.monotonic()``
+        instant checked cooperatively at every task-fetch boundary.  An
+        overrun raises :class:`~repro.sched.faults.TaskExecutionError`
+        with ``phase="deadline"`` (counted in ``stats.deadline_misses``);
+        in-flight primitives finish, nothing new is fetched."""
         import random
 
         p = self.num_threads
@@ -272,11 +279,22 @@ class CollaborativeExecutor:
                     ))
             complete(thread, tid)
 
+        def check_deadline() -> None:
+            if deadline is not None and time.monotonic() >= deadline:
+                with stats_lock:
+                    stats.deadline_misses += 1
+                raise TaskExecutionError(
+                    f"collaborative propagation exceeded its deadline with "
+                    f"~{remaining[0]} of {graph.num_tasks} tasks unexecuted",
+                    phase="deadline",
+                )
+
         def worker(thread: int) -> None:
             if tracer is not None:
                 tracer.bind(thread)
             try:
                 while abort[0] is None:
+                    check_deadline()
                     t0 = time.perf_counter_ns()
                     drain_buffer(thread)
                     item = fetch_item(thread)

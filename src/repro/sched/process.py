@@ -478,7 +478,14 @@ class ProcessSharedMemoryExecutor:
         graph: TaskGraph,
         state: PropagationState,
         tracer=None,
+        deadline: Optional[float] = None,
     ) -> ExecutionStats:
+        """Run the graph; ``deadline`` is an absolute ``time.monotonic()``
+        instant for the *whole run* (distinct from ``task_timeout``, the
+        per-dispatch budget).  The master checks it at every dispatch and
+        wait boundary; an overrun raises
+        :class:`~repro.sched.faults.TaskExecutionError` with
+        ``phase="deadline"`` after quiescing the pool."""
         p = self.num_workers
         master_slot = p  # trailing per-worker stats slot for inline work
         stats = ExecutionStats(
@@ -523,7 +530,8 @@ class ProcessSharedMemoryExecutor:
                 )
 
             self._schedule(
-                graph, specs, ops, make_pool, stats, master_slot, tracer
+                graph, specs, ops, make_pool, stats, master_slot, tracer,
+                deadline=deadline,
             )
             stats.wall_time = time.perf_counter() - start
             state.absorb_shared(tables)
@@ -549,7 +557,8 @@ class ProcessSharedMemoryExecutor:
     # ------------------------------------------------------------------ #
 
     def _schedule(
-        self, graph, specs, ops, make_pool, stats, master_slot, tracer=None
+        self, graph, specs, ops, make_pool, stats, master_slot, tracer=None,
+        deadline=None,
     ):
         """The master's Allocate loop: dispatch ready tasks, resolve deps.
 
@@ -790,8 +799,20 @@ class ProcessSharedMemoryExecutor:
                 stats.retries_total += 1
             recover("deadline miss")
 
+        def check_run_deadline() -> None:
+            """Whole-run deadline (distinct from the per-dispatch timeout)."""
+            if deadline is not None and time.monotonic() >= deadline:
+                stats.deadline_misses += 1
+                raise TaskExecutionError(
+                    f"process propagation exceeded its deadline with "
+                    f"{graph.num_tasks - completed} of {graph.num_tasks} "
+                    f"tasks unexecuted",
+                    phase="deadline",
+                )
+
         try:
             while completed < graph.num_tasks:
+                check_run_deadline()
                 while ready:
                     tid = ready.popleft()
                     task = graph.tasks[tid]
@@ -840,6 +861,13 @@ class ProcessSharedMemoryExecutor:
                     ]
                     if deadlines:
                         timeout = max(min(deadlines) - time.monotonic(), 0.0)
+                if deadline is not None:
+                    # Wake in time to notice a whole-run deadline overrun.
+                    remaining_s = max(deadline - time.monotonic(), 0.0)
+                    timeout = (
+                        remaining_s if timeout is None
+                        else min(timeout, remaining_s)
+                    )
                 if mbuf is not None:
                     mbuf.sample_queue(len(pending))
                 t0 = time.perf_counter_ns()

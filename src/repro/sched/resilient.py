@@ -52,13 +52,14 @@ def _executor_name(executor) -> str:
     return type(executor).__name__
 
 
-def _run_tier(tier, graph, state, tracer):
-    """Run one tier, forwarding the tracer only if the tier accepts one.
+def _run_tier(tier, graph, state, tracer, deadline=None):
+    """Run one tier, forwarding tracer/deadline only if the tier accepts them.
 
-    Third-party executors predating the observability subsystem keep
-    working untraced inside a traced cascade.
+    Third-party executors predating the observability subsystem (or the
+    cooperative deadline checks) keep working inside a traced,
+    deadline-bounded cascade — just untraced and unbounded.
     """
-    if tracer is None:
+    if tracer is None and deadline is None:
         return tier.run(graph, state)
     import inspect
 
@@ -66,9 +67,12 @@ def _run_tier(tier, graph, state, tracer):
         params = inspect.signature(tier.run).parameters
     except (TypeError, ValueError):
         params = {}
-    if "tracer" in params:
-        return tier.run(graph, state, tracer=tracer)
-    return tier.run(graph, state)
+    kwargs = {}
+    if tracer is not None and "tracer" in params:
+        kwargs["tracer"] = tracer
+    if deadline is not None and "deadline" in params:
+        kwargs["deadline"] = deadline
+    return tier.run(graph, state, **kwargs)
 
 
 def default_cascade(primary) -> List[object]:
@@ -157,7 +161,13 @@ class ResilientExecutor:
         graph: TaskGraph,
         state: PropagationState,
         tracer=None,
+        deadline: Optional[float] = None,
     ) -> ExecutionStats:
+        """Run the cascade; ``deadline`` (absolute ``time.monotonic()``)
+        is forwarded to every tier that supports cooperative checks.  A
+        deadline overrun is *not* a degradation trigger: a slower tier
+        cannot beat the clock the faster one already missed, so the
+        ``phase="deadline"`` error re-raises immediately."""
         tiers = [self.executor] + self.fallbacks
         snapshot = self._snapshot(state)
         records: List[DegradationRecord] = []
@@ -184,8 +194,15 @@ class ResilientExecutor:
             if i > 0:
                 self._restore(state, snapshot)
             try:
-                stats = _run_tier(tier, graph, state, tracer)
+                stats = _run_tier(tier, graph, state, tracer, deadline)
             except Exception as exc:
+                from repro.sched.faults import TaskExecutionError
+
+                if (
+                    isinstance(exc, TaskExecutionError)
+                    and exc.phase == "deadline"
+                ):
+                    raise
                 last_exc = exc
                 mark_degradation(DegradationRecord(
                     name, next_name, f"{type(exc).__name__}: {exc}"))

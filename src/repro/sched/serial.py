@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.sched.stats import ExecutionStats
 from repro.tasks.state import PropagationState
@@ -21,15 +22,34 @@ class SerialExecutor:
         graph: TaskGraph,
         state: PropagationState,
         tracer=None,
+        deadline: Optional[float] = None,
     ) -> ExecutionStats:
+        """Run the graph; ``deadline`` is an absolute ``time.monotonic()``
+        instant checked between tasks (the serial form of the parallel
+        executors' fetch-boundary check), raising
+        :class:`~repro.sched.faults.TaskExecutionError` with
+        ``phase="deadline"`` on overrun."""
         buf = tracer.bind(0) if tracer is not None else None
         start_ns = time.perf_counter_ns()
         compute_ns = 0
+        executed = 0
+        stats = ExecutionStats(num_threads=1)
         for tid in graph.topological_order():
+            if deadline is not None and time.monotonic() >= deadline:
+                from repro.sched.faults import TaskExecutionError
+
+                stats.deadline_misses += 1
+                raise TaskExecutionError(
+                    f"serial propagation exceeded its deadline with "
+                    f"{graph.num_tasks - executed} of {graph.num_tasks} "
+                    f"tasks unexecuted",
+                    phase="deadline",
+                )
             t0 = time.perf_counter_ns()
             state.execute(graph.tasks[tid])
             t1 = time.perf_counter_ns()
             compute_ns += t1 - t0
+            executed += 1
             if buf is not None:
                 buf.task_span("task", tid, t0, t1)
         wall = (time.perf_counter_ns() - start_ns) * 1e-9

@@ -20,6 +20,7 @@ import time
 from collections import deque
 from typing import List, Optional
 
+from repro.sched.faults import TaskExecutionError
 from repro.sched.stats import ExecutionStats
 from repro.tasks.partition_plan import plan_partition
 from repro.tasks.state import PropagationState
@@ -67,7 +68,12 @@ class WorkStealingExecutor:
         graph: TaskGraph,
         state: PropagationState,
         tracer=None,
+        deadline: Optional[float] = None,
     ) -> ExecutionStats:
+        """Run the graph; ``deadline`` is an absolute ``time.monotonic()``
+        instant checked cooperatively before every pop/steal.  An overrun
+        raises :class:`~repro.sched.faults.TaskExecutionError` with
+        ``phase="deadline"`` (counted in ``stats.deadline_misses``)."""
         p = self.num_threads
         if tracer is not None:
             from repro.obs.tracer import LOCK_GL, LOCK_LL, TimedLock
@@ -179,11 +185,22 @@ class WorkStealingExecutor:
                 stats.tasks_per_thread[thread] += 1
             complete(thread, tid)
 
+        def check_deadline() -> None:
+            if deadline is not None and time.monotonic() >= deadline:
+                with stats_lock:
+                    stats.deadline_misses += 1
+                raise TaskExecutionError(
+                    f"work-stealing propagation exceeded its deadline with "
+                    f"~{remaining[0]} of {graph.num_tasks} tasks unexecuted",
+                    phase="deadline",
+                )
+
         def worker(thread: int) -> None:
             if tracer is not None:
                 tracer.bind(thread)
             try:
                 while abort[0] is None:
+                    check_deadline()
                     t0 = time.perf_counter_ns()
                     item = pop_or_steal(thread)
                     t1 = time.perf_counter_ns()

@@ -1,0 +1,47 @@
+"""repro.serve — the concurrent inference service layer.
+
+Everything below the service (engines, executors, the junction tree) is a
+library a single caller drives to completion; this package is the layer
+that makes it *operable* under many concurrent callers: an
+:class:`InferenceService` owning a pool of calibrated engine sessions
+(:class:`EngineSessionPool`), with bounded admission, request coalescing,
+end-to-end deadlines, a :class:`CircuitBreaker` around the process tier,
+stale-tolerant load shedding and a graceful ``drain()`` returning a
+:class:`ServiceReport`.  See ``docs/serving.md``.
+"""
+
+from repro.serve.breaker import BreakerTransition, CircuitBreaker
+from repro.serve.report import ServiceReport
+from repro.serve.request import (
+    STATUS_DEADLINE,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_STALE,
+    DeadlineExceeded,
+    Overloaded,
+    QueryRequest,
+    QueryResponse,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.serve.service import EngineSessionPool, InferenceService
+
+__all__ = [
+    "BreakerTransition",
+    "CircuitBreaker",
+    "ServiceReport",
+    "STATUS_DEADLINE",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_STALE",
+    "DeadlineExceeded",
+    "Overloaded",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceClosed",
+    "ServiceError",
+    "EngineSessionPool",
+    "InferenceService",
+]

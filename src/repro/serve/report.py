@@ -1,0 +1,113 @@
+"""The drain-time accounting record of one service lifetime.
+
+:meth:`~repro.serve.service.InferenceService.drain` returns a
+:class:`ServiceReport`: every admission decision, every tier that served,
+every breaker transition, and latency percentiles derived from the
+service's own span tracer (``cat="serve"`` request-lifecycle spans) — the
+numbers an operator needs to answer "did the service refuse work, and
+what did the work it accepted cost?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.breaker import BreakerTransition
+
+
+@dataclass
+class ServiceReport:
+    """Everything one drained :class:`~repro.serve.service.InferenceService`
+    did.
+
+    ``served_ok`` counts every exact response (coalesced followers
+    included; ``coalesced`` says how many of them rode another request's
+    propagation).  ``latency`` holds nearest-rank percentiles (seconds)
+    over served responses, computed from the tracer's serve spans.
+    """
+
+    submitted: int = 0
+    served_ok: int = 0
+    served_stale: int = 0
+    coalesced: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    failed: int = 0
+    breaker_short_circuits: int = 0
+    tier_counts: Dict[str, int] = field(default_factory=dict)
+    breaker_transitions: List[BreakerTransition] = field(default_factory=list)
+    latency: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    queue_high_water: int = 0
+    trace: Optional[object] = None  # PropagationTrace of the serve spans
+
+    @property
+    def served(self) -> int:
+        """Responses that carried marginals (exact or stale)."""
+        return self.served_ok + self.served_stale
+
+    @property
+    def refused(self) -> int:
+        """Explicit refusals: shed, deadline-missed, or all-tiers-failed."""
+        return self.shed + self.deadline_missed + self.failed
+
+    @property
+    def shed_rate(self) -> float:
+        """Refusals as a fraction of everything submitted."""
+        return self.refused / self.submitted if self.submitted else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (benchmark emission); the trace is omitted."""
+        return {
+            "submitted": self.submitted,
+            "served_ok": self.served_ok,
+            "served_stale": self.served_stale,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
+            "deadline_missed": self.deadline_missed,
+            "failed": self.failed,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "tier_counts": dict(self.tier_counts),
+            "breaker_transitions": [str(t) for t in self.breaker_transitions],
+            "latency": dict(self.latency),
+            "wall_seconds": self.wall_seconds,
+            "queue_high_water": self.queue_high_water,
+            "shed_rate": self.shed_rate,
+        }
+
+    def format(self) -> str:
+        """Multi-line human rendering (``repro serve-demo`` prints this)."""
+        lines = [
+            f"submitted          {self.submitted:8d}"
+            f"   over {self.wall_seconds:.2f} s wall",
+            f"served exact       {self.served_ok:8d}"
+            f"   ({self.coalesced} coalesced)",
+            f"served stale       {self.served_stale:8d}",
+            f"shed (overload)    {self.shed:8d}",
+            f"deadline missed    {self.deadline_missed:8d}",
+            f"failed             {self.failed:8d}",
+            f"shed rate          {self.shed_rate:8.1%}",
+            f"queue high water   {self.queue_high_water:8d}",
+        ]
+        if self.latency:
+            per = "  ".join(
+                f"{name} {value * 1e3:.2f} ms"
+                for name, value in sorted(self.latency.items())
+            )
+            lines.append(f"latency            {per}")
+        if self.tier_counts:
+            per = ", ".join(
+                f"{name} {count}"
+                for name, count in sorted(self.tier_counts.items())
+            )
+            lines.append(f"served by          {per}")
+        if self.breaker_short_circuits:
+            lines.append(
+                f"breaker skips      {self.breaker_short_circuits:8d}"
+            )
+        if self.breaker_transitions:
+            lines.append("breaker history:")
+            for t in self.breaker_transitions:
+                lines.append(f"  t={t.at:9.3f}  {t}")
+        return "\n".join(lines)

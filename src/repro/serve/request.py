@@ -1,0 +1,132 @@
+"""Request/response model of the concurrent inference service.
+
+A :class:`QueryRequest` is one self-contained unit of client work: the
+evidence set to condition on (expressed as a delta over *no* evidence, so
+requests are independent and coalescable), the variables whose posteriors
+the client wants, an end-to-end deadline, a priority, and — optionally —
+how stale an answer the client will tolerate when the service is
+overloaded.  A :class:`QueryResponse` is always returned, even for shed
+or timed-out requests: the service's contract is *exact answer or
+explicit refusal*, never silence and never a silently-wrong posterior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.inference.evidence import Evidence
+
+
+class ServiceError(RuntimeError):
+    """Base class for inference-service refusals."""
+
+
+class Overloaded(ServiceError):
+    """The admission queue was full and no acceptable stale answer existed."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's end-to-end deadline passed before an exact answer."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining (or drained) and admits no new requests."""
+
+
+# Response statuses.  Everything except STATUS_OK / STATUS_STALE carries
+# no marginals; STATUS_STALE carries *last-known* marginals whose age the
+# client accepted up front via ``QueryRequest.max_staleness``.
+STATUS_OK = "ok"
+STATUS_STALE = "stale"
+STATUS_SHED = "shed"
+STATUS_DEADLINE = "deadline"
+STATUS_FAILED = "failed"
+
+_STATUS_ERRORS = {
+    STATUS_SHED: Overloaded,
+    STATUS_DEADLINE: DeadlineExceeded,
+    STATUS_FAILED: ServiceError,
+}
+
+
+@dataclass
+class QueryRequest:
+    """One client query.
+
+    Parameters
+    ----------
+    delta:
+        Evidence to condition on, ``{variable: finding}`` where a finding
+        is an ``int`` (hard state), a weight sequence (soft evidence) or
+        ``None`` (explicitly unobserved — accepted for symmetry with
+        :meth:`repro.inference.engine.InferenceEngine.query`).
+    vars:
+        Variables whose posterior marginals to return; ``None`` means
+        every variable in the tree.
+    deadline:
+        End-to-end budget in *seconds from admission*; enforced while
+        queued and cooperatively inside executors, so a request never
+        silently overstays.  ``None`` means unbounded.
+    priority:
+        Lower runs first among queued requests (0 is the default tier).
+    max_staleness:
+        When the admission queue is full, accept a cached last-known
+        answer at most this many seconds old instead of being shed;
+        ``None`` (default) means never accept a stale answer.
+    """
+
+    delta: Mapping[int, object] = field(default_factory=dict)
+    vars: Optional[Sequence[int]] = None
+    deadline: Optional[float] = None
+    priority: int = 0
+    max_staleness: Optional[float] = None
+
+    def evidence(self) -> Evidence:
+        """Materialize the delta as a fresh :class:`Evidence` set."""
+        ev = Evidence()
+        for var, finding in (self.delta or {}).items():
+            if finding is None:
+                continue  # retract over empty evidence is a no-op
+            if isinstance(finding, (int, np.integer)):
+                ev.observe(int(var), int(finding))
+            else:
+                ev.observe_soft(int(var), finding)
+        return ev
+
+    def signature(self) -> Tuple:
+        """Canonical fingerprint of the conditioning — the coalescing key."""
+        return self.evidence().signature()
+
+
+@dataclass
+class QueryResponse:
+    """The service's answer to one :class:`QueryRequest`.
+
+    ``marginals`` is exact (matches a fresh serial propagation to within
+    float noise) when ``status == "ok"``, and a dated last-known answer
+    when ``status == "stale"`` (``stale_age`` says how dated).  All other
+    statuses are explicit refusals with empty marginals and ``error`` set.
+    """
+
+    status: str
+    marginals: Dict[int, np.ndarray] = field(default_factory=dict)
+    latency: float = 0.0
+    executor: str = ""
+    coalesced: bool = False
+    stale_age: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the response carries usable marginals (exact or stale)."""
+        return self.status in (STATUS_OK, STATUS_STALE)
+
+    def raise_for_status(self) -> "QueryResponse":
+        """Raise the matching :class:`ServiceError` unless :attr:`ok`."""
+        exc = _STATUS_ERRORS.get(self.status)
+        if exc is not None:
+            raise exc(self.error or self.status)
+        return self

@@ -1,0 +1,749 @@
+"""The concurrent inference service: sessions, admission, tiers, drain.
+
+Two classes:
+
+* :class:`EngineSessionPool` — N calibrated
+  :class:`~repro.inference.engine.InferenceEngine` sessions over *one*
+  junction tree (rerooted once, shared read-only) and *one* thread-safe
+  :class:`~repro.inference.cache.QueryCache`, checked out LIFO so the
+  warmest session (hottest incremental state) is reused first.
+* :class:`InferenceService` — a bounded worker pool in front of the
+  session pool.  Requests are admitted into a bounded priority queue
+  (full queue → stale answer if the caller allows one, else explicit
+  shed), coalesced single-flight on their canonical evidence signature,
+  executed through a breaker-guarded tier cascade (process → threads →
+  serial) with cooperative end-to-end deadlines, and always answered —
+  exactly, stalely, or with an explicit refusal.  ``drain()`` stops
+  admissions, finishes in-flight work and returns a
+  :class:`~repro.serve.report.ServiceReport`.
+
+The correctness contract the chaos soak (``tools/soak.py``) enforces:
+any response with ``status == "ok"`` matches a fresh serial propagation
+to 1e-9, no matter which tier served it or what faults were injected.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.inference.cache import QueryCache
+from repro.inference.engine import InferenceEngine
+from repro.obs.metrics import latency_percentiles
+from repro.obs.span import CAT_SERVE
+from repro.obs.tracer import Tracer
+from repro.sched.faults import TaskExecutionError, check_state_health
+from repro.sched.serial import SerialExecutor
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.report import ServiceReport
+from repro.serve.request import (
+    STATUS_DEADLINE,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_STALE,
+    QueryRequest,
+    QueryResponse,
+    ServiceClosed,
+)
+
+# Sentinel priority: sorts after every client priority, so drain sentinels
+# are consumed only once the real queue is empty.
+_SENTINEL_PRIORITY = 1 << 30
+
+
+class EngineSessionPool:
+    """A fixed pool of calibrated engine sessions over one junction tree.
+
+    Build once (tree construction and Algorithm-1 rerooting run a single
+    time), then hand sessions out to service workers: every session is an
+    independent :class:`~repro.inference.engine.InferenceEngine` with its
+    own propagation state, but all share the rerooted tree (read-only)
+    and one thread-safe :class:`~repro.inference.cache.QueryCache`, so a
+    marginal computed by any session answers repeats on every session.
+    """
+
+    def __init__(self, engines: Sequence[InferenceEngine]):
+        if not engines:
+            raise ValueError("session pool needs at least one engine")
+        self.engines = list(engines)
+        self.cache = self.engines[0].cache
+        variables = set()
+        for clique in self.engines[0].jt.cliques:
+            variables.update(clique.variables)
+        self.variables: List[int] = sorted(variables)
+        # LIFO: the most recently returned session has the freshest
+        # incremental state and the warmest caches.
+        self._free: "queue.LifoQueue[InferenceEngine]" = queue.LifoQueue()
+        for engine in self.engines:
+            self._free.put(engine)
+
+    @classmethod
+    def from_junction_tree(
+        cls,
+        junction_tree,
+        sessions: int = 2,
+        cache_size: int = 512,
+        warm: bool = True,
+    ) -> "EngineSessionPool":
+        """Build ``sessions`` engines sharing one rerooted tree and cache."""
+        if sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        first = InferenceEngine(
+            junction_tree, reroot=True, cache_size=cache_size
+        )
+        engines = [first]
+        for _ in range(sessions - 1):
+            engines.append(
+                InferenceEngine(first.jt, reroot=False, cache_size=cache_size)
+            )
+        shared = QueryCache(cache_size)
+        for engine in engines:
+            engine.cache = shared
+        if warm:
+            # Calibrate the no-evidence prior once per session, so the
+            # first client request pays incremental cost, not a cold run.
+            for engine in engines:
+                engine.propagate()
+        return cls(engines)
+
+    @classmethod
+    def from_network(
+        cls,
+        bn,
+        sessions: int = 2,
+        cache_size: int = 512,
+        warm: bool = True,
+    ) -> "EngineSessionPool":
+        from repro.jt.build import junction_tree_from_network
+
+        return cls.from_junction_tree(
+            junction_tree_from_network(bn),
+            sessions=sessions,
+            cache_size=cache_size,
+            warm=warm,
+        )
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.engines)
+
+    @contextmanager
+    def session(self, timeout: Optional[float] = None):
+        """Check a session out (blocking), return it on exit."""
+        engine = self._free.get(timeout=timeout)
+        try:
+            yield engine
+        finally:
+            self._free.put(engine)
+
+
+class _Future:
+    """Minimal thread-safe one-shot result cell (concurrent.futures-lite).
+
+    ``concurrent.futures.Future`` would work, but this keeps the
+    dependency surface to ``threading`` and makes the resolved-exactly-
+    once invariant explicit.
+    """
+
+    __slots__ = ("_event", "_response")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._response: Optional[QueryResponse] = None
+
+    def resolve(self, response: QueryResponse) -> None:
+        if self._response is None:
+            self._response = response
+            self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("response not ready")
+        return self._response
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass
+class _Member:
+    """One request riding a flight (the leader is members[0])."""
+
+    request: QueryRequest
+    future: _Future
+    admitted_ns: int
+    deadline_at: Optional[float]
+
+
+@dataclass
+class _Flight:
+    """A single-flight group: all requests sharing one evidence signature.
+
+    While ``open`` (queued) the flight is joinable — new submissions with
+    the same signature attach as members instead of enqueueing.  The
+    serving worker closes the flight when it begins serving, so late
+    joiners start a fresh flight rather than racing resolution.
+    """
+
+    signature: Tuple
+    evidence: object
+    members: List[_Member] = field(default_factory=list)
+    open: bool = True
+
+
+class InferenceService:
+    """Thread-safe concurrent inference over a pool of engine sessions.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`EngineSessionPool` that owns the calibrated sessions.
+    primary:
+        Optional breaker-guarded fast tier (typically a
+        :class:`~repro.sched.process.ProcessSharedMemoryExecutor`).
+    fallback:
+        Thread-tier executor used when the primary is absent, skipped by
+        an open breaker, or failing; defaults to a fresh
+        :class:`~repro.sched.collaborative.CollaborativeExecutor` — pass
+        a :class:`~repro.sched.serial.SerialExecutor` to keep the
+        service single-tier.  A serial last resort always backstops the
+        cascade.
+    workers:
+        Service worker threads; defaults to ``pool.num_sessions`` (more
+        would only contend on session checkout).
+    max_queue:
+        Admission bound: requests beyond this many queued flights are
+        shed (or served stale, when the request allows it).
+    breaker:
+        The :class:`~repro.serve.breaker.CircuitBreaker` guarding the
+        primary tier; a default one is built when the primary is set.
+    own_executors:
+        Close the primary/fallback executors (their worker pools) during
+        :meth:`drain`.  Leave True unless the executors are shared.
+    """
+
+    def __init__(
+        self,
+        pool: EngineSessionPool,
+        primary=None,
+        fallback=None,
+        workers: Optional[int] = None,
+        max_queue: int = 32,
+        breaker: Optional[CircuitBreaker] = None,
+        own_executors: bool = True,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.pool = pool
+        self.primary = primary
+        if fallback is None:
+            from repro.sched.collaborative import CollaborativeExecutor
+
+            fallback = CollaborativeExecutor(num_threads=2)
+        self.fallback = fallback
+        self.breaker = breaker or CircuitBreaker()
+        self.own_executors = own_executors
+        self.max_queue = max_queue
+
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = 0
+        self._flights: Dict[Tuple, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._queued = 0  # live flights in the queue (admission accounting)
+
+        self._stats_lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            "submitted": 0,
+            "served_ok": 0,
+            "served_stale": 0,
+            "coalesced": 0,
+            "shed": 0,
+            "deadline_missed": 0,
+            "failed": 0,
+            "breaker_short_circuits": 0,
+        }
+        self._tier_counts: Dict[str, int] = {}
+        self._queue_high_water = 0
+
+        # Last-known exact marginals, {var: (values, monotonic_ts, sig)} —
+        # the degraded answer served on overload when the caller opted in.
+        self._stale_store: Dict[int, Tuple[np.ndarray, float, Tuple]] = {}
+        self._stale_lock = threading.Lock()
+
+        self._tracer = Tracer()
+        self._started_ns = time.perf_counter_ns()
+        self._closed = False
+        self._report: Optional[ServiceReport] = None
+        self._lifecycle_lock = threading.Lock()
+
+        n_workers = workers if workers is not None else pool.num_sessions
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"serve-worker-{slot}",
+                daemon=True,
+            )
+            for slot in range(max(n_workers, 1))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self._counts[key] += n
+
+    def submit(self, request: QueryRequest) -> _Future:
+        """Admit one request; returns a future resolving to its response.
+
+        Raises :class:`~repro.serve.request.ServiceClosed` once
+        :meth:`drain` has begun.  Never blocks on a full queue: the
+        overload path resolves the future immediately (stale or shed).
+        """
+        if self._closed:
+            raise ServiceClosed("service is draining; no new requests")
+        now = time.monotonic()
+        deadline_at = (
+            now + request.deadline if request.deadline is not None else None
+        )
+        member = _Member(
+            request=request,
+            future=_Future(),
+            admitted_ns=time.perf_counter_ns(),
+            deadline_at=deadline_at,
+        )
+        evidence = request.evidence()
+        signature = evidence.signature()
+
+        with self._flights_lock:
+            # Re-check under the lock: drain() marks closed and enqueues
+            # its sentinels while holding it, so anything admitted here is
+            # guaranteed to be processed before the workers exit.
+            if self._closed:
+                raise ServiceClosed("service is draining; no new requests")
+            self._bump("submitted")
+            flight = self._flights.get(signature)
+            if flight is not None and flight.open:
+                flight.members.append(member)
+                self._bump("coalesced")
+                return member.future
+            if self._queued >= self.max_queue:
+                self._resolve_overload(member)
+                return member.future
+            flight = _Flight(signature, evidence, members=[member])
+            self._flights[signature] = flight
+            self._queued += 1
+            self._queue_high_water = max(self._queue_high_water, self._queued)
+            self._seq += 1
+            self._queue.put((request.priority, self._seq, flight))
+        return member.future
+
+    def query(
+        self,
+        delta=None,
+        vars=None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
+        max_staleness: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryResponse:
+        """Blocking convenience: submit and wait for the response."""
+        future = self.submit(
+            QueryRequest(
+                delta=delta or {},
+                vars=vars,
+                deadline=deadline,
+                priority=priority,
+                max_staleness=max_staleness,
+            )
+        )
+        return future.result(timeout)
+
+    def _resolve_overload(self, member: _Member) -> None:
+        """Full queue: serve a tolerated-stale answer or shed explicitly."""
+        request = member.request
+        if request.max_staleness is not None:
+            needed = (
+                [int(v) for v in request.vars]
+                if request.vars is not None
+                else self.pool.variables
+            )
+            now = time.monotonic()
+            marginals: Dict[int, np.ndarray] = {}
+            worst_age = 0.0
+            with self._stale_lock:
+                for var in needed:
+                    entry = self._stale_store.get(var)
+                    if entry is None:
+                        marginals = {}
+                        break
+                    values, ts, _sig = entry
+                    age = now - ts
+                    if age > request.max_staleness:
+                        marginals = {}
+                        break
+                    worst_age = max(worst_age, age)
+                    marginals[var] = values
+            if marginals:
+                self._bump("served_stale")
+                self._finish(
+                    member,
+                    QueryResponse(
+                        status=STATUS_STALE,
+                        marginals=marginals,
+                        executor="stale-store",
+                        stale_age=worst_age,
+                    ),
+                )
+                return
+        self._bump("shed")
+        self._finish(
+            member,
+            QueryResponse(
+                status=STATUS_SHED,
+                error=f"admission queue full ({self.max_queue} flights)",
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self, slot: int) -> None:
+        buf = self._tracer.bind(slot)
+        self._tracer.name_row(slot, f"serve-{slot}")
+        while True:
+            _prio, _seq, flight = self._queue.get()
+            if flight is None:
+                return
+            with self._flights_lock:
+                self._queued -= 1
+            try:
+                self._serve_flight(flight)
+            except BaseException as exc:  # never strand a client
+                self._abort_flight(flight, exc)
+
+    def _close_flight(self, flight: _Flight) -> List[_Member]:
+        """Stop accepting joiners; returns the final member snapshot."""
+        with self._flights_lock:
+            flight.open = False
+            if self._flights.get(flight.signature) is flight:
+                del self._flights[flight.signature]
+            return list(flight.members)
+
+    def _abort_flight(self, flight: _Flight, exc: BaseException) -> None:
+        for member in self._close_flight(flight):
+            if not member.future.done():
+                self._bump("failed")
+                self._finish(
+                    member,
+                    QueryResponse(
+                        status=STATUS_FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+
+    def _finish(self, member: _Member, response: QueryResponse) -> None:
+        """Stamp latency, record the serve span, resolve the future."""
+        end_ns = time.perf_counter_ns()
+        response.latency = (end_ns - member.admitted_ns) * 1e-9
+        self._tracer.current().span(
+            f"request:{response.status}", CAT_SERVE, member.admitted_ns, end_ns
+        )
+        member.future.resolve(response)
+
+    # ------------------------------------------------------------------ #
+    # Serving one flight
+    # ------------------------------------------------------------------ #
+
+    def _union_vars(self, members: Sequence[_Member]) -> Optional[List[int]]:
+        """Variables the flight must answer; None means all of them."""
+        union: set = set()
+        for member in members:
+            if member.request.vars is None:
+                return None
+            union.update(int(v) for v in member.request.vars)
+        return sorted(union)
+
+    def _cached_answer(
+        self, signature: Tuple, members: Sequence[_Member]
+    ) -> Optional[Dict[int, np.ndarray]]:
+        """All requested marginals already cached → skip propagation."""
+        needed = self._union_vars(members)
+        if needed is None:
+            needed = self.pool.variables
+        results: Dict[int, np.ndarray] = {}
+        for var in needed:
+            values = self.pool.cache.get_marginal(signature, var)
+            if values is None:
+                return None
+            results[var] = values
+        return results
+
+    def _tiers(self) -> List[Tuple[str, object, bool]]:
+        """(name, executor, breaker_guarded) cascade for one flight."""
+        tiers: List[Tuple[str, object, bool]] = []
+        if self.primary is not None:
+            if self.breaker.allow():
+                tiers.append(
+                    (type(self.primary).__name__, self.primary, True)
+                )
+            else:
+                self._bump("breaker_short_circuits")
+        if self.fallback is not None:
+            tiers.append((type(self.fallback).__name__, self.fallback, False))
+        if not tiers or not isinstance(tiers[-1][1], SerialExecutor):
+            tiers.append(("SerialExecutor", SerialExecutor(), False))
+        return tiers
+
+    def _serve_flight(self, flight: _Flight) -> None:
+        members = self._close_flight(flight)
+
+        # Expired-before-start requests answer without costing a session.
+        now = time.monotonic()
+        if all(
+            m.deadline_at is not None and now >= m.deadline_at
+            for m in members
+        ):
+            self._resolve_deadline(members)
+            return
+
+        # Fast path: a previous flight with this signature already cached
+        # every marginal this one needs.
+        cached = self._cached_answer(flight.signature, members)
+        if cached is not None:
+            self._resolve_ok(members, cached, "cache")
+            return
+
+        deadline_at = self._flight_deadline(members)
+        tiers = self._tiers()
+        # A half-open breaker reserved a probe slot in _tiers(); if a
+        # deadline aborts the flight before the guarded tier is even
+        # attempted, hand the slot back so probing is not starved.
+        guarded_unattempted = bool(tiers) and tiers[0][2]
+        last_error: Optional[BaseException] = None
+        with self.pool.session() as engine:
+            engine.set_evidence(flight.evidence)
+            incremental = True
+            for name, executor, guarded in tiers:
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    if guarded_unattempted:
+                        self.breaker.release_probe()
+                    self._resolve_deadline(members)
+                    return
+                if guarded:
+                    guarded_unattempted = False
+                try:
+                    state = engine.propagate(
+                        executor=executor,
+                        incremental=incremental,
+                        deadline=deadline_at,
+                    )
+                except TaskExecutionError as exc:
+                    if exc.phase == "deadline":
+                        self._resolve_deadline(members)
+                        return
+                    last_error = exc
+                    if guarded:
+                        self.breaker.record_failure(str(exc))
+                    # A failed tier may have mutated tables the previous
+                    # state shared with the incremental plan: rebuild.
+                    incremental = False
+                    continue
+                except Exception as exc:
+                    if (
+                        deadline_at is not None
+                        and time.monotonic() >= deadline_at
+                    ):
+                        self._resolve_deadline(members)
+                        return
+                    last_error = exc
+                    if guarded:
+                        self.breaker.record_failure(str(exc))
+                    incremental = False
+                    continue
+                health = check_state_health(state)
+                if not health.healthy:
+                    last_error = RuntimeError(
+                        f"unhealthy result from {name}: {health.summary()}"
+                    )
+                    if guarded:
+                        self.breaker.record_failure(health.summary())
+                    incremental = False
+                    continue
+                if guarded:
+                    self.breaker.record_success()
+                union = self._union_vars(members)
+                results = engine.query(
+                    vars=union if union is not None else None
+                )
+                self._record_stale(flight.signature, results)
+                self._resolve_ok(members, results, name)
+                return
+
+        # Every tier failed (serial included — pathological evidence or a
+        # corrupted tree): explicit failure, never a silent wrong answer.
+        error = (
+            f"{type(last_error).__name__}: {last_error}"
+            if last_error is not None
+            else "no executor tier available"
+        )
+        for member in members:
+            self._bump("failed")
+            self._finish(
+                member, QueryResponse(status=STATUS_FAILED, error=error)
+            )
+
+    @staticmethod
+    def _flight_deadline(members: Sequence[_Member]) -> Optional[float]:
+        """The propagation budget: generous enough for every member.
+
+        ``None`` (unbounded) if any member is unbounded, else the latest
+        member deadline — members whose own deadline lapses first get an
+        explicit DeadlineExceeded at resolution.
+        """
+        deadline = 0.0
+        for member in members:
+            if member.deadline_at is None:
+                return None
+            deadline = max(deadline, member.deadline_at)
+        return deadline
+
+    def _record_stale(
+        self, signature: Tuple, results: Dict[int, np.ndarray]
+    ) -> None:
+        ts = time.monotonic()
+        with self._stale_lock:
+            for var, values in results.items():
+                self._stale_store[var] = (values, ts, signature)
+
+    def _resolve_ok(
+        self,
+        members: Sequence[_Member],
+        results: Dict[int, np.ndarray],
+        tier: str,
+    ) -> None:
+        with self._stats_lock:
+            self._tier_counts[tier] = self._tier_counts.get(tier, 0) + 1
+        now = time.monotonic()
+        for i, member in enumerate(members):
+            if member.deadline_at is not None and now >= member.deadline_at:
+                self._bump("deadline_missed")
+                self._finish(
+                    member,
+                    QueryResponse(
+                        status=STATUS_DEADLINE,
+                        error="deadline passed before resolution",
+                    ),
+                )
+                continue
+            wanted = member.request.vars
+            marginals = (
+                dict(results)
+                if wanted is None
+                else {int(v): results[int(v)] for v in wanted}
+            )
+            self._bump("served_ok")
+            self._finish(
+                member,
+                QueryResponse(
+                    status=STATUS_OK,
+                    marginals=marginals,
+                    executor=tier,
+                    coalesced=i > 0,
+                ),
+            )
+
+    def _resolve_deadline(self, members: Sequence[_Member]) -> None:
+        for member in members:
+            if member.future.done():
+                continue
+            self._bump("deadline_missed")
+            self._finish(
+                member,
+                QueryResponse(
+                    status=STATUS_DEADLINE,
+                    error="end-to-end deadline exceeded",
+                ),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def drain(self, timeout: Optional[float] = None) -> ServiceReport:
+        """Stop admissions, finish queued work, report.
+
+        Idempotent: later calls return the same report.  ``timeout``
+        bounds the per-worker join (None waits indefinitely).
+        """
+        with self._lifecycle_lock:
+            if self._report is not None:
+                return self._report
+            self._closed = True
+            with self._flights_lock:
+                for _ in self._workers:
+                    self._seq += 1
+                    self._queue.put((_SENTINEL_PRIORITY, self._seq, None))
+            for thread in self._workers:
+                thread.join(timeout)
+            if self.own_executors:
+                for executor in (self.primary, self.fallback):
+                    close = getattr(executor, "close", None)
+                    if callable(close):
+                        close()
+            self._report = self._build_report()
+            return self._report
+
+    def _build_report(self) -> ServiceReport:
+        trace = self._tracer.finalize(executor="InferenceService")
+        served_spans = [
+            span.duration
+            for span in trace.spans
+            if span.cat == CAT_SERVE
+            and span.name in ("request:ok", "request:stale")
+        ]
+        with self._stats_lock:
+            counts = dict(self._counts)
+            tier_counts = dict(self._tier_counts)
+            high_water = self._queue_high_water
+        return ServiceReport(
+            submitted=counts["submitted"],
+            served_ok=counts["served_ok"],
+            served_stale=counts["served_stale"],
+            coalesced=counts["coalesced"],
+            shed=counts["shed"],
+            deadline_missed=counts["deadline_missed"],
+            failed=counts["failed"],
+            breaker_short_circuits=counts["breaker_short_circuits"],
+            tier_counts=tier_counts,
+            breaker_transitions=list(self.breaker.transitions),
+            latency=latency_percentiles(served_spans, points=(50, 90, 99)),
+            wall_seconds=(time.perf_counter_ns() - self._started_ns) * 1e-9,
+            queue_high_water=high_water,
+            trace=trace,
+        )
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InferenceService(sessions={self.pool.num_sessions}, "
+            f"workers={len(self._workers)}, max_queue={self.max_queue}, "
+            f"breaker={self.breaker.state})"
+        )

@@ -1,0 +1,678 @@
+"""Tests for the concurrent inference service layer (repro.serve).
+
+Covers the satellite fixes (QueryCache thread-safety, engine
+re-entrancy, executor deadlines) and the service itself: admission
+control, coalescing, deadlines, stale serving, the circuit breaker, and
+graceful drain.  The contract every test enforces somewhere: a response
+is exact (vs a fresh serial oracle) or an explicit refusal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.cache import QueryCache
+from repro.inference.engine import InferenceEngine
+from repro.jt.build import junction_tree_from_network
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.faults import TaskExecutionError
+from repro.sched.resilient import ResilientExecutor
+from repro.sched.serial import SerialExecutor
+from repro.sched.workstealing import WorkStealingExecutor
+from repro.serve import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    EngineSessionPool,
+    InferenceService,
+    Overloaded,
+    QueryRequest,
+    ServiceClosed,
+)
+from repro.tasks.state import PropagationState
+
+
+@pytest.fixture(scope="module")
+def serve_network():
+    return random_network(
+        18, cardinality=2, max_parents=3, edge_probability=0.7, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def serve_tree(serve_network):
+    return junction_tree_from_network(serve_network)
+
+
+@pytest.fixture
+def oracle(serve_network):
+    return InferenceEngine.from_network(serve_network)
+
+
+def exact_marginals(oracle, request):
+    oracle.set_evidence(request.evidence())
+    oracle.propagate(incremental=False)
+    variables = request.vars
+    if variables is None:
+        return oracle.marginals_all()
+    return {int(v): oracle.marginal(int(v)) for v in variables}
+
+
+# --------------------------------------------------------------------- #
+# Satellite: QueryCache thread-safety
+# --------------------------------------------------------------------- #
+
+
+class TestQueryCacheConcurrency:
+    def test_concurrent_put_get_no_corruption(self):
+        cache = QueryCache(capacity=16)
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(400):
+                    sig = (("h", ((tid + i) % 24, 1)), ("s",))
+                    cache.put_marginal(sig, i % 5, np.array([0.5, 0.5]))
+                    got = cache.get_marginal(sig, i % 5)
+                    if got is not None:
+                        assert got.shape == (2,)
+                    cache.put_likelihood(sig, 0.25)
+                    cache.get_likelihood(sig)
+                    if i % 97 == 0:
+                        cache.clear()
+                    len(cache)
+                    cache.hit_rate()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 16  # LRU capacity respected under the storm
+
+    def test_returned_arrays_are_write_protected(self):
+        cache = QueryCache(capacity=4)
+        sig = (("h", (0, 1)), ("s",))
+        cache.put_marginal(sig, 0, np.array([0.3, 0.7]))
+        out = cache.get_marginal(sig, 0)
+        with pytest.raises(ValueError):
+            out[0] = 99.0  # cached entries are immutable to all clients
+        assert cache.get_marginal(sig, 0)[0] == pytest.approx(0.3)
+
+
+# --------------------------------------------------------------------- #
+# Satellite: engine re-entrancy
+# --------------------------------------------------------------------- #
+
+
+class TestEngineReentrancy:
+    def test_concurrent_queries_one_engine_exact(self, serve_network):
+        engine = InferenceEngine.from_network(serve_network)
+        oracle = InferenceEngine.from_network(serve_network)
+        deltas = [{v: v % 2} for v in range(8)]
+        results = {}
+        errors = []
+
+        def worker(idx):
+            try:
+                # Full evidence replacement per call keeps each thread's
+                # conditioning self-contained despite the shared engine.
+                engine.set_evidence(deltas[idx])
+                engine.propagate(incremental=False)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(deltas))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Whatever evidence won the race, the state must be consistent
+        # with it (no interleaved half-propagation).
+        final = engine.evidence.as_dict()
+        oracle.set_evidence(final)
+        oracle.propagate(incremental=False)
+        for var in (10, 15):
+            np.testing.assert_allclose(
+                engine.marginal(var), oracle.marginal(var), atol=1e-9
+            )
+
+
+# --------------------------------------------------------------------- #
+# Satellite: executor deadlines
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "executor_factory",
+    [
+        SerialExecutor,
+        lambda: CollaborativeExecutor(num_threads=2),
+        lambda: WorkStealingExecutor(num_threads=2),
+    ],
+    ids=["serial", "collaborative", "workstealing"],
+)
+class TestExecutorDeadlines:
+    def test_expired_deadline_raises(self, serve_tree, executor_factory):
+        engine = InferenceEngine(serve_tree)
+        executor = executor_factory()
+        with pytest.raises(TaskExecutionError) as info:
+            engine.propagate(
+                executor, deadline=time.monotonic() - 1.0
+            )
+        assert info.value.phase == "deadline"
+
+    def test_generous_deadline_is_exact(
+        self, serve_tree, executor_factory, oracle
+    ):
+        engine = InferenceEngine(serve_tree)
+        engine.set_evidence({0: 1})
+        engine.propagate(
+            executor_factory(), deadline=time.monotonic() + 60.0
+        )
+        oracle.set_evidence({0: 1})
+        oracle.propagate(incremental=False)
+        np.testing.assert_allclose(
+            engine.marginal(9), oracle.marginal(9), atol=1e-9
+        )
+
+    def test_engine_recovers_after_deadline_miss(
+        self, serve_tree, executor_factory, oracle
+    ):
+        engine = InferenceEngine(serve_tree)
+        engine.set_evidence({1: 0})
+        with pytest.raises(TaskExecutionError):
+            engine.propagate(
+                executor_factory(), deadline=time.monotonic() - 1.0
+            )
+        # The miss must not poison the engine: the next call answers.
+        engine.propagate(executor_factory())
+        oracle.set_evidence({1: 0})
+        oracle.propagate(incremental=False)
+        np.testing.assert_allclose(
+            engine.marginal(7), oracle.marginal(7), atol=1e-9
+        )
+
+
+def test_resilient_deadline_does_not_cascade(serve_tree):
+    """A slower tier cannot beat a clock the fast tier missed: re-raise."""
+    engine = InferenceEngine(serve_tree)
+    wrapped = ResilientExecutor(
+        CollaborativeExecutor(num_threads=2),
+        fallbacks=[SerialExecutor()],
+    )
+    with pytest.raises(TaskExecutionError) as info:
+        engine.propagate(wrapped, deadline=time.monotonic() - 1.0)
+    assert info.value.phase == "deadline"
+
+
+def test_resilient_forwards_deadline_to_surviving_tier(serve_tree):
+    class Broken:
+        def run(self, graph, state):
+            raise RuntimeError("always down")
+
+    engine = InferenceEngine(serve_tree)
+    wrapped = ResilientExecutor(Broken(), fallbacks=[SerialExecutor()])
+    state = engine.propagate(wrapped, deadline=time.monotonic() + 60.0)
+    assert isinstance(state, PropagationState)
+    assert engine.last_stats.completed_executor == "SerialExecutor"
+
+
+# --------------------------------------------------------------------- #
+# CircuitBreaker unit
+# --------------------------------------------------------------------- #
+
+
+class TestCircuitBreaker:
+    def make(self, **kw):
+        self.now = [0.0]
+        kw.setdefault("clock", lambda: self.now[0])
+        return CircuitBreaker(**kw)
+
+    def test_opens_after_threshold(self):
+        br = self.make(failure_threshold=3, reset_timeout=10.0)
+        for _ in range(2):
+            br.record_failure()
+        assert br.state == "closed" and br.allow()
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        assert br.opens == 1
+
+    def test_success_resets_failure_streak(self):
+        br = self.make(failure_threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == "closed"  # streak broken, not cumulative
+
+    def test_half_open_probe_success_closes(self):
+        br = self.make(failure_threshold=1, reset_timeout=5.0)
+        br.record_failure()
+        assert not br.allow()
+        self.now[0] = 5.0
+        assert br.allow()  # the probe slot
+        assert br.state == "half-open"
+        assert not br.allow()  # only one probe
+        br.record_success()
+        assert br.state == "closed"
+        assert br.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        br = self.make(failure_threshold=1, reset_timeout=5.0)
+        br.record_failure()
+        self.now[0] = 5.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+        assert br.opens == 2
+
+    def test_release_probe_unblocks_next_probe(self):
+        br = self.make(failure_threshold=1, reset_timeout=1.0)
+        br.record_failure()
+        self.now[0] = 1.0
+        assert br.allow()
+        assert not br.allow()
+        br.release_probe()  # abandoned attempt hands the slot back
+        assert br.allow()
+
+    def test_transitions_recorded(self):
+        br = self.make(failure_threshold=1, reset_timeout=1.0)
+        br.record_failure("boom")
+        self.now[0] = 1.0
+        br.allow()
+        br.record_success()
+        states = [(t.from_state, t.to_state) for t in br.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert "boom" in br.transitions[0].reason
+
+
+# --------------------------------------------------------------------- #
+# EngineSessionPool
+# --------------------------------------------------------------------- #
+
+
+class TestEngineSessionPool:
+    def test_sessions_share_tree_and_cache(self, serve_tree):
+        pool = EngineSessionPool.from_junction_tree(serve_tree, sessions=3)
+        assert pool.num_sessions == 3
+        assert all(e.jt is pool.engines[0].jt for e in pool.engines)
+        assert all(e.cache is pool.cache for e in pool.engines)
+
+    def test_checkout_blocks_until_checkin(self, serve_tree):
+        pool = EngineSessionPool.from_junction_tree(serve_tree, sessions=1)
+        with pool.session() as engine:
+            assert engine is pool.engines[0]
+            with pytest.raises(Exception):
+                with pool.session(timeout=0.05):
+                    pass  # pragma: no cover
+        with pool.session(timeout=1.0) as engine:
+            assert engine is pool.engines[0]
+
+    def test_warm_sessions_answer_immediately(self, serve_tree, oracle):
+        pool = EngineSessionPool.from_junction_tree(serve_tree, sessions=2)
+        oracle.set_evidence({})
+        oracle.propagate(incremental=False)
+        with pool.session() as engine:
+            np.testing.assert_allclose(
+                engine.marginal(3), oracle.marginal(3), atol=1e-9
+            )
+
+
+# --------------------------------------------------------------------- #
+# InferenceService
+# --------------------------------------------------------------------- #
+
+
+def make_service(serve_tree, **kw):
+    pool = EngineSessionPool.from_junction_tree(
+        serve_tree, sessions=kw.pop("sessions", 2)
+    )
+    kw.setdefault("fallback", CollaborativeExecutor(num_threads=2))
+    kw.setdefault("max_queue", 32)
+    return InferenceService(pool, **kw)
+
+
+class TestServiceCorrectness:
+    @pytest.mark.parametrize(
+        "fallback_factory",
+        [
+            SerialExecutor,
+            lambda: CollaborativeExecutor(num_threads=2),
+            lambda: WorkStealingExecutor(num_threads=2),
+        ],
+        ids=["serial", "collaborative", "workstealing"],
+    )
+    def test_concurrent_clients_exact_on_every_tier(
+        self, serve_tree, oracle, fallback_factory
+    ):
+        service = make_service(serve_tree, fallback=fallback_factory())
+        requests = [
+            QueryRequest(delta={v: v % 2}, vars=[10, 15], deadline=30.0)
+            for v in range(6)
+        ]
+        futures = [service.submit(r) for r in requests]
+        for request, future in zip(requests, futures):
+            response = future.result(60.0)
+            assert response.status == "ok", response.error
+            exact = exact_marginals(oracle, request)
+            for var, values in response.marginals.items():
+                np.testing.assert_allclose(values, exact[var], atol=1e-9)
+        report = service.drain()
+        assert report.failed == 0
+
+    def test_all_vars_request(self, serve_tree, oracle):
+        service = make_service(serve_tree)
+        response = service.query(delta={2: 1}, vars=None, deadline=30.0)
+        service.drain()
+        assert response.status == "ok"
+        exact = exact_marginals(
+            oracle, QueryRequest(delta={2: 1}, vars=None)
+        )
+        assert set(response.marginals) == set(exact)
+        for var, values in response.marginals.items():
+            np.testing.assert_allclose(values, exact[var], atol=1e-9)
+
+    def test_soft_evidence_request(self, serve_tree, oracle):
+        service = make_service(serve_tree)
+        request = QueryRequest(
+            delta={4: [0.8, 0.2], 9: 1}, vars=[12], deadline=30.0
+        )
+        response = service.submit(request).result(60.0)
+        service.drain()
+        assert response.status == "ok"
+        exact = exact_marginals(oracle, request)
+        np.testing.assert_allclose(
+            response.marginals[12], exact[12], atol=1e-9
+        )
+
+
+class TestServiceCoalescing:
+    def test_identical_requests_coalesce(self, serve_tree, oracle):
+        service = make_service(serve_tree, workers=1, sessions=1)
+        request = QueryRequest(delta={3: 1}, vars=[11], deadline=30.0)
+        futures = [service.submit(request) for _ in range(12)]
+        responses = [f.result(60.0) for f in futures]
+        report = service.drain()
+        assert all(r.status == "ok" for r in responses)
+        assert report.coalesced > 0
+        exact = exact_marginals(oracle, request)
+        for r in responses:
+            np.testing.assert_allclose(
+                r.marginals[11], exact[11], atol=1e-9
+            )
+
+    def test_coalesced_union_of_vars(self, serve_tree, oracle):
+        service = make_service(serve_tree, workers=1, sessions=1)
+        reqs = [
+            QueryRequest(delta={3: 1}, vars=[v], deadline=30.0)
+            for v in (8, 11, 14)
+        ]
+        futures = [service.submit(r) for r in reqs]
+        for request, future in zip(reqs, futures):
+            response = future.result(60.0)
+            assert response.status == "ok"
+            assert set(response.marginals) == set(request.vars)
+            exact = exact_marginals(oracle, request)
+            for var in request.vars:
+                np.testing.assert_allclose(
+                    response.marginals[var], exact[var], atol=1e-9
+                )
+        service.drain()
+
+    def test_repeat_signature_served_from_cache(self, serve_tree):
+        service = make_service(serve_tree)
+        first = service.query(delta={5: 0}, vars=[10], deadline=30.0)
+        second = service.query(delta={5: 0}, vars=[10], deadline=30.0)
+        report = service.drain()
+        assert first.status == second.status == "ok"
+        np.testing.assert_allclose(
+            first.marginals[10], second.marginals[10], atol=0
+        )
+        assert report.tier_counts.get("cache", 0) >= 1
+
+
+class TestServiceAdmission:
+    def test_overload_sheds_explicitly(self, serve_tree):
+        service = make_service(serve_tree, max_queue=1, workers=1,
+                               sessions=1)
+        futures = [
+            service.submit(
+                QueryRequest(delta={v % 18: 0}, vars=[2], deadline=30.0)
+            )
+            for v in range(40)
+        ]
+        responses = [f.result(60.0) for f in futures]
+        report = service.drain()
+        statuses = {r.status for r in responses}
+        assert report.shed > 0
+        assert statuses <= {"ok", "shed"}
+        shed = [r for r in responses if r.status == "shed"]
+        assert all(r.marginals == {} and r.error for r in shed)
+        with pytest.raises(Overloaded):
+            shed[0].raise_for_status()
+
+    def test_overload_serves_stale_when_allowed(self, serve_tree):
+        service = make_service(serve_tree, max_queue=1, workers=1,
+                               sessions=1)
+        # Prime the last-known store with an exact answer for var 2.
+        assert service.query(vars=[2], deadline=30.0).status == "ok"
+        futures = [
+            service.submit(
+                QueryRequest(
+                    delta={v % 18: 0}, vars=[2], deadline=30.0,
+                    max_staleness=60.0,
+                )
+            )
+            for v in range(40)
+        ]
+        responses = [f.result(60.0) for f in futures]
+        report = service.drain()
+        stale = [r for r in responses if r.status == "stale"]
+        assert report.served_stale == len(stale) > 0
+        for r in stale:
+            assert r.stale_age is not None and r.stale_age <= 60.0
+            values = r.marginals[2]
+            assert np.all(np.isfinite(values))
+            assert values.sum() == pytest.approx(1.0, abs=1e-6)
+        assert {r.status for r in responses} <= {"ok", "stale", "shed"}
+
+    def test_expired_staleness_is_shed(self, serve_tree):
+        service = make_service(serve_tree, max_queue=1, workers=1,
+                               sessions=1)
+        assert service.query(vars=[2], deadline=30.0).status == "ok"
+        time.sleep(0.05)
+        futures = [
+            service.submit(
+                QueryRequest(
+                    delta={v % 18: 0}, vars=[2], deadline=30.0,
+                    max_staleness=1e-4,  # far younger than anything stored
+                )
+            )
+            for v in range(30)
+        ]
+        responses = [f.result(60.0) for f in futures]
+        service.drain()
+        assert {r.status for r in responses} <= {"ok", "shed"}
+
+
+class TestServiceDeadlines:
+    def test_unmeetable_deadline_is_explicit(self, serve_tree):
+        service = make_service(serve_tree)
+        response = service.query(delta={0: 1}, vars=[5], deadline=1e-6)
+        service.drain()
+        assert response.status == "deadline"
+        assert response.marginals == {}
+        with pytest.raises(DeadlineExceeded):
+            response.raise_for_status()
+
+    def test_deadline_miss_count_in_report(self, serve_tree):
+        service = make_service(serve_tree)
+        for _ in range(3):
+            service.query(delta={1: 0}, vars=[5], deadline=1e-6)
+        report = service.drain()
+        assert report.deadline_missed == 3
+
+
+class TestServiceBreaker:
+    class FailingPrimary:
+        def __init__(self, fail_first: int):
+            self.fail_first = fail_first
+            self.calls = 0
+            self._serial = SerialExecutor()
+
+        def run(self, graph, state, tracer=None, deadline=None):
+            self.calls += 1
+            if self.calls <= self.fail_first:
+                raise RuntimeError("pool down")
+            return self._serial.run(graph, state, deadline=deadline)
+
+    def test_failures_open_breaker_and_fallback_is_exact(
+        self, serve_tree, oracle
+    ):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+        service = make_service(
+            serve_tree,
+            primary=self.FailingPrimary(fail_first=10 ** 9),
+            breaker=breaker,
+            workers=1,
+            sessions=1,
+        )
+        requests = [
+            QueryRequest(delta={v: 1}, vars=[10], deadline=30.0)
+            for v in range(5)
+        ]
+        for request in requests:
+            response = service.submit(request).result(60.0)
+            assert response.status == "ok", response.error
+            exact = exact_marginals(oracle, request)
+            np.testing.assert_allclose(
+                response.marginals[10], exact[10], atol=1e-9
+            )
+        report = service.drain()
+        assert breaker.state == "open"
+        assert report.breaker_short_circuits > 0
+        assert any(t.to_state == "open" for t in report.breaker_transitions)
+
+    def test_half_open_probe_recovers(self, serve_tree):
+        clockbox = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: clockbox[0]
+        )
+        primary = self.FailingPrimary(fail_first=1)
+        service = make_service(
+            serve_tree, primary=primary, breaker=breaker, workers=1,
+            sessions=1,
+        )
+        assert service.query(delta={0: 1}, vars=[4],
+                             deadline=30.0).status == "ok"
+        assert breaker.state == "open"
+        clockbox[0] = 5.0  # open window elapses on the injected clock
+        assert service.query(delta={1: 1}, vars=[4],
+                             deadline=30.0).status == "ok"
+        report = service.drain()
+        assert breaker.state == "closed"
+        assert primary.calls == 2  # the probe actually reached the primary
+        assert [t.to_state for t in report.breaker_transitions] == [
+            "open", "half-open", "closed",
+        ]
+
+    def test_unhealthy_primary_result_falls_back_exactly(
+        self, serve_tree, oracle
+    ):
+        class Corruptor:
+            """Completes the run, then poisons a table: the service's
+            health guard must catch it before any marginal escapes."""
+
+            def run(self, graph, state, tracer=None, deadline=None):
+                stats = SerialExecutor().run(graph, state, deadline=deadline)
+                next(iter(state.potentials.values())).values[...] = np.nan
+                return stats
+
+        service = make_service(
+            serve_tree, primary=Corruptor(), workers=1, sessions=1,
+        )
+        request = QueryRequest(delta={6: 1}, vars=[13], deadline=30.0)
+        response = service.submit(request).result(60.0)
+        service.drain()
+        assert response.status == "ok"
+        exact = exact_marginals(oracle, request)
+        np.testing.assert_allclose(
+            response.marginals[13], exact[13], atol=1e-9
+        )
+
+
+class TestServiceDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self, serve_tree):
+        service = make_service(serve_tree, workers=2)
+        futures = [
+            service.submit(
+                QueryRequest(delta={v: 0}, vars=[3], deadline=30.0)
+            )
+            for v in range(8)
+        ]
+        report = service.drain()
+        # Every admitted request resolved (exact or refused), none lost.
+        assert all(f.done() for f in futures)
+        assert report.submitted == 8
+        assert (
+            report.served_ok + report.shed + report.deadline_missed
+            + report.failed == 8
+        )
+        with pytest.raises(ServiceClosed):
+            service.submit(QueryRequest(vars=[0]))
+
+    def test_drain_is_idempotent(self, serve_tree):
+        service = make_service(serve_tree)
+        first = service.drain()
+        assert service.drain() is first
+
+    def test_no_leaked_threads(self, serve_tree):
+        before = {t.name for t in threading.enumerate()}
+        service = make_service(serve_tree, workers=3)
+        for v in range(4):
+            service.query(delta={v: 1}, vars=[2], deadline=30.0)
+        service.drain()
+        after = {
+            t.name
+            for t in threading.enumerate()
+            if t.is_alive() and t.name not in before
+        }
+        assert after == set()
+
+    def test_context_manager_drains(self, serve_tree):
+        with make_service(serve_tree) as service:
+            assert service.query(vars=[1], deadline=30.0).status == "ok"
+        assert service._report is not None
+
+    def test_report_latency_percentiles(self, serve_tree):
+        service = make_service(serve_tree)
+        for v in range(5):
+            service.query(delta={v: 0}, vars=[6], deadline=30.0)
+        report = service.drain()
+        assert set(report.latency) == {"p50", "p90", "p99"}
+        assert 0 < report.latency["p50"] <= report.latency["p99"]
+        # The serve spans back the percentiles: they must be in the trace.
+        serve_spans = [
+            s for s in report.trace.spans if s.cat == "serve"
+        ]
+        assert len(serve_spans) == report.submitted
+        assert report.format()  # renders without raising

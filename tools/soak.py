@@ -1,0 +1,380 @@
+#!/usr/bin/env python
+"""Deterministic chaos soak for the concurrent inference service.
+
+Replays a seeded multi-client request schedule against a live
+:class:`repro.serve.InferenceService` under injected faults and asserts
+the service's one non-negotiable invariant: **every response is either
+exact (marginals match a fresh serial-oracle propagation to 1e-9) or an
+explicit refusal** (shed / stale / deadline / failed) — never a silently
+corrupted posterior.
+
+Two phases:
+
+* **Phase A — thread storm.**  Many client threads hammer a small
+  admission queue with mixed deadlines, priorities and staleness
+  tolerances: exercises overload shedding, request coalescing, stale
+  serving and end-to-end deadline enforcement.  No faults are injected,
+  so zero ``failed`` responses are tolerated.
+* **Phase B — process chaos.**  A breaker-guarded process-executor
+  primary suffers a seeded :class:`~repro.sched.faults.FaultPlan`
+  (worker kill, task delay + timeout, table corruption) plus an induced
+  outage window that must open the circuit breaker; after the outage the
+  half-open probe must recover it.  Every exact answer served *during*
+  the chaos is still checked against the oracle.
+
+Exit status 0 when every invariant holds, 1 otherwise.  The schedule is
+fully determined by ``--seed``; timing-dependent *outcomes* (how many
+requests shed vs served) vary run to run, the invariants do not.
+
+Usage::
+
+    PYTHONPATH=src python tools/soak.py --seed 0 --duration 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import InferenceEngine, random_network
+from repro.jt.build import junction_tree_from_network
+from repro.sched.collaborative import CollaborativeExecutor
+from repro.sched.faults import FaultPlan
+from repro.sched.process import ProcessSharedMemoryExecutor
+from repro.sched.serial import SerialExecutor
+from repro.serve import (
+    CircuitBreaker,
+    EngineSessionPool,
+    InferenceService,
+    QueryRequest,
+    QueryResponse,
+)
+
+ATOL = 1e-9
+
+
+class Oracle:
+    """Fresh serial reference answers, memoized per evidence signature."""
+
+    def __init__(self, bn):
+        self.engine = InferenceEngine.from_network(bn)
+        self._memo: Dict[Tuple, Dict[int, np.ndarray]] = {}
+
+    def marginals(self, request: QueryRequest) -> Dict[int, np.ndarray]:
+        evidence = request.evidence()
+        sig = evidence.signature()
+        if sig not in self._memo:
+            self.engine.set_evidence(evidence)
+            self.engine.propagate(SerialExecutor(), incremental=False)
+            self._memo[sig] = self.engine.marginals_all()
+        return self._memo[sig]
+
+
+def verify_response(
+    oracle: Oracle,
+    request: QueryRequest,
+    response: QueryResponse,
+    failures: List[str],
+    allow_failed: bool,
+) -> None:
+    """Check one response against the exact-or-explicit contract."""
+    if response.status == "ok":
+        exact = oracle.marginals(request)
+        for var, values in response.marginals.items():
+            if not np.all(np.isfinite(values)):
+                failures.append(f"non-finite marginal for var {var}")
+            elif not np.allclose(values, exact[var], atol=ATOL):
+                failures.append(
+                    f"SILENT CORRUPTION: var {var} served "
+                    f"{values.tolist()} expected {exact[var].tolist()} "
+                    f"(tier {response.executor})"
+                )
+    elif response.status == "stale":
+        for var, values in response.marginals.items():
+            if not np.all(np.isfinite(values)) or abs(values.sum() - 1) > 1e-6:
+                failures.append(
+                    f"stale marginal for var {var} is not a distribution"
+                )
+    elif response.status == "failed" and not allow_failed:
+        failures.append(f"unexpected failure response: {response.error}")
+    # shed / deadline are always-legal explicit refusals.
+
+
+def run_clients(
+    service: InferenceService,
+    schedules: List[List[QueryRequest]],
+    pauses: List[List[float]],
+) -> List[Tuple[QueryRequest, QueryResponse]]:
+    """Fire each client's schedule from its own thread; gather responses."""
+    results: List[Tuple[QueryRequest, QueryResponse]] = []
+    results_lock = threading.Lock()
+
+    def client(cid: int) -> None:
+        # Burst-submit, then collect: each client keeps many requests in
+        # flight at once, which is what actually pressures admission.
+        futures = []
+        for request, pause in zip(schedules[cid], pauses[cid]):
+            futures.append((request, service.submit(request)))
+            if pause:
+                time.sleep(pause)
+        for request, future in futures:
+            response = future.result(120.0)
+            with results_lock:
+                results.append((request, response))
+
+    threads = [
+        threading.Thread(target=client, args=(cid,), name=f"soak-client-{cid}")
+        for cid in range(len(schedules))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+def make_schedule(
+    rng: random.Random,
+    num_vars: int,
+    requests: int,
+    tight_deadlines: bool,
+) -> Tuple[List[QueryRequest], List[float]]:
+    """One client's deterministic request stream (+ inter-request pauses)."""
+    schedule: List[QueryRequest] = []
+    pauses: List[float] = []
+    for _ in range(requests):
+        delta = {
+            rng.randrange(num_vars): rng.randrange(2)
+            for _ in range(rng.randrange(4))
+        }
+        vars_ = sorted(rng.sample(range(num_vars), rng.randrange(1, 4)))
+        roll = rng.random()
+        deadline: Optional[float] = 30.0
+        staleness: Optional[float] = None
+        if tight_deadlines and roll < 0.15:
+            deadline = 1e-5  # unmeetable: must yield an explicit refusal
+        elif roll < 0.40:
+            staleness = 60.0  # overload-tolerant
+        schedule.append(
+            QueryRequest(
+                delta=delta,
+                vars=vars_,
+                deadline=deadline,
+                priority=rng.randrange(3),
+                max_staleness=staleness,
+            )
+        )
+        pauses.append(rng.choice([0.0, 0.0, 0.001, 0.002]))
+    return schedule, pauses
+
+
+def leak_check(before: set, failures: List[str]) -> None:
+    import multiprocessing
+
+    lingering = [
+        t.name
+        for t in threading.enumerate()
+        if t.is_alive() and t.name not in before
+    ]
+    if lingering:
+        failures.append(f"leaked threads after drain: {lingering}")
+    children = multiprocessing.active_children()
+    if children:
+        failures.append(f"leaked worker processes: {children}")
+
+
+def phase_a(seed: int, duration: float, clients: int, failures: List[str]):
+    print(f"== phase A: thread storm ({clients} clients) ==")
+    rng = random.Random(seed)
+    num_vars = 28
+    bn = random_network(num_vars, max_parents=3, edge_probability=0.6,
+                        seed=seed)
+    oracle = Oracle(bn)
+    pool = EngineSessionPool.from_junction_tree(
+        junction_tree_from_network(bn), sessions=4
+    )
+    threads_before = {t.name for t in threading.enumerate()}
+    service = InferenceService(
+        pool,
+        fallback=CollaborativeExecutor(num_threads=2),
+        max_queue=8,
+        workers=4,
+    )
+    per_client = max(8, int(duration * 4))
+    schedules, pauses = [], []
+    for cid in range(clients):
+        sched, pause = make_schedule(
+            random.Random(rng.randrange(1 << 30)),
+            num_vars,
+            per_client,
+            tight_deadlines=True,
+        )
+        schedules.append(sched)
+        pauses.append(pause)
+
+    results = run_clients(service, schedules, pauses)
+    report = service.drain()
+    for request, response in results:
+        verify_response(oracle, request, response, failures,
+                        allow_failed=False)
+    leak_check(threads_before, failures)
+    if report.served == 0:
+        failures.append("phase A served nothing — storm setup is broken")
+    if len(results) != clients * per_client:
+        failures.append(
+            f"lost responses: {len(results)} of {clients * per_client}"
+        )
+    print(report.format())
+    return report
+
+
+class _OutageWindow:
+    """Primary-tier wrapper failing a contiguous window of run() calls.
+
+    Simulates a persistently-broken worker pool without the cost of
+    actually crashing one per request; the breaker cannot tell the
+    difference (both are exceptions out of the primary tier).
+    """
+
+    def __init__(self, inner, fail_calls: int):
+        self.inner = inner
+        self.fail_calls = fail_calls
+        self.calls = 0
+
+    def run(self, graph, state, tracer=None, deadline=None):
+        self.calls += 1
+        if self.calls <= self.fail_calls:
+            raise RuntimeError(
+                f"induced primary outage (call {self.calls})"
+            )
+        return self.inner.run(graph, state, deadline=deadline)
+
+
+def phase_b(seed: int, duration: float, failures: List[str]):
+    print("== phase B: process chaos + circuit breaker ==")
+    rng = random.Random(seed + 1)
+    num_vars = 20
+    bn = random_network(num_vars, max_parents=3, edge_probability=0.6,
+                        seed=seed + 1)
+    oracle = Oracle(bn)
+    pool = EngineSessionPool.from_junction_tree(
+        junction_tree_from_network(bn), sessions=2
+    )
+    threads_before = {t.name for t in threading.enumerate()}
+    # Seeded one-shot faults inside the real process tier: a worker kill
+    # (pool restart), a delayed task racing a short per-task timeout
+    # (redispatch), and a corrupted output table (the service's health
+    # guard must catch it and fall back — exactly, not approximately).
+    plan = FaultPlan(
+        kill_before_dispatch={2: 0},
+        delay_task={0: 0.4},
+        corrupt_task={1: "nan"},
+    )
+    primary = _OutageWindow(
+        ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            task_timeout=0.2,
+            max_retries=2,
+            fault_plan=plan,
+        ),
+        fail_calls=2,
+    )
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.4)
+    service = InferenceService(
+        pool,
+        primary=primary,
+        fallback=CollaborativeExecutor(num_threads=2),
+        breaker=breaker,
+        max_queue=32,
+        workers=2,
+    )
+    requests = max(6, int(duration))
+    responses: List[Tuple[QueryRequest, QueryResponse]] = []
+    for i in range(requests):
+        delta = {rng.randrange(num_vars): rng.randrange(2)}
+        vars_ = sorted(rng.sample(range(num_vars), 2))
+        request = QueryRequest(delta=delta, vars=vars_, deadline=60.0)
+        responses.append((request, service.submit(request).result(120.0)))
+
+    # Recovery stage: the one-shot faults are spent, so once the open
+    # window elapses a half-open probe must succeed and re-close the
+    # breaker.  Each probe uses fresh evidence — a cache hit would skip
+    # the tier cascade and never touch the primary.
+    recovery_deadline = time.monotonic() + max(15.0, duration)
+    probe_id = 0
+    while breaker.state != "closed" and time.monotonic() < recovery_deadline:
+        if breaker.state == "open":
+            time.sleep(breaker.reset_timeout + 0.05)
+        probe_id += 1
+        request = QueryRequest(
+            delta={probe_id % num_vars: (probe_id // num_vars) % 2,
+                   (probe_id + 7) % num_vars: probe_id % 2},
+            vars=[0],
+            deadline=60.0,
+        )
+        responses.append((request, service.submit(request).result(120.0)))
+    report = service.drain()
+
+    for request, response in responses:
+        verify_response(oracle, request, response, failures,
+                        allow_failed=False)
+    leak_check(threads_before, failures)
+    opens = sum(1 for t in breaker.transitions if t.to_state == "open")
+    if opens == 0:
+        failures.append("induced outage never opened the breaker")
+    if breaker.state != "closed":
+        failures.append(
+            f"breaker did not recover after the outage ({breaker.state})"
+        )
+    if not any(
+        tier != "cache" for tier in report.tier_counts
+    ):
+        failures.append("phase B never propagated — chaos setup is broken")
+    print(report.format())
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="approximate time budget in seconds; scales request counts",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--skip-process",
+        action="store_true",
+        help="skip phase B (no process pools; fast smoke for CI)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    started = time.monotonic()
+    phase_a(args.seed, args.duration, args.clients, failures)
+    if not args.skip_process:
+        phase_b(args.seed, args.duration, failures)
+    elapsed = time.monotonic() - started
+
+    print(f"== soak finished in {elapsed:.1f} s ==")
+    if failures:
+        print(f"FAILED: {len(failures)} invariant violation(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: every response was exact or an explicit refusal; "
+          "no leaked threads or processes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
