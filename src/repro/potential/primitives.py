@@ -34,22 +34,37 @@ class PrimitiveKind(enum.Enum):
     COMBINE = "combine"
 
 
+def _merged_batch(a: PotentialTable, b: PotentialTable):
+    """The batch size of a two-table primitive's result.
+
+    One operand may be unbatched (it broadcasts across the batch axis);
+    two *different* batch sizes are a caller bug.
+    """
+    if a.batch is not None and b.batch is not None and a.batch != b.batch:
+        raise ValueError(
+            f"mismatched batch sizes {a.batch} vs {b.batch}"
+        )
+    return a.batch if a.batch is not None else b.batch
+
+
 def marginalize(table: PotentialTable, onto: Sequence[int]) -> PotentialTable:
     """Sum ``table`` down to the scope ``onto`` (a subset of its variables).
 
-    The result's axes follow the order of ``onto``.
+    The result's axes follow the order of ``onto``; a batched table yields
+    a batched result (each case marginalized independently).
     """
     onto = tuple(int(v) for v in onto)
     missing = set(onto) - set(table.variables)
     if missing:
         raise ValueError(f"marginalize target has unknown variables {missing}")
+    offset = 0 if table.batch is None else 1
     drop_axes = tuple(
-        i for i, v in enumerate(table.variables) if v not in onto
+        i + offset for i, v in enumerate(table.variables) if v not in onto
     )
     summed = table.values.sum(axis=drop_axes) if drop_axes else table.values
     kept = [v for v in table.variables if v in onto]
     kept_cards = [table.card_of(v) for v in kept]
-    partial = PotentialTable(kept, kept_cards, summed)
+    partial = PotentialTable(kept, kept_cards, summed, batch=table.batch)
     return partial.aligned_to(onto)
 
 
@@ -63,11 +78,14 @@ def max_marginalize(table: PotentialTable, onto: Sequence[int]) -> PotentialTabl
     missing = set(onto) - set(table.variables)
     if missing:
         raise ValueError(f"max-marginalize target has unknown variables {missing}")
-    drop_axes = tuple(i for i, v in enumerate(table.variables) if v not in onto)
+    offset = 0 if table.batch is None else 1
+    drop_axes = tuple(
+        i + offset for i, v in enumerate(table.variables) if v not in onto
+    )
     maxed = table.values.max(axis=drop_axes) if drop_axes else table.values
     kept = [v for v in table.variables if v in onto]
     kept_cards = [table.card_of(v) for v in kept]
-    partial = PotentialTable(kept, kept_cards, maxed)
+    partial = PotentialTable(kept, kept_cards, maxed, batch=table.batch)
     return partial.aligned_to(onto)
 
 
@@ -98,9 +116,13 @@ def extend(
     aligned = table.aligned_to(src_order)
     src_cards = dict(zip(aligned.variables, aligned.cardinalities))
     shape = [src_cards.get(var, 1) for var in variables]
+    target_shape = cardinalities
+    if table.batch is not None:
+        shape = [table.batch] + shape
+        target_shape = (table.batch,) + cardinalities
     values = aligned.values.reshape(shape)
-    values = np.broadcast_to(values, cardinalities).copy()
-    return PotentialTable(variables, cardinalities, values)
+    values = np.broadcast_to(values, target_shape).copy()
+    return PotentialTable(variables, cardinalities, values, batch=table.batch)
 
 
 def multiply(a: PotentialTable, b: PotentialTable) -> PotentialTable:
@@ -113,9 +135,13 @@ def multiply(a: PotentialTable, b: PotentialTable) -> PotentialTable:
         raise ValueError(
             f"multiply: scope {b.variables} is not a subset of {a.variables}"
         )
+    batch = _merged_batch(a, b)
     if b.variables != a.variables:
         b = extend(b, a.variables, a.cardinalities)
-    return PotentialTable(a.variables, a.cardinalities, a.values * b.values)
+    # An unbatched operand broadcasts across the other's batch axis.
+    return PotentialTable(
+        a.variables, a.cardinalities, a.values * b.values, batch=batch
+    )
 
 
 def divide(numerator: PotentialTable, denominator: PotentialTable) -> PotentialTable:
@@ -130,12 +156,16 @@ def divide(numerator: PotentialTable, denominator: PotentialTable) -> PotentialT
             f"divide: scopes differ: {numerator.variables} vs "
             f"{denominator.variables}"
         )
+    batch = _merged_batch(numerator, denominator)
     denom = denominator.aligned_to(numerator.variables)
-    out = np.zeros_like(numerator.values)
+    shape = np.broadcast_shapes(numerator.values.shape, denom.values.shape)
+    out = np.zeros(shape, dtype=np.float64)
     np.divide(
         numerator.values, denom.values, out=out, where=denom.values != 0
     )
-    return PotentialTable(numerator.variables, numerator.cardinalities, out)
+    return PotentialTable(
+        numerator.variables, numerator.cardinalities, out, batch=batch
+    )
 
 
 def primitive_flops(

@@ -3,6 +3,12 @@
 A :class:`PotentialTable` couples an ordered scope (variable ids with their
 cardinalities) to a dense numpy array whose axes follow the scope order.
 All junction-tree math in the library is built from these tables.
+
+A table may additionally carry a leading *batch* axis of ``B`` independent
+evidence cases (``values.shape == (B,) + cardinalities``): the scope
+describes the trailing axes only, and every primitive broadcasts over the
+batch axis, so one pass of junction-tree math propagates ``B`` cases at
+once.  ``batch is None`` (the default) is the classic single-case table.
 """
 
 from __future__ import annotations
@@ -25,15 +31,20 @@ class PotentialTable:
         Array of shape ``cardinalities`` (or a flat array of the matching
         size, which is reshaped).  Defaults to all-ones (the identity
         potential for multiplication).
+    batch:
+        When not ``None``, the number ``B`` of evidence cases stacked
+        along a leading batch axis; ``values`` then has shape
+        ``(B,) + cardinalities``.
     """
 
-    __slots__ = ("variables", "cardinalities", "values")
+    __slots__ = ("variables", "cardinalities", "values", "batch")
 
     def __init__(
         self,
         variables: Sequence[int],
         cardinalities: Sequence[int],
         values: np.ndarray = None,
+        batch: int = None,
     ):
         variables = tuple(int(v) for v in variables)
         cardinalities = tuple(int(c) for c in cardinalities)
@@ -45,7 +56,13 @@ class PotentialTable:
             )
         if any(c < 1 for c in cardinalities):
             raise ValueError(f"cardinalities must be >= 1, got {cardinalities}")
+        if batch is not None:
+            batch = int(batch)
+            if batch < 1:
+                raise ValueError(f"batch size must be >= 1, got {batch}")
         shape = cardinalities if cardinalities else ()
+        if batch is not None:
+            shape = (batch,) + shape
         if values is None:
             values = np.ones(shape, dtype=np.float64)
         else:
@@ -59,6 +76,7 @@ class PotentialTable:
         self.variables = variables
         self.cardinalities = cardinalities
         self.values = values
+        self.batch = batch
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -66,8 +84,17 @@ class PotentialTable:
 
     @property
     def size(self) -> int:
-        """Number of entries in the table (``prod(cardinalities)``)."""
+        """Number of entries in the table (``prod(cardinalities)``, times
+        the batch size for batched tables)."""
         return int(self.values.size)
+
+    @property
+    def case_size(self) -> int:
+        """Entries per evidence case (``prod(cardinalities)``)."""
+        size = 1
+        for c in self.cardinalities:
+            size *= c
+        return size
 
     @property
     def nbytes(self) -> int:
@@ -91,7 +118,8 @@ class PotentialTable:
         scope = ", ".join(
             f"{v}:{c}" for v, c in zip(self.variables, self.cardinalities)
         )
-        return f"PotentialTable([{scope}], size={self.size})"
+        tag = "" if self.batch is None else f", batch={self.batch}"
+        return f"PotentialTable([{scope}], size={self.size}{tag})"
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -99,12 +127,54 @@ class PotentialTable:
 
     def copy(self) -> "PotentialTable":
         """Deep copy (values are duplicated)."""
-        return PotentialTable(self.variables, self.cardinalities, self.values.copy())
+        return PotentialTable(
+            self.variables, self.cardinalities, self.values.copy(),
+            batch=self.batch,
+        )
 
     @classmethod
-    def ones(cls, variables: Sequence[int], cardinalities: Sequence[int]):
+    def ones(
+        cls,
+        variables: Sequence[int],
+        cardinalities: Sequence[int],
+        batch: int = None,
+    ):
         """Identity potential (all entries 1) over the given scope."""
-        return cls(variables, cardinalities)
+        return cls(variables, cardinalities, batch=batch)
+
+    @classmethod
+    def stack(cls, tables: Sequence["PotentialTable"]) -> "PotentialTable":
+        """Stack single-case tables over one scope into a batched table.
+
+        Tables must share a variable *set*; each is aligned to the first
+        table's axis order before stacking, so the batch rows are
+        case-for-case comparable.
+        """
+        tables = list(tables)
+        if not tables:
+            raise ValueError("stack needs at least one table")
+        first = tables[0]
+        if any(t.batch is not None for t in tables):
+            raise ValueError("stack expects single-case (unbatched) tables")
+        rows = [t.aligned_to(first.variables).values for t in tables]
+        return cls(
+            first.variables,
+            first.cardinalities,
+            np.stack(rows, axis=0),
+            batch=len(rows),
+        )
+
+    def case(self, index: int) -> "PotentialTable":
+        """Extract evidence case ``index`` of a batched table (copied)."""
+        if self.batch is None:
+            raise ValueError("case() needs a batched table")
+        if not 0 <= index < self.batch:
+            raise IndexError(
+                f"case {index} out of range for batch of {self.batch}"
+            )
+        return PotentialTable(
+            self.variables, self.cardinalities, self.values[index].copy()
+        )
 
     @classmethod
     def from_buffer(
@@ -168,7 +238,12 @@ class PotentialTable:
             return self
         perm = [self.variables.index(v) for v in variables]
         cards = tuple(self.cardinalities[p] for p in perm)
-        return PotentialTable(variables, cards, np.transpose(self.values, perm))
+        if self.batch is not None:
+            perm = [0] + [p + 1 for p in perm]
+        return PotentialTable(
+            variables, cards, np.transpose(self.values, perm),
+            batch=self.batch,
+        )
 
     def reduce(self, evidence: Mapping[int, int]) -> "PotentialTable":
         """Instantiate evidence variables *in place of* their full axes.
@@ -179,6 +254,7 @@ class PotentialTable:
         instantiated and the remaining entries renormalized later.
         """
         values = self.values.copy()
+        offset = 0 if self.batch is None else 1
         for var, state in evidence.items():
             if var not in self.variables:
                 continue
@@ -191,17 +267,34 @@ class PotentialTable:
                 )
             mask = np.zeros(card, dtype=np.float64)
             mask[state] = 1.0
-            shape = [1] * len(self.cardinalities)
-            shape[axis] = card
+            shape = [1] * (len(self.cardinalities) + offset)
+            shape[axis + offset] = card
             values = values * mask.reshape(shape)
-        return PotentialTable(self.variables, self.cardinalities, values)
+        return PotentialTable(
+            self.variables, self.cardinalities, values, batch=self.batch
+        )
 
     # ------------------------------------------------------------------ #
     # Arithmetic
     # ------------------------------------------------------------------ #
 
     def normalize(self) -> "PotentialTable":
-        """Return the table scaled to sum to 1 (no-op scale for all-zero)."""
+        """Return the table scaled to sum to 1 (no-op scale for all-zero).
+
+        Batched tables normalize *per case*: each batch row is scaled to
+        its own total, and all-zero rows are left untouched (matching the
+        single-case convention for impossible evidence).
+        """
+        if self.batch is not None:
+            totals = self.values.reshape(self.batch, -1).sum(axis=1)
+            scale = np.where(totals > 0, totals, 1.0)
+            shape = (self.batch,) + (1,) * len(self.cardinalities)
+            return PotentialTable(
+                self.variables,
+                self.cardinalities,
+                self.values / scale.reshape(shape),
+                batch=self.batch,
+            )
         total = float(self.values.sum())
         if total <= 0:
             return self.copy()
@@ -213,9 +306,17 @@ class PotentialTable:
         """Sum of all entries (the partition function over this scope)."""
         return float(self.values.sum())
 
+    def case_totals(self) -> np.ndarray:
+        """Per-case partition functions, shape ``(B,)`` (``(1,)`` unbatched)."""
+        if self.batch is None:
+            return np.array([self.total()])
+        return self.values.reshape(self.batch, -1).sum(axis=1)
+
     def allclose(self, other: "PotentialTable", rtol=1e-9, atol=1e-12) -> bool:
         """Whether two tables over the same variable *set* are numerically equal."""
         if set(self.variables) != set(other.variables):
+            return False
+        if self.batch != other.batch:
             return False
         aligned = other.aligned_to(self.variables)
         return bool(

@@ -396,6 +396,10 @@ class ProcessSharedMemoryExecutor:
     alive, with replacement workers appended after the master's slot.
     """
 
+    # The shared arena lays tables out per single case; batched states are
+    # refused (TaskExecutionError) so callers fall back to per-case runs.
+    supports_batched_state = False
+
     def __init__(
         self,
         num_workers: int = 4,
@@ -499,6 +503,11 @@ class ProcessSharedMemoryExecutor:
         stats.worker_pids[master_slot] = os.getpid()
         if graph.num_tasks == 0:
             return stats
+        if getattr(state, "batch", None) is not None:
+            raise TaskExecutionError(
+                "process executor does not support batched states; "
+                "run each case separately"
+            )
 
         plan = state.shared_table_plan(graph)
         layout, total_bytes = self._build_layout(plan)

@@ -265,6 +265,13 @@ class ResilientExecutor:
                 "soft evidence",
             ))
             return False
+        if getattr(state, "batch", None) is not None:
+            records.append(DegradationRecord(
+                "logspace", "none",
+                "underflow detected but log-space rescue does not support "
+                "batched states",
+            ))
+            return False
         log_pots = propagate_reference_log(state.jt, state.evidence)
         for i, log_table in log_pots.items():
             state.potentials[i] = PotentialTable(

@@ -35,6 +35,14 @@ class ServiceReport:
     deadline_missed: int = 0
     failed: int = 0
     breaker_short_circuits: int = 0
+    # Micro-batching accounting: how many batched propagations ran, how
+    # many flights they carried, how many flights went through the
+    # single-flight path, and how many batch cases were quarantined for
+    # non-finite posteriors (their requests got explicit failures).
+    batches: int = 0
+    batched_flights: int = 0
+    single_flights: int = 0
+    quarantined: int = 0
     tier_counts: Dict[str, int] = field(default_factory=dict)
     breaker_transitions: List[BreakerTransition] = field(default_factory=list)
     latency: Dict[str, float] = field(default_factory=dict)
@@ -68,6 +76,10 @@ class ServiceReport:
             "deadline_missed": self.deadline_missed,
             "failed": self.failed,
             "breaker_short_circuits": self.breaker_short_circuits,
+            "batches": self.batches,
+            "batched_flights": self.batched_flights,
+            "single_flights": self.single_flights,
+            "quarantined": self.quarantined,
             "tier_counts": dict(self.tier_counts),
             "breaker_transitions": [str(t) for t in self.breaker_transitions],
             "latency": dict(self.latency),
@@ -90,6 +102,13 @@ class ServiceReport:
             f"shed rate          {self.shed_rate:8.1%}",
             f"queue high water   {self.queue_high_water:8d}",
         ]
+        if self.batches or self.batched_flights or self.quarantined:
+            lines.append(
+                f"micro-batched      {self.batched_flights:8d}"
+                f"   flights in {self.batches} batches"
+                f" ({self.single_flights} single,"
+                f" {self.quarantined} quarantined)"
+            )
         if self.latency:
             per = "  ".join(
                 f"{name} {value * 1e3:.2f} ms"

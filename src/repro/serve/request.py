@@ -116,6 +116,7 @@ class QueryResponse:
     latency: float = 0.0
     executor: str = ""
     coalesced: bool = False
+    batched: bool = False  # answered by a micro-batched propagation
     stale_age: Optional[float] = None
     error: Optional[str] = None
 

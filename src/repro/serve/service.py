@@ -227,6 +227,15 @@ class InferenceService:
     own_executors:
         Close the primary/fallback executors (their worker pools) during
         :meth:`drain`.  Leave True unless the executors are shared.
+    max_batch:
+        Micro-batching width: a worker that dequeues a flight drains up
+        to this many *compatible* queued flights (same model, not yet
+        fully expired) and serves them through one batched propagation,
+        splitting responses per case.  Requests keep their individual
+        deadlines and priorities; a case whose posteriors come back
+        non-finite is quarantined with an explicit failure while the
+        rest of the batch is answered exactly.  ``1`` (default) disables
+        micro-batching.
     """
 
     def __init__(
@@ -238,9 +247,13 @@ class InferenceService:
         max_queue: int = 32,
         breaker: Optional[CircuitBreaker] = None,
         own_executors: bool = True,
+        max_batch: int = 1,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
         self.pool = pool
         self.primary = primary
         if fallback is None:
@@ -268,6 +281,10 @@ class InferenceService:
             "deadline_missed": 0,
             "failed": 0,
             "breaker_short_circuits": 0,
+            "batches": 0,
+            "batched_flights": 0,
+            "single_flights": 0,
+            "quarantined": 0,
         }
         self._tier_counts: Dict[str, int] = {}
         self._queue_high_water = 0
@@ -429,10 +446,62 @@ class InferenceService:
                 return
             with self._flights_lock:
                 self._queued -= 1
+            group = (
+                self._collect_batch(flight)
+                if self.max_batch > 1
+                else [flight]
+            )
             try:
-                self._serve_flight(flight)
+                if len(group) == 1:
+                    self._serve_flight(group[0])
+                else:
+                    self._serve_batch(group)
             except BaseException as exc:  # never strand a client
-                self._abort_flight(flight, exc)
+                for member_flight in group:
+                    self._abort_flight(member_flight, exc)
+
+    def _batch_compatible(self, flight: _Flight) -> bool:
+        """Whether a queued flight may ride the current micro-batch.
+
+        All flights share the model (one pool, one tree), so the only
+        disqualifier is a flight whose every member has already expired —
+        batching it would waste a batch column on a guaranteed
+        deadline-missed response.
+        """
+        now = time.monotonic()
+        with self._flights_lock:
+            members = list(flight.members)
+        return any(
+            m.deadline_at is None or now < m.deadline_at for m in members
+        )
+
+    def _collect_batch(self, first: _Flight) -> List[_Flight]:
+        """Drain up to ``max_batch - 1`` compatible queued flights.
+
+        Incompatible flights (and any drain sentinel) go back on the
+        queue under their original ``(priority, seq)`` keys, so ordering
+        among the requests this worker does *not* take is preserved.
+        """
+        flights = [first]
+        requeue = []
+        while len(flights) < self.max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            flight = item[2]
+            if flight is None:
+                requeue.append(item)
+                break
+            if self._batch_compatible(flight):
+                with self._flights_lock:
+                    self._queued -= 1
+                flights.append(flight)
+            else:
+                requeue.append(item)
+        for item in requeue:
+            self._queue.put(item)
+        return flights
 
     def _close_flight(self, flight: _Flight) -> List[_Member]:
         """Stop accepting joiners; returns the final member snapshot."""
@@ -523,9 +592,13 @@ class InferenceService:
         # every marginal this one needs.
         cached = self._cached_answer(flight.signature, members)
         if cached is not None:
+            self._bump("single_flights")
             self._resolve_ok(members, cached, "cache")
             return
 
+        self._serve_members(flight, members)
+
+    def _serve_members(self, flight: _Flight, members: List[_Member]) -> None:
         deadline_at = self._flight_deadline(members)
         tiers = self._tiers()
         # A half-open breaker reserved a probe slot in _tiers(); if a
@@ -589,6 +662,7 @@ class InferenceService:
                     vars=union if union is not None else None
                 )
                 self._record_stale(flight.signature, results)
+                self._bump("single_flights")
                 self._resolve_ok(members, results, name)
                 return
 
@@ -604,6 +678,165 @@ class InferenceService:
             self._finish(
                 member, QueryResponse(status=STATUS_FAILED, error=error)
             )
+
+    # ------------------------------------------------------------------ #
+    # Serving a micro-batch of flights
+    # ------------------------------------------------------------------ #
+
+    def _serve_batch(self, flights: Sequence[_Flight]) -> None:
+        """One batched propagation answering several flights at once.
+
+        Per-flight deadlines and priorities are preserved: expired
+        flights resolve as deadline-missed, cache-served flights never
+        cost a batch column, and each member's response is split out of
+        its own batch case.  A case whose posteriors come back
+        non-finite is quarantined — its members get an explicit failure,
+        nothing poisoned is cached or served — while the rest of the
+        batch is answered exactly.
+        """
+        live: List[Tuple[_Flight, List[_Member]]] = []
+        now = time.monotonic()
+        for flight in flights:
+            members = self._close_flight(flight)
+            if all(
+                m.deadline_at is not None and now >= m.deadline_at
+                for m in members
+            ):
+                self._resolve_deadline(members)
+                continue
+            cached = self._cached_answer(flight.signature, members)
+            if cached is not None:
+                self._bump("single_flights")
+                self._resolve_ok(members, cached, "cache")
+                continue
+            live.append((flight, members))
+        if not live:
+            return
+        if len(live) == 1:
+            flight, members = live[0]
+            self._serve_members(flight, members)
+            return
+
+        # The batch's propagation budget must accommodate every flight;
+        # members with earlier deadlines get explicit refusals at
+        # resolution, exactly like coalesced members of a single flight.
+        deadline_at: Optional[float] = 0.0
+        for _flight, members in live:
+            flight_deadline = self._flight_deadline(members)
+            if flight_deadline is None:
+                deadline_at = None
+                break
+            deadline_at = max(deadline_at, flight_deadline)
+
+        union: Optional[set] = set()
+        for _flight, members in live:
+            flight_union = self._union_vars(members)
+            if flight_union is None:
+                union = None
+                break
+            union.update(flight_union)
+        needed = sorted(union) if union is not None else self.pool.variables
+
+        tiers = self._tiers()
+        guarded_unattempted = bool(tiers) and tiers[0][2]
+        last_error: Optional[BaseException] = None
+        with self.pool.session() as engine:
+            for name, executor, guarded in tiers:
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    if guarded_unattempted:
+                        self.breaker.release_probe()
+                    for _flight, members in live:
+                        self._resolve_deadline(members)
+                    return
+                if guarded:
+                    guarded_unattempted = False
+                try:
+                    state = engine.propagate_batch(
+                        [flight.evidence for flight, _members in live],
+                        executor=executor,
+                        deadline=deadline_at,
+                    )
+                except TaskExecutionError as exc:
+                    if exc.phase == "deadline":
+                        for _flight, members in live:
+                            self._resolve_deadline(members)
+                        return
+                    last_error = exc
+                    if guarded:
+                        self.breaker.record_failure(str(exc))
+                    continue
+                except Exception as exc:
+                    if (
+                        deadline_at is not None
+                        and time.monotonic() >= deadline_at
+                    ):
+                        for _flight, members in live:
+                            self._resolve_deadline(members)
+                        return
+                    last_error = exc
+                    if guarded:
+                        self.breaker.record_failure(str(exc))
+                    continue
+
+                rows = {var: state.marginal(var) for var in needed}
+                likelihoods = np.asarray(state.likelihood()).reshape(-1)
+                healthy = [
+                    np.isfinite(likelihoods[i])
+                    and all(np.isfinite(rows[var][i]).all() for var in needed)
+                    for i in range(len(live))
+                ]
+                if not any(healthy):
+                    last_error = RuntimeError(
+                        f"every batch case from {name} was non-finite"
+                    )
+                    if guarded:
+                        self.breaker.record_failure(
+                            "fully poisoned batch result"
+                        )
+                    continue
+                if guarded:
+                    self.breaker.record_success()
+                for i, (flight, members) in enumerate(live):
+                    if not healthy[i]:
+                        self._bump("quarantined")
+                        for member in members:
+                            self._bump("failed")
+                            self._finish(
+                                member,
+                                QueryResponse(
+                                    status=STATUS_FAILED,
+                                    error=(
+                                        "batch case quarantined: "
+                                        "non-finite posterior"
+                                    ),
+                                ),
+                            )
+                        continue
+                    results = {var: rows[var][i] for var in needed}
+                    for var, values in results.items():
+                        self.pool.cache.put_marginal(
+                            flight.signature, var, values
+                        )
+                    self.pool.cache.put_likelihood(
+                        flight.signature, float(likelihoods[i])
+                    )
+                    self._record_stale(flight.signature, results)
+                    self._bump("batched_flights")
+                    self._resolve_ok(members, results, name, batched=True)
+                self._bump("batches")
+                return
+
+        error = (
+            f"{type(last_error).__name__}: {last_error}"
+            if last_error is not None
+            else "no executor tier available"
+        )
+        for _flight, members in live:
+            for member in members:
+                self._bump("failed")
+                self._finish(
+                    member, QueryResponse(status=STATUS_FAILED, error=error)
+                )
 
     @staticmethod
     def _flight_deadline(members: Sequence[_Member]) -> Optional[float]:
@@ -633,6 +866,7 @@ class InferenceService:
         members: Sequence[_Member],
         results: Dict[int, np.ndarray],
         tier: str,
+        batched: bool = False,
     ) -> None:
         with self._stats_lock:
             self._tier_counts[tier] = self._tier_counts.get(tier, 0) + 1
@@ -662,6 +896,7 @@ class InferenceService:
                     marginals=marginals,
                     executor=tier,
                     coalesced=i > 0,
+                    batched=batched,
                 ),
             )
 
@@ -727,6 +962,10 @@ class InferenceService:
             deadline_missed=counts["deadline_missed"],
             failed=counts["failed"],
             breaker_short_circuits=counts["breaker_short_circuits"],
+            batches=counts["batches"],
+            batched_flights=counts["batched_flights"],
+            single_flights=counts["single_flights"],
+            quarantined=counts["quarantined"],
             tier_counts=tier_counts,
             breaker_transitions=list(self.breaker.transitions),
             latency=latency_percentiles(served_spans, points=(50, 90, 99)),

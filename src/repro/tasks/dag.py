@@ -45,6 +45,7 @@ def build_task_graph(
     jt: JunctionTree,
     collect_edges: Optional[Collection[Tuple[int, int]]] = None,
     distribute_edges: Optional[Collection[Tuple[int, int]]] = None,
+    batch: int = 1,
 ) -> TaskGraph:
     """Construct the task dependency graph ``G`` for a junction tree.
 
@@ -59,7 +60,15 @@ def build_task_graph(
     :func:`repro.inference.incremental.plan_incremental`, which guarantees
     the collect set is ancestor-closed and the distribute set is closed
     toward the root.
+
+    ``batch`` scales every task's input/output size by the number of
+    stacked evidence cases, so task weights and chunk plans match the
+    batch-major flat index space of a batched
+    :class:`~repro.tasks.state.PropagationState`.
     """
+    batch = int(batch)
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     graph = TaskGraph()
     collect_edges = None if collect_edges is None else set(collect_edges)
     distribute_edges = (
@@ -81,11 +90,12 @@ def build_task_graph(
         if not children:
             collect_exit[p] = None
             continue
-        clique_size = jt.cliques[p].table_size
+        clique_size = jt.cliques[p].table_size * batch
         last_multiply: Optional[int] = None
         for c in children:
-            child_size = jt.cliques[c].table_size
+            child_size = jt.cliques[c].table_size * batch
             _, sep_size = _sizes(jt, p, c)
+            sep_size *= batch
             edge = (p, c)
             entry_deps = []
             if collect_exit[c] is not None:
@@ -119,13 +129,14 @@ def build_task_graph(
         for c in jt.children[p]:
             if distribute_edges is not None and (p, c) not in distribute_edges:
                 continue
-            child_size = jt.cliques[c].table_size
+            child_size = jt.cliques[c].table_size * batch
             _, sep_size = _sizes(jt, p, c)
+            sep_size *= batch
             edge = (p, c)
             entry_deps = []
             if distribute_exit.get(p) is not None:
                 entry_deps.append(distribute_exit[p])
-            parent_size = jt.cliques[p].table_size
+            parent_size = jt.cliques[p].table_size * batch
             marg = graph.add_task(
                 PrimitiveKind.MARGINALIZE, DISTRIBUTE, edge, c,
                 input_size=parent_size, output_size=sep_size, deps=entry_deps,

@@ -87,6 +87,73 @@ class PropagationState:
             self.separators[(parent, child)] = PotentialTable.ones(sep, cards)
         # Message-pipeline intermediates keyed by (phase, edge, stage).
         self._inter: Dict[Tuple[str, Tuple[int, int], str], PotentialTable] = {}
+        # Single-case state; batched states are built via batched()/from_cases().
+        self.batch: Optional[int] = None
+        self.case_evidence = None
+
+    # ------------------------------------------------------------------ #
+    # Batched construction (B evidence cases through one propagation)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def batched(cls, jt: JunctionTree, cases) -> "PropagationState":
+        """State carrying ``B`` independent evidence cases at once.
+
+        ``cases`` is a sequence of ``(evidence, soft_evidence)`` pairs,
+        one per case.  Each case's evidence is absorbed into its own batch
+        row exactly as the single-case constructor would, so propagating
+        the batched state is numerically identical to ``B`` separate runs.
+        """
+        cases = list(cases)
+        if not cases:
+            raise ValueError("batched state needs at least one case")
+        singles = [
+            cls(jt, evidence=ev, soft_evidence=soft) for ev, soft in cases
+        ]
+        return cls.from_cases(singles)
+
+    @classmethod
+    def from_cases(cls, states: Sequence["PropagationState"]) -> "PropagationState":
+        """Stack single-case states over the same tree into a batched state.
+
+        Works on fresh states (before propagation) and on propagated ones —
+        the engine's per-case fallback path uses the latter to return a
+        batched state from ``B`` individual runs.  Intermediates are only
+        stacked for keys present in *every* case.
+        """
+        states = list(states)
+        if not states:
+            raise ValueError("from_cases needs at least one state")
+        jt = states[0].jt
+        for s in states:
+            if s.jt is not jt:
+                raise ValueError("all cases must share one junction tree")
+            if s.batch is not None:
+                raise ValueError("from_cases expects single-case states")
+        state = cls.__new__(cls)
+        state.jt = jt
+        state.evidence = {}
+        state.soft_evidence = {}
+        state.batch = len(states)
+        state.case_evidence = [
+            (dict(s.evidence), dict(s.soft_evidence)) for s in states
+        ]
+        state.potentials = {
+            i: PotentialTable.stack([s.potentials[i] for s in states])
+            for i in range(jt.num_cliques)
+        }
+        state.separators = {
+            edge: PotentialTable.stack([s.separators[edge] for s in states])
+            for edge in states[0].separators
+        }
+        shared_keys = set(states[0]._inter)
+        for s in states[1:]:
+            shared_keys &= set(s._inter)
+        state._inter = {
+            key: PotentialTable.stack([s._inter[key] for s in states])
+            for key in shared_keys
+        }
+        return state
 
     def _absorb_soft(self, var: int, weights: "np.ndarray") -> None:
         """Multiply a soft finding's weight vector into its host clique."""
@@ -137,11 +204,18 @@ class PropagationState:
         a rebuilt clique needs (it never completed a collect phase over
         that edge); callers treat that as "fall back to full propagation".
         """
+        if prev.batch is not None:
+            raise ValueError(
+                "incremental repropagation needs a single-case previous "
+                "state; batched runs must repropagate from scratch"
+            )
         jt = prev.jt
         state = cls.__new__(cls)
         state.jt = jt
         state.evidence = dict(evidence or {})
         state.soft_evidence = dict(soft_evidence or {})
+        state.batch = None
+        state.case_evidence = None
         rebuild_set = set(rebuild)
 
         state.potentials = {}
@@ -279,11 +353,14 @@ class PropagationState:
         source, sep_vars, sep_cards, target = self._edge_scopes(task)
         key_base = (task.phase, task.edge)
         if task.kind is PrimitiveKind.MARGINALIZE:
-            total = np.zeros(int(np.prod(sep_cards)) if sep_cards else 1)
+            size = int(np.prod(sep_cards)) if sep_cards else 1
+            if self.batch is not None:
+                size *= self.batch
+            total = np.zeros(size)
             for part in parts:
                 total = total + part
             self._inter[key_base + ("sep_new",)] = PotentialTable(
-                sep_vars, sep_cards, total
+                sep_vars, sep_cards, total, batch=self.batch
             )
             return
         flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
@@ -291,17 +368,20 @@ class PropagationState:
             sep_new = self._inter[key_base + ("sep_new",)]
             self.separators[task.edge] = sep_new
             self._inter[key_base + ("ratio",)] = PotentialTable(
-                sep_new.variables, sep_new.cardinalities, flat
+                sep_new.variables, sep_new.cardinalities, flat,
+                batch=self.batch,
             )
         elif task.kind is PrimitiveKind.EXTEND:
             clique = self.jt.cliques[target]
             self._inter[key_base + ("extended",)] = PotentialTable(
-                clique.variables, clique.cardinalities, flat
+                clique.variables, clique.cardinalities, flat,
+                batch=self.batch,
             )
         elif task.kind is PrimitiveKind.MULTIPLY:
             clique = self.jt.cliques[target]
             self.potentials[target] = PotentialTable(
-                clique.variables, clique.cardinalities, flat
+                clique.variables, clique.cardinalities, flat,
+                batch=self.batch,
             )
         else:
             raise ValueError(f"task {task} has unexpected kind {task.kind}")
@@ -322,7 +402,13 @@ class PropagationState:
 
         The plan carries only scopes and small init arrays — workers attach
         to the buffers by offset, so no potential table is ever pickled.
+        Batched states are refused: the shared-memory arena lays tables out
+        per case, so the process tier falls back to per-case runs instead.
         """
+        if self.batch is not None:
+            raise ValueError(
+                "shared-memory table plans do not support batched states"
+            )
         plan = []
         for i in range(self.jt.num_cliques):
             table = self.potentials[i]
@@ -380,15 +466,26 @@ class PropagationState:
     # ------------------------------------------------------------------ #
 
     def marginal(self, variable: int) -> np.ndarray:
-        """Posterior ``P(variable | evidence)`` after full propagation."""
+        """Posterior ``P(variable | evidence)`` after full propagation.
+
+        For batched states the result has shape ``(B, card)``: row ``i``
+        is the posterior of case ``i``.
+        """
         host = self.jt.clique_containing([variable])
         table = marginalize(self.potentials[host], (variable,))
         return table.normalize().values
 
     def clique_marginal(self, clique: int) -> PotentialTable:
-        """Normalized joint over one clique's scope."""
+        """Normalized joint over one clique's scope (per case if batched)."""
         return self.potentials[clique].normalize()
 
-    def likelihood(self) -> float:
-        """Probability of the evidence ``P(e)`` (root mass after collect)."""
-        return self.potentials[self.jt.root].total()
+    def likelihood(self):
+        """Probability of the evidence ``P(e)`` (root mass after collect).
+
+        Returns a float for single-case states, an array of shape ``(B,)``
+        for batched ones.
+        """
+        root = self.potentials[self.jt.root]
+        if self.batch is not None:
+            return root.case_totals()
+        return root.total()

@@ -1,0 +1,132 @@
+"""Property-based batched-vs-serial exactness (Hypothesis).
+
+Random evidence batches — any mix of hard findings and soft likelihood
+vectors over a fixed synthetic network — go through
+:meth:`InferenceEngine.query_batch` and must match a fresh single-case
+oracle engine per case at 1e-9.  The ``deterministic`` Hypothesis
+profile (registered in ``conftest.py``) derandomizes generation so CI
+runs are reproducible.
+
+When Hypothesis ever finds a falsifying example, append its shrunk
+batch to ``tests/data/batch_regressions.json`` — the corpus is replayed
+as explicit cases on every run, so a once-seen failure can never
+silently regress.  The file's shape mirrors the strategy's output (one
+entry per batch; each case ``{"hard": {var: state}, "soft": {var:
+[weights]}}``) so a shrunk example pastes in directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+NUM_VARS = 10
+CARD = 2
+CORPUS = Path(__file__).parent / "data" / "batch_regressions.json"
+
+
+@pytest.fixture(scope="module")
+def property_network():
+    return random_network(
+        NUM_VARS, cardinality=CARD, max_parents=3,
+        edge_probability=0.6, seed=99,
+    )
+
+
+def _finding():
+    return st.one_of(
+        st.integers(min_value=0, max_value=CARD - 1),
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=CARD, max_size=CARD,
+        ),
+    )
+
+
+def _case():
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=NUM_VARS - 1),
+        _finding(),
+        max_size=4,
+    )
+
+
+def _batches():
+    return st.lists(_case(), min_size=1, max_size=6)
+
+
+def _assert_batch_exact(network, batch):
+    engine = InferenceEngine.from_network(network)
+    answers = engine.query_batch(batch)
+    assert len(answers) == len(batch)
+    for case, answer in zip(batch, answers):
+        oracle = InferenceEngine.from_network(network)
+        exact = oracle.query(case)
+        assert set(answer) == set(exact)
+        for var in exact:
+            np.testing.assert_allclose(
+                answer[var], exact[var], rtol=RTOL, atol=ATOL,
+                err_msg=f"case={case} var={var}",
+            )
+
+
+class TestBatchProperties:
+    @settings(max_examples=30)
+    @given(batch=_batches())
+    def test_query_batch_matches_per_case_oracle(
+        self, property_network, batch
+    ):
+        _assert_batch_exact(property_network, batch)
+
+    @settings(max_examples=20)
+    @given(batch=_batches())
+    def test_propagate_batch_likelihood_matches(
+        self, property_network, batch
+    ):
+        engine = InferenceEngine.from_network(property_network)
+        state = engine.propagate_batch(batch)
+        likelihoods = np.asarray(state.likelihood()).reshape(-1)
+        assert likelihoods.shape == (len(batch),)
+        for i, case in enumerate(batch):
+            oracle = InferenceEngine.from_network(property_network)
+            oracle.query(case)  # propagates with the case's findings
+            np.testing.assert_allclose(
+                likelihoods[i], oracle.likelihood(), rtol=RTOL, atol=ATOL,
+                err_msg=f"case={case}",
+            )
+
+
+def _load_corpus():
+    with open(CORPUS) as fh:
+        raw = json.load(fh)
+    batches = []
+    for entry in raw:
+        batch = []
+        for case in entry:
+            findings = {int(v): int(s) for v, s in case["hard"].items()}
+            findings.update(
+                {int(v): np.asarray(w) for v, w in case["soft"].items()}
+            )
+            batch.append(findings)
+        batches.append(batch)
+    return batches
+
+
+class TestRegressionCorpus:
+    @pytest.mark.parametrize(
+        "batch", _load_corpus(),
+        ids=lambda b: f"B={len(b)}",
+    )
+    def test_corpus_batch_exact(self, property_network, batch):
+        _assert_batch_exact(property_network, batch)

@@ -676,3 +676,209 @@ class TestServiceDrain:
         ]
         assert len(serve_spans) == report.submitted
         assert report.format()  # renders without raising
+
+
+# --------------------------------------------------------------------- #
+# Micro-batching
+# --------------------------------------------------------------------- #
+
+
+class _GateExecutor(SerialExecutor):
+    """SerialExecutor whose first run blocks until released.
+
+    With ``workers=1`` this pins the single worker on one flight while a
+    test fills the queue, making the micro-batch grouping deterministic.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.started = threading.Event()  # first run reached the gate
+        self.release = threading.Event()
+        self._blocked = False
+
+    def run(self, graph, state, **kw):
+        if not self._blocked:
+            self._blocked = True
+            self.started.set()
+            assert self.release.wait(timeout=30.0)
+        return super().run(graph, state, **kw)
+
+
+class TestServiceMicroBatching:
+    def _gated_service(self, serve_tree, **kw):
+        gate = _GateExecutor()
+        service = make_service(
+            serve_tree, sessions=1, workers=1, fallback=gate, **kw
+        )
+        return service, gate
+
+    def test_queued_flights_batch_together_and_stay_exact(
+        self, serve_tree, oracle
+    ):
+        service, gate = self._gated_service(serve_tree, max_batch=8)
+        blocker = service.submit(
+            # Non-empty delta: an empty one is a propagation no-op on the
+            # pre-warmed session and would never reach the gate.
+            QueryRequest(delta={17: 1}, vars=[1], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        requests = [
+            QueryRequest(delta={v: 1}, vars=[10, 15], deadline=30.0)
+            for v in range(4)
+        ]
+        futures = [service.submit(r) for r in requests]
+        gate.release.set()
+        responses = [f.result(timeout=30) for f in futures]
+        assert blocker.result(timeout=30).status == "ok"
+        assert not blocker.result().batched
+        for request, response in zip(requests, responses):
+            assert response.status == "ok"
+            assert response.batched
+            exact = exact_marginals(oracle, request)
+            for var in request.vars:
+                np.testing.assert_allclose(
+                    response.marginals[var], exact[var],
+                    rtol=1e-9, atol=1e-12,
+                )
+        report = service.drain()
+        assert report.batches == 1
+        assert report.batched_flights == 4
+        assert report.single_flights == 1
+        assert report.quarantined == 0
+
+    def test_priority_order_preserved_under_batching(self, serve_tree):
+        # max_batch=2 with three queued priorities: the batch takes the
+        # two best priorities, the worst is served afterwards on its own.
+        service, gate = self._gated_service(serve_tree, max_batch=2)
+        blocker = service.submit(
+            # Non-empty delta: an empty one is a propagation no-op on the
+            # pre-warmed session and would never reach the gate.
+            QueryRequest(delta={17: 1}, vars=[1], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        by_priority = {
+            prio: service.submit(
+                QueryRequest(
+                    delta={prio: 0}, vars=[5], deadline=30.0, priority=prio
+                )
+            )
+            for prio in (5, 0, 9)
+        }
+        gate.release.set()
+        responses = {
+            prio: f.result(timeout=30) for prio, f in by_priority.items()
+        }
+        assert blocker.result(timeout=30).status == "ok"
+        assert all(r.status == "ok" for r in responses.values())
+        assert responses[0].batched and responses[5].batched
+        assert not responses[9].batched
+        service.drain()
+
+    def test_expired_member_refused_others_exact(self, serve_tree, oracle):
+        service, gate = self._gated_service(serve_tree, max_batch=8)
+        blocker = service.submit(
+            # Non-empty delta: an empty one is a propagation no-op on the
+            # pre-warmed session and would never reach the gate.
+            QueryRequest(delta={17: 1}, vars=[1], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        doomed = service.submit(
+            QueryRequest(delta={2: 1}, vars=[4], deadline=0.05)
+        )
+        live_request = QueryRequest(delta={3: 0}, vars=[4], deadline=30.0)
+        live = service.submit(live_request)
+        time.sleep(0.2)  # let the short deadline lapse while queued
+        gate.release.set()
+        assert blocker.result(timeout=30).status == "ok"
+        assert doomed.result(timeout=30).status == "deadline"
+        response = live.result(timeout=30)
+        assert response.status == "ok"
+        exact = exact_marginals(oracle, live_request)
+        np.testing.assert_allclose(
+            response.marginals[4], exact[4], rtol=1e-9, atol=1e-12
+        )
+        report = service.drain()
+        assert report.deadline_missed == 1
+
+    def test_poisoned_case_quarantined_individually(
+        self, serve_tree, oracle, monkeypatch
+    ):
+        # Fault injection: one batch column comes back NaN from the
+        # engine.  That request must get an explicit failure — never a
+        # silently wrong posterior — while its batch-mates stay exact.
+        poison_delta = {7: 1}
+        original = InferenceEngine.propagate_batch
+
+        def poisoned(self, evidences, **kw):
+            state = original(self, evidences, **kw)
+            for i, (hard, _soft) in enumerate(state.case_evidence or []):
+                if hard == poison_delta:
+                    state.potentials[state.jt.root].values[i] = np.nan
+            return state
+
+        monkeypatch.setattr(InferenceEngine, "propagate_batch", poisoned)
+        service, gate = self._gated_service(serve_tree, max_batch=8)
+        blocker = service.submit(
+            # Non-empty delta: an empty one is a propagation no-op on the
+            # pre-warmed session and would never reach the gate.
+            QueryRequest(delta={17: 1}, vars=[1], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        victim = service.submit(
+            QueryRequest(delta=dict(poison_delta), vars=[4], deadline=30.0)
+        )
+        healthy_request = QueryRequest(delta={3: 0}, vars=[4], deadline=30.0)
+        healthy = service.submit(healthy_request)
+        gate.release.set()
+        assert blocker.result(timeout=30).status == "ok"
+        failed = victim.result(timeout=30)
+        assert failed.status == "failed"
+        assert "quarantin" in (failed.error or "")
+        assert failed.marginals == {}
+        response = healthy.result(timeout=30)
+        assert response.status == "ok" and response.batched
+        exact = exact_marginals(oracle, healthy_request)
+        np.testing.assert_allclose(
+            response.marginals[4], exact[4], rtol=1e-9, atol=1e-12
+        )
+        report = service.drain()
+        assert report.quarantined == 1
+        assert report.batched_flights == 1
+
+    def test_drain_reports_batched_vs_single_counts(self, serve_tree):
+        service, gate = self._gated_service(serve_tree, max_batch=4)
+        blocker = service.submit(
+            QueryRequest(delta={17: 1}, vars=[2], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        futures = [
+            service.submit(
+                QueryRequest(delta={v: 1}, vars=[2], deadline=30.0)
+            )
+            for v in range(3)
+        ]
+        gate.release.set()
+        for f in [blocker, *futures]:
+            assert f.result(timeout=30).status == "ok"
+        report = service.drain()
+        assert report.batches == 1
+        assert report.batched_flights == 3
+        assert report.single_flights == 1
+        assert report.batched_flights + report.single_flights == 4
+        rendered = report.to_dict()
+        for key in (
+            "batches", "batched_flights", "single_flights", "quarantined"
+        ):
+            assert key in rendered
+        assert "micro-batched" in report.format()
+
+    def test_default_service_never_batches(self, serve_tree):
+        service = make_service(serve_tree)  # max_batch defaults to 1
+        responses = [
+            service.query(delta={v: 0}, vars=[6], deadline=30.0)
+            for v in range(4)
+        ]
+        assert all(r.status == "ok" and not r.batched for r in responses)
+        report = service.drain()
+        assert report.batches == 0
+        assert report.batched_flights == 0
