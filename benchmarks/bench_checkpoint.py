@@ -1,0 +1,167 @@
+"""Warm restart from a checkpoint vs. recalibrating from scratch.
+
+A recycled (or restarted) serving session has two ways back to a
+calibrated state: replay the full propagation, or restore the
+:mod:`repro.integrity.checkpoint` archive saved when the state was last
+known good.  The restore path skips every DIVIDE/EXTEND/MULTIPLY/
+MARGINALIZE primitive — it only validates signatures, checksums the
+table bytes and rebuilds the table objects — so on any tree large
+enough to matter it must be markedly faster, and (because float64
+round-trips npz bit-exactly) answer queries *bit-identically* to the
+session that saved it.
+
+Run as a script to record the numbers::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+
+Results land in ``BENCH_checkpoint.json`` at the repo root.  ``--smoke``
+shrinks the workload for CI and turns the run into a gate: exit 1 if
+restoring is not at least ``--min-speedup`` (default 5x) faster than
+recalibration, or if any restored marginal differs by a single bit.
+"""
+
+import argparse
+import io
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.inference.engine import InferenceEngine
+from repro.jt.generation import synthetic_tree
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"
+)
+
+
+def _build_engine(num_cliques, clique_width, seed):
+    tree = synthetic_tree(
+        num_cliques, clique_width=clique_width, states=2, avg_children=3,
+        seed=seed,
+    )
+    tree.initialize_potentials(np.random.default_rng(seed))
+    return tree, InferenceEngine(tree)
+
+
+def measure(num_cliques, clique_width, rounds, seed):
+    tree, engine = _build_engine(num_cliques, clique_width, seed)
+    engine.observe(0, 1)
+    engine.propagate()
+
+    payload = io.BytesIO()
+    t0 = time.perf_counter()
+    manifest = engine.checkpoint(payload)
+    save_seconds = time.perf_counter() - t0
+    blob = payload.getvalue()
+
+    variables = sorted(
+        {v for clique in tree.cliques for v in clique.variables}
+    )[:12]
+    reference = {v: engine.marginal(v) for v in variables}
+
+    restore_times, recal_times = [], []
+    bit_identical = True
+    for _ in range(rounds):
+        cold = InferenceEngine(tree)
+        t0 = time.perf_counter()
+        cold.restore(io.BytesIO(blob))
+        restore_times.append(time.perf_counter() - t0)
+        for v in variables:
+            if not (cold.marginal(v) == reference[v]).all():
+                bit_identical = False
+
+        cold = InferenceEngine(tree)
+        cold.observe(0, 1)
+        t0 = time.perf_counter()
+        cold.propagate(incremental=False)
+        recal_times.append(time.perf_counter() - t0)
+
+    restore = min(restore_times)
+    recalibrate = min(recal_times)
+    return {
+        "num_cliques": num_cliques,
+        "clique_width": clique_width,
+        "rounds": rounds,
+        "tables": manifest["tables"],
+        "checkpoint_bytes": len(blob),
+        "save_seconds": save_seconds,
+        "restore_seconds": restore,
+        "recalibrate_seconds": recalibrate,
+        "speedup": recalibrate / restore if restore > 0 else 0.0,
+        "bit_identical": bit_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warm restart from checkpoint vs. full recalibration"
+    )
+    parser.add_argument("--cliques", type=int, default=192)
+    parser.add_argument("--width", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="smoke gate: restore must beat recalibration by this factor",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller CI workload, and gate on min-speedup and "
+        "bit-identical restored marginals",
+    )
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    num_cliques = 96 if args.smoke else args.cliques
+    result = measure(num_cliques, args.width, args.rounds, args.seed)
+
+    print(
+        f"checkpoint: {result['tables']} tables, "
+        f"{result['checkpoint_bytes'] / 1024:.0f} KiB, "
+        f"saved in {result['save_seconds']*1e3:.2f} ms"
+    )
+    print(
+        f"restore  {result['restore_seconds']*1e3:8.2f} ms   "
+        f"recalibrate {result['recalibrate_seconds']*1e3:8.2f} ms   "
+        f"({result['speedup']:.1f}x, "
+        f"bit-identical={result['bit_identical']})"
+    )
+
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"recorded -> {out}")
+
+    if args.smoke:
+        failed = False
+        if not result["bit_identical"]:
+            print(
+                "FAIL: restored marginals are not bit-identical to the "
+                "checkpointing session's",
+                file=sys.stderr,
+            )
+            failed = True
+        if result["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: restore is only {result['speedup']:.1f}x faster "
+                f"than recalibration (gate: {args.min_speedup:.1f}x)",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
+            return 1
+        print(
+            f"gate ok: warm restart {result['speedup']:.1f}x faster than "
+            "recalibration, restored marginals bit-identical"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -428,6 +428,62 @@ class InferenceEngine:
             return results
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, path) -> Dict[str, object]:
+        """Persist the engine's calibrated state to ``path``.
+
+        Fully calibrates first (repropagating or topping up stale cliques
+        as needed), so the checkpoint always reflects the *current*
+        evidence.  ``path`` may be a filesystem path or a binary
+        file-like object.  Returns the embedded manifest.  Raises
+        ``RuntimeError`` if the engine has never propagated.
+        """
+        with self._lock:
+            state = self._sync()
+            return state.save(path)
+
+    def restore(self, path) -> "InferenceEngine":
+        """Adopt a checkpointed state (and its evidence) from ``path``.
+
+        The checkpoint must have been taken from an engine over the same
+        junction tree — same clique scopes, topology and prior
+        potentials — or loading refuses with
+        :class:`~repro.integrity.checkpoint.CheckpointMismatch`; tampered
+        bytes refuse with
+        :class:`~repro.integrity.checkpoint.CheckpointCorrupt`.  On
+        success the engine answers queries bit-identically to the engine
+        that saved, without repropagating.
+        """
+        with self._lock:
+            state = PropagationState.load(self.jt, path)
+            self.evidence = Evidence(state.evidence)
+            for var, weights in state.soft_evidence.items():
+                self.evidence.observe_soft(var, weights)
+            self._state = state
+            self._stale = set()
+            self._mark_synced()
+        return self
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        junction_tree: JunctionTree,
+        path,
+        reroot: bool = True,
+        cache_size: int = 128,
+    ) -> "InferenceEngine":
+        """Build an engine over ``junction_tree`` and restore ``path``.
+
+        ``reroot`` must match the flag the checkpointing engine was built
+        with — rerooting changes the tree's parent vector, which the
+        checkpoint's tree signature covers.
+        """
+        engine = cls(junction_tree, reroot=reroot, cache_size=cache_size)
+        return engine.restore(path)
+
+    # ------------------------------------------------------------------ #
     # Query API
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,55 @@
+"""State integrity and crash recovery for calibrated propagation state.
+
+The shared-address-space design of Algorithm 2 makes a killed worker
+dangerous in a way the snapshot rollback of the resilient executors
+cannot see: a worker killed *mid-chunk-write* leaves a torn table whose
+entries are perfectly finite — the numerical health guard
+(:func:`~repro.sched.faults.scan_tables`) passes, and the wrong
+posterior would be served silently.  This package closes that hole and
+its recovery half:
+
+* :mod:`repro.integrity.checksum` — crc32 stamps computed by workers
+  over exactly the arena regions a task writes, re-verified by the
+  master when the result arrives.  A mismatch raises
+  :class:`TornWriteError` attributing the corruption to a specific
+  ``(tid, chunk)``.
+* :mod:`repro.integrity.checkpoint` — persistence for a calibrated
+  :class:`~repro.tasks.state.PropagationState` (npz + manifest with
+  tree/evidence signatures and a whole-state checksum), so a long-lived
+  session warm-restarts from disk (or from an in-memory baseline held
+  by :class:`~repro.serve.service.EngineSessionPool`) instead of paying
+  a full repropagation.  Mismatched trees or tampered files are refused
+  with typed errors, never loaded quietly.
+"""
+
+from repro.integrity.checksum import (
+    TornWriteError,
+    crc32_array,
+    crc32_regions,
+)
+from repro.integrity.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    evidence_signature,
+    load_state,
+    read_manifest,
+    save_state,
+    tree_signature,
+)
+
+__all__ = [
+    "TornWriteError",
+    "crc32_array",
+    "crc32_regions",
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointCorrupt",
+    "evidence_signature",
+    "tree_signature",
+    "save_state",
+    "load_state",
+    "read_manifest",
+]

@@ -119,12 +119,25 @@ class FaultPlan:
     corrupt_task:
         ``{tid: mode}`` with mode in :data:`CORRUPTION_MODES` — after
         the task's first execution its output table is overwritten with
-        NaN / Inf / garbage, exercising the numerical health guard.
+        NaN / Inf / garbage, exercising the numerical health guard.  A
+        value may also be ``(mode, column)`` to corrupt only one batch
+        column of a batched table (the batch axis is leading), which is
+        how the per-case quarantine path is exercised.
     fail_task:
         ``{tid: times}`` — the worker raises an injected exception on
         the task's first ``times`` dispatches (then runs clean),
         exercising the bounded retry-with-backoff path without killing
         any process.
+    torn_write:
+        ``{tid: entries}`` — after the task's first pool execution the
+        worker stamps its checksum over the *correct* output, then
+        scribbles ``entries`` finite garbage values into the written
+        region, simulating a write torn between stamp and master read
+        (kill mid-``memcpy``, stray writer).  The health scan cannot see
+        finite garbage; only the crc verification in
+        :class:`~repro.sched.process.ProcessSharedMemoryExecutor`
+        catches it, raising
+        :class:`~repro.integrity.checksum.TornWriteError`.
     sim_kill_core:
         ``{task_index: core}`` — simulator-only: core dies before it
         would start its Nth task (see :mod:`repro.simcore.policies`).
@@ -134,17 +147,26 @@ class FaultPlan:
 
     kill_before_dispatch: Dict[int, int] = field(default_factory=dict)
     delay_task: Dict[int, float] = field(default_factory=dict)
-    corrupt_task: Dict[int, str] = field(default_factory=dict)
+    corrupt_task: Dict[int, object] = field(default_factory=dict)
     fail_task: Dict[int, int] = field(default_factory=dict)
+    torn_write: Dict[int, int] = field(default_factory=dict)
     sim_kill_core: Dict[int, int] = field(default_factory=dict)
     sim_delay_task: Dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self):
-        for tid, mode in self.corrupt_task.items():
+        for tid, spec in self.corrupt_task.items():
+            mode = spec[0] if isinstance(spec, tuple) else spec
             if mode not in CORRUPTION_MODES:
                 raise ValueError(
                     f"corruption mode for task {tid} must be one of "
                     f"{CORRUPTION_MODES}, got {mode!r}"
+                )
+            if isinstance(spec, tuple) and (
+                len(spec) != 2 or int(spec[1]) < 0
+            ):
+                raise ValueError(
+                    f"batched corruption for task {tid} must be "
+                    f"(mode, column) with column >= 0, got {spec!r}"
                 )
         for tid, seconds in self.delay_task.items():
             if seconds < 0:
@@ -152,10 +174,16 @@ class FaultPlan:
         for tid, times in self.fail_task.items():
             if times < 1:
                 raise ValueError(f"fail count for task {tid} must be >= 1")
+        for tid, entries in self.torn_write.items():
+            if entries < 1:
+                raise ValueError(
+                    f"torn-write entry count for task {tid} must be >= 1"
+                )
         self._taken_kills: set = set()
         self._taken_delays: set = set()
         self._taken_corruptions: set = set()
         self._taken_failures: Dict[int, int] = {}
+        self._taken_torn: set = set()
         self._taken_sim_kills: set = set()
         self._taken_sim_delays: set = set()
 
@@ -180,11 +208,22 @@ class FaultPlan:
             return self.delay_task[tid]
         return 0.0
 
-    def take_corruption(self, tid: int) -> Optional[str]:
-        """Corruption mode to apply after running ``tid``, or ``None``."""
+    def take_corruption(self, tid: int):
+        """Corruption spec to apply after running ``tid``, or ``None``.
+
+        The spec is a bare mode string, or ``(mode, column)`` when only
+        one batch column of a batched table should be corrupted.
+        """
         if tid in self.corrupt_task and tid not in self._taken_corruptions:
             self._taken_corruptions.add(tid)
             return self.corrupt_task[tid]
+        return None
+
+    def take_torn(self, tid: int) -> Optional[int]:
+        """Entries to scribble after ``tid``'s checksum stamp, or ``None``."""
+        if tid in self.torn_write and tid not in self._taken_torn:
+            self._taken_torn.add(tid)
+            return self.torn_write[tid]
         return None
 
     def take_failure(self, tid: int) -> bool:
@@ -221,21 +260,33 @@ class FaultPlan:
             or self.delay_task
             or self.corrupt_task
             or self.fail_task
+            or self.torn_write
             or self.sim_kill_core
             or self.sim_delay_task
         )
 
 
-def corrupt_array(flat: np.ndarray, mode: str) -> None:
-    """Overwrite ``flat`` in place per ``mode`` (worker-side injection)."""
+def corrupt_array(flat: np.ndarray, mode, column: Optional[int] = None) -> None:
+    """Overwrite ``flat`` in place per ``mode`` (worker-side injection).
+
+    ``mode`` may be ``(mode, column)`` — equivalent to passing ``column``
+    explicitly — restricting the damage to one slice of the leading
+    (batch) axis, so batched quarantine attribution can be exercised
+    without poisoning every case.
+    """
+    if isinstance(mode, tuple):
+        mode, column = mode
+    target = flat if column is None else flat[int(column)]
     if mode == "nan":
-        flat[...] = np.nan
+        target[...] = np.nan
     elif mode == "inf":
-        flat[...] = np.inf
+        target[...] = np.inf
     elif mode == "garbage":
         # Deterministic garbage: sign-alternating huge values.
-        flat[...] = np.where(
-            np.arange(flat.size).reshape(flat.shape) % 2 == 0, -1e300, 1e300
+        target[...] = np.where(
+            np.arange(target.size).reshape(target.shape) % 2 == 0,
+            -1e300,
+            1e300,
         )
     else:  # pragma: no cover - validated at plan construction
         raise ValueError(f"unknown corruption mode {mode!r}")
@@ -248,12 +299,26 @@ def corrupt_array(flat: np.ndarray, mode: str) -> None:
 
 @dataclass
 class HealthReport:
-    """Outcome of a NaN/Inf/underflow scan over a set of tables."""
+    """Outcome of a NaN/Inf/underflow scan over a set of tables.
+
+    For *batched* tables (leading batch axis) the scan additionally
+    attributes each finding to the batch columns it lives in:
+    ``nan_columns[key]`` lists the columns of table ``key`` containing a
+    NaN, and :meth:`poisoned_columns` unions every attribution into the
+    set of cases that must not be served — the single scan
+    ``_serve_batch`` quarantines from, instead of re-scanning each
+    case's marginals per variable.
+    """
 
     nan_tables: List[object] = field(default_factory=list)
     inf_tables: List[object] = field(default_factory=list)
     underflowed_tables: List[object] = field(default_factory=list)
     tables_scanned: int = 0
+    # Batch-column attribution, {table_key: [column, ...]}; populated
+    # only for batched tables, and only for non-empty findings.
+    nan_columns: Dict[object, List[int]] = field(default_factory=dict)
+    inf_columns: Dict[object, List[int]] = field(default_factory=dict)
+    underflow_columns: Dict[object, List[int]] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -262,6 +327,18 @@ class HealthReport:
     @property
     def underflowed(self) -> bool:
         return bool(self.underflowed_tables)
+
+    def poisoned_columns(self) -> set:
+        """Batch columns that must not be served: non-finite anywhere, or
+        fully underflowed (their posteriors would normalize to 0/0)."""
+        poisoned: set = set()
+        for columns in self.nan_columns.values():
+            poisoned.update(columns)
+        for columns in self.inf_columns.values():
+            poisoned.update(columns)
+        for columns in self.underflow_columns.values():
+            poisoned.update(columns)
+        return poisoned
 
     def summary(self) -> str:
         if self.healthy and not self.underflowed:
@@ -273,6 +350,9 @@ class HealthReport:
             bits.append(f"Inf in {self.inf_tables}")
         if self.underflowed_tables:
             bits.append(f"underflow in {self.underflowed_tables}")
+        poisoned = self.poisoned_columns()
+        if poisoned:
+            bits.append(f"batch columns {sorted(poisoned)}")
         return "; ".join(bits)
 
 
@@ -281,12 +361,34 @@ def scan_tables(tables: Mapping[object, object]) -> HealthReport:
 
     A table *underflows* when every entry is exactly zero — the signature
     of joint mass shrinking below ``float64``'s reach, which the
-    log-space engine (:mod:`repro.potential.logspace`) avoids.
+    log-space engine (:mod:`repro.potential.logspace`) avoids.  Batched
+    tables are scanned per batch column (one vectorized reduction over
+    the case axis, not a Python loop per case): a column underflows when
+    *its* entries are all zero, and every finding is recorded in the
+    report's ``*_columns`` attribution maps.
     """
     report = HealthReport()
     for key, table in tables.items():
         values = np.asarray(table.values)
         report.tables_scanned += 1
+        batch = getattr(table, "batch", None)
+        if batch is not None:
+            cases = values.reshape(batch, -1)
+            nan_cols = np.flatnonzero(np.isnan(cases).any(axis=1))
+            inf_cols = np.flatnonzero(np.isinf(cases).any(axis=1))
+            under_cols = np.flatnonzero(~(cases != 0).any(axis=1))
+            if nan_cols.size:
+                report.nan_tables.append(key)
+                report.nan_columns[key] = [int(c) for c in nan_cols]
+            elif inf_cols.size:
+                report.inf_tables.append(key)
+            elif under_cols.size:
+                report.underflowed_tables.append(key)
+            if inf_cols.size:
+                report.inf_columns[key] = [int(c) for c in inf_cols]
+            if under_cols.size:
+                report.underflow_columns[key] = [int(c) for c in under_cols]
+            continue
         if np.isnan(values).any():
             report.nan_tables.append(key)
         elif np.isinf(values).any():

@@ -45,6 +45,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.integrity.checksum import TornWriteError, crc32_regions
 from repro.potential import partition as chunked
 from repro.potential.primitives import PrimitiveKind, divide, extend, marginalize
 from repro.potential.table import PotentialTable
@@ -176,6 +177,34 @@ class _ShmOps:
         out = self.tables[("inter", spec.phase, spec.edge, "sep_new")]
         chunked.add_partials_into(out.values.reshape(-1), parts)
 
+    def written_flat(
+        self, spec: _TaskSpec, chunk: bool = False
+    ) -> List[np.ndarray]:
+        """Flat views of every arena region a task (or chunk) writes.
+
+        The checksum contract: a worker stamps crc32 over exactly these
+        regions (in this order) after executing, and the master verifies
+        the same regions when the result arrives — so the list and its
+        order are the protocol, shared across the process boundary via
+        this one method.  DIVIDE writes two regions (the ratio *and* the
+        promoted separator); MARGINALIZE chunks write nothing shared
+        (their partials travel back by pickle), so they return no
+        regions and carry no checksum.
+        """
+        k = self._keys(spec)
+        if spec.kind is PrimitiveKind.MARGINALIZE:
+            if chunk:
+                return []
+            return [self.tables[k["sep_new"]].values.reshape(-1)]
+        if spec.kind is PrimitiveKind.DIVIDE:
+            return [
+                self.tables[k["ratio"]].values.reshape(-1),
+                self.tables[k["sep"]].values.reshape(-1),
+            ]
+        if spec.kind is PrimitiveKind.EXTEND:
+            return [self.tables[k["extended"]].values.reshape(-1)]
+        return [self.tables[k["tgt"]].values.reshape(-1)]
+
     def output_table(self, spec: _TaskSpec) -> PotentialTable:
         """The table a task writes (fault injection / recovery target)."""
         k = self._keys(spec)
@@ -235,14 +264,45 @@ def _apply_faults(spec: _TaskSpec, delay: float, fail: bool) -> None:
         raise ValueError("injected task failure (FaultPlan.fail_task)")
 
 
-# Each entry point returns ``(pid, elapsed_s, payload, t0_ns, t1_ns)``.
+def _stamp_and_tear(
+    spec: _TaskSpec, chunk: bool, lo, hi, checksum: bool, torn
+) -> Optional[int]:
+    """Worker-side checksum stamp over the regions this task wrote.
+
+    Returns the crc32 the master should verify against, or ``None`` when
+    checksumming is off (or the task wrote nothing shared).  ``torn``
+    injects a torn write: the crc is stamped over the *correct* output
+    first, then ``torn`` entries of the written region are scribbled
+    with finite garbage — the exact signature of a write torn between
+    the worker's stamp and the master's read, invisible to the NaN/Inf
+    health scan and caught only by the crc verification.
+    """
+    if not checksum and torn is None:
+        return None
+    regions = _WORKER["ops"].written_flat(spec, chunk=chunk)
+    if not regions:
+        return None
+    crc = crc32_regions(regions, lo, hi)
+    if torn:
+        seg = regions[0] if lo is None else regions[0][lo:hi]
+        n = min(int(torn), seg.size)
+        if n:
+            seg[:n] = 0.5
+    return crc
+
+
+# Each entry point returns ``(pid, elapsed_s, payload, t0_ns, t1_ns, crc)``.
 # The ns pair is captured worker-side on the system-wide monotonic clock
 # (perf_counter_ns is CLOCK_MONOTONIC on Linux, fork and spawn alike), so
 # the master can merge worker execution spans onto its own timeline — the
-# process-executor form of per-pid buffers merged at join.
+# process-executor form of per-pid buffers merged at join.  ``crc`` is the
+# torn-write-detection stamp (None when checksumming is off).
 
 
-def _exec_task(tid: int, delay: float = 0.0, corrupt=None, fail: bool = False):
+def _exec_task(
+    tid: int, delay: float = 0.0, corrupt=None, fail: bool = False,
+    torn=None, checksum: bool = False,
+):
     spec = _WORKER["specs"][tid]
     t0 = time.perf_counter_ns()
     try:
@@ -250,17 +310,19 @@ def _exec_task(tid: int, delay: float = 0.0, corrupt=None, fail: bool = False):
         _WORKER["ops"].run_task(spec)
         if corrupt is not None:
             corrupt_array(_WORKER["ops"].output_table(spec).values, corrupt)
+        crc = _stamp_and_tear(spec, False, None, None, checksum, torn)
     except TaskExecutionError:
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec) from exc
     t1 = time.perf_counter_ns()
-    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1
+    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1, crc
 
 
 def _exec_chunk(
     tid: int, lo: int, hi: int,
     delay: float = 0.0, corrupt=None, fail: bool = False,
+    torn=None, checksum: bool = False,
 ):
     spec = _WORKER["specs"][tid]
     t0 = time.perf_counter_ns()
@@ -273,17 +335,19 @@ def _exec_chunk(
             else:
                 out = _WORKER["ops"].output_table(spec).values.reshape(-1)
                 corrupt_array(out[lo:hi], corrupt)
+        crc = _stamp_and_tear(spec, True, lo, hi, checksum, torn)
     except TaskExecutionError:
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec, chunk=(lo, hi)) from exc
     t1 = time.perf_counter_ns()
-    return os.getpid(), (t1 - t0) * 1e-9, partial, t0, t1
+    return os.getpid(), (t1 - t0) * 1e-9, partial, t0, t1, crc
 
 
 def _exec_combine(
     tid: int, parts: List[np.ndarray],
     delay: float = 0.0, corrupt=None, fail: bool = False,
+    torn=None, checksum: bool = False,
 ):
     spec = _WORKER["specs"][tid]
     t0 = time.perf_counter_ns()
@@ -292,12 +356,13 @@ def _exec_combine(
         _WORKER["ops"].combine_marginalize(spec, parts)
         if corrupt is not None:
             corrupt_array(_WORKER["ops"].output_table(spec).values, corrupt)
+        crc = _stamp_and_tear(spec, False, None, None, checksum, torn)
     except TaskExecutionError:
         raise
     except Exception as exc:
         raise TaskExecutionError.wrap(exc, spec) from exc
     t1 = time.perf_counter_ns()
-    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1
+    return os.getpid(), (t1 - t0) * 1e-9, None, t0, t1, crc
 
 
 class _ChunkProgress:
@@ -389,6 +454,19 @@ class ProcessSharedMemoryExecutor:
         deterministic recovery testing.  Plans are single-use; pass a
         fresh one per ``run()``.  Faults apply to pool-dispatched work
         (inline master-side tasks are never faulted).
+    verify_writes:
+        Torn-write detection: workers stamp a crc32 over exactly the
+        arena regions each pooled task/chunk wrote, and the master
+        re-verifies those bytes when the result arrives, raising
+        :class:`~repro.integrity.checksum.TornWriteError` (attributed to
+        the tid and chunk range) on mismatch instead of absorbing a torn
+        table.  ``None`` (default) enables verification exactly when
+        resilience features are active — the fault-free fast path pays
+        no checksum cost; ``True``/``False`` force it.  Detection is
+        deliberately non-retryable: after a stamped checksum disagrees
+        with the arena, every downstream table is suspect, so the run
+        fails fast and the serving layer recycles the session from a
+        checkpoint.
 
     Resilience features (a deadline, a retry budget, or a fault plan)
     switch the pool to eager worker spawn so worker pids are known up
@@ -412,6 +490,7 @@ class ProcessSharedMemoryExecutor:
         retry_backoff: float = 0.05,
         max_pool_restarts: int = 3,
         fault_plan: Optional[FaultPlan] = None,
+        verify_writes: Optional[bool] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -446,6 +525,7 @@ class ProcessSharedMemoryExecutor:
         self.retry_backoff = retry_backoff
         self.max_pool_restarts = max_pool_restarts
         self.fault_plan = fault_plan
+        self.verify_writes = verify_writes
         # Live pool-worker pids (refreshed at every pool (re)start when
         # resilience features are active); lets tests and monitors target
         # a worker externally, e.g. ``os.kill(executor.worker_pids()[0], 9)``.
@@ -581,6 +661,11 @@ class ProcessSharedMemoryExecutor:
         """
         p = self.num_workers
         resilient = self._resilient
+        verify = (
+            self.verify_writes
+            if self.verify_writes is not None
+            else resilient
+        )
         plan = self.fault_plan
         dep_count = graph.indegrees()
         ready = deque(graph.roots())
@@ -699,30 +784,46 @@ class ProcessSharedMemoryExecutor:
             delay = plan.take_delay(disp.tid) if plan is not None else 0.0
             corrupt = plan.take_corruption(disp.tid) if plan is not None else None
             fail = plan.take_failure(disp.tid) if plan is not None else False
+            torn = None
+            if plan is not None and not (
+                disp.kind == "chunk"
+                and specs[disp.tid].kind is PrimitiveKind.MARGINALIZE
+            ):
+                # MARGINALIZE chunks write nothing shared (partials travel
+                # by pickle), so a torn write there cannot exist; leave the
+                # fault armed for a dispatch that actually writes the arena.
+                torn = plan.take_torn(disp.tid)
             if delay:
                 stats.fault_events.append(
                     FaultRecord("delay", disp.tid, f"{delay:g}s"))
             if corrupt is not None:
                 stats.fault_events.append(
-                    FaultRecord("corrupt", disp.tid, corrupt))
+                    FaultRecord("corrupt", disp.tid, str(corrupt)))
             if fail:
                 stats.fault_events.append(
                     FaultRecord("fail", disp.tid, "injected exception"))
-            if mbuf is not None and (delay or corrupt is not None or fail):
+            if torn is not None:
+                stats.fault_events.append(FaultRecord(
+                    "torn", disp.tid,
+                    f"{torn} entries scribbled after checksum stamp"))
+            if mbuf is not None and (
+                delay or corrupt is not None or fail or torn is not None
+            ):
                 mbuf.instant(f"fault:inject#{disp.tid}", CAT_FAULT)
             disp.submit_ns = time.perf_counter_ns()
             try:
                 if disp.kind == "task":
                     fut = pool.submit(
-                        _exec_task, disp.tid, delay, corrupt, fail)
+                        _exec_task, disp.tid, delay, corrupt, fail,
+                        torn, verify)
                 elif disp.kind == "chunk":
                     fut = pool.submit(
                         _exec_chunk, disp.tid, disp.lo, disp.hi,
-                        delay, corrupt, fail)
+                        delay, corrupt, fail, torn, verify)
                 else:
                     fut = pool.submit(
                         _exec_combine, disp.tid, progress[disp.tid].parts,
-                        delay, corrupt, fail)
+                        delay, corrupt, fail, torn, verify)
             except BrokenProcessPool:
                 if not resilient:
                     raise
@@ -894,7 +995,7 @@ class ProcessSharedMemoryExecutor:
                         # A recover() this batch already re-dispatched it.
                         continue
                     try:
-                        pid, elapsed, payload, t0_ns, t1_ns = fut.result()
+                        pid, elapsed, payload, t0_ns, t1_ns, crc = fut.result()
                     except BrokenProcessPool as exc:
                         if not resilient:
                             raise
@@ -923,6 +1024,45 @@ class ProcessSharedMemoryExecutor:
                         restore_snapshot(disp)
                         dispatch(disp)
                         continue
+                    if verify and crc is not None:
+                        spec = specs[disp.tid]
+                        chunked_disp = disp.kind == "chunk"
+                        actual = crc32_regions(
+                            ops.written_flat(spec, chunk=chunked_disp),
+                            disp.lo if chunked_disp else None,
+                            disp.hi if chunked_disp else None,
+                        )
+                        if actual != crc:
+                            # Non-retryable by design: the arena disagrees
+                            # with what the worker computed, so every table
+                            # downstream of the tear is suspect.  Fail the
+                            # run; the serving layer recycles the session.
+                            stats.torn_writes_detected += 1
+                            stats.fault_events.append(FaultRecord(
+                                "torn-write", disp.tid,
+                                f"stamped {crc:#010x}, arena {actual:#010x}",
+                            ))
+                            if mbuf is not None:
+                                mbuf.instant(
+                                    f"fault:torn-write#{disp.tid}", CAT_FAULT
+                                )
+                            where = (
+                                f", chunk [{disp.lo}, {disp.hi})"
+                                if chunked_disp else ""
+                            )
+                            raise TornWriteError(
+                                f"torn write detected: task {disp.tid} "
+                                f"({spec.kind.value}, {spec.phase}, edge "
+                                f"{spec.edge}{where}) stamped checksum "
+                                f"{crc:#010x} but the arena reads "
+                                f"{actual:#010x}",
+                                tid=disp.tid,
+                                kind=spec.kind.value,
+                                phase=spec.phase,
+                                edge=tuple(spec.edge),
+                                chunk=(disp.lo, disp.hi)
+                                if chunked_disp else None,
+                            )
                     slot = slot_of(pid)
                     if tracer is not None:
                         tracer.buffer(slot).task_span(

@@ -83,6 +83,9 @@ class ExecutionStats:
     deadline_misses: int = 0
     pool_restarts: int = 0
     workers_restarted: int = 0
+    # Torn writes the arena checksum verification caught (each one raised
+    # a TornWriteError; a nonzero count can only appear on a failed run).
+    torn_writes_detected: int = 0
     fault_events: List[object] = field(default_factory=list)
     degradations: List[object] = field(default_factory=list)
     # Post-run numerical health summary (set by ResilientExecutor) and,

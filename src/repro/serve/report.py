@@ -43,6 +43,13 @@ class ServiceReport:
     batched_flights: int = 0
     single_flights: int = 0
     quarantined: int = 0
+    # Self-healing accounting: sessions recycled by the pool instead of
+    # re-entering rotation with a suspect state (and how many of those
+    # warm-restarted from the baseline checkpoint rather than paying a
+    # full recalibration), plus stuck flights the watchdog force-resolved.
+    session_recycles: int = 0
+    session_recycles_from_checkpoint: int = 0
+    watchdog_interventions: int = 0
     tier_counts: Dict[str, int] = field(default_factory=dict)
     breaker_transitions: List[BreakerTransition] = field(default_factory=list)
     latency: Dict[str, float] = field(default_factory=dict)
@@ -80,6 +87,11 @@ class ServiceReport:
             "batched_flights": self.batched_flights,
             "single_flights": self.single_flights,
             "quarantined": self.quarantined,
+            "session_recycles": self.session_recycles,
+            "session_recycles_from_checkpoint": (
+                self.session_recycles_from_checkpoint
+            ),
+            "watchdog_interventions": self.watchdog_interventions,
             "tier_counts": dict(self.tier_counts),
             "breaker_transitions": [str(t) for t in self.breaker_transitions],
             "latency": dict(self.latency),
@@ -108,6 +120,12 @@ class ServiceReport:
                 f"   flights in {self.batches} batches"
                 f" ({self.single_flights} single,"
                 f" {self.quarantined} quarantined)"
+            )
+        if self.session_recycles or self.watchdog_interventions:
+            lines.append(
+                f"sessions recycled  {self.session_recycles:8d}"
+                f"   ({self.session_recycles_from_checkpoint} from checkpoint,"
+                f" {self.watchdog_interventions} watchdog interventions)"
             )
         if self.latency:
             per = "  ".join(

@@ -24,6 +24,7 @@ to 1e-9, no matter which tier served it or what faults were injected.
 
 from __future__ import annotations
 
+import io
 import queue
 import threading
 import time
@@ -35,6 +36,7 @@ import numpy as np
 
 from repro.inference.cache import QueryCache
 from repro.inference.engine import InferenceEngine
+from repro.integrity.checksum import TornWriteError
 from repro.obs.metrics import latency_percentiles
 from repro.obs.span import CAT_SERVE
 from repro.obs.tracer import Tracer
@@ -58,6 +60,15 @@ from repro.serve.request import (
 _SENTINEL_PRIORITY = 1 << 30
 
 
+@dataclass
+class _SessionHealth:
+    """Per-session strike record (keyed by ``id(engine)`` in the pool)."""
+
+    consecutive_failures: int = 0
+    flagged: bool = False
+    reason: str = ""
+
+
 class EngineSessionPool:
     """A fixed pool of calibrated engine sessions over one junction tree.
 
@@ -67,11 +78,26 @@ class EngineSessionPool:
     own propagation state, but all share the rerooted tree (read-only)
     and one thread-safe :class:`~repro.inference.cache.QueryCache`, so a
     marginal computed by any session answers repeats on every session.
+
+    The pool is *self-healing*: callers report per-session outcomes via
+    :meth:`note_success` / :meth:`note_failure` / :meth:`flag_recycle`,
+    and a session that is flagged (poisoned state, torn write, watchdog
+    intervention) or accumulates ``recycle_threshold`` consecutive
+    failures is **recycled on release** — restored from the in-memory
+    baseline checkpoint captured by :meth:`capture_checkpoint` (or fully
+    recalibrated when no baseline exists) instead of re-entering LIFO
+    rotation with a suspect state.
     """
 
-    def __init__(self, engines: Sequence[InferenceEngine]):
+    def __init__(
+        self,
+        engines: Sequence[InferenceEngine],
+        recycle_threshold: int = 2,
+    ):
         if not engines:
             raise ValueError("session pool needs at least one engine")
+        if recycle_threshold < 1:
+            raise ValueError("recycle_threshold must be >= 1")
         self.engines = list(engines)
         self.cache = self.engines[0].cache
         variables = set()
@@ -83,6 +109,112 @@ class EngineSessionPool:
         self._free: "queue.LifoQueue[InferenceEngine]" = queue.LifoQueue()
         for engine in self.engines:
             self._free.put(engine)
+        # Self-healing machinery: per-session strike records, the
+        # in-memory baseline checkpoint recycling restores from, and
+        # recycle accounting (surfaced in ServiceReport).
+        self.recycle_threshold = recycle_threshold
+        self._health: Dict[int, _SessionHealth] = {
+            id(engine): _SessionHealth() for engine in self.engines
+        }
+        self._health_lock = threading.Lock()
+        self._baseline: Optional[bytes] = None
+        self.recycles = 0
+        self.recycles_from_checkpoint = 0
+        self.recycle_events: List[str] = []
+
+    def capture_checkpoint(self) -> bool:
+        """Snapshot the first session's calibrated state as the baseline.
+
+        Recycled sessions warm-restart from this in-memory checkpoint
+        (bit-identical to the captured calibration) instead of paying a
+        full recalibration.  Returns False — and leaves recycling on the
+        recalibrate fallback — if no session has propagated yet.
+        """
+        buf = io.BytesIO()
+        try:
+            self.engines[0].checkpoint(buf)
+        except RuntimeError:
+            return False
+        self._baseline = buf.getvalue()
+        return True
+
+    # -------------------------------------------------------------- #
+    # Session health (reported by the service, acted on at release)
+    # -------------------------------------------------------------- #
+
+    def _record(self, engine: InferenceEngine) -> _SessionHealth:
+        record = self._health.get(id(engine))
+        if record is None:
+            record = self._health[id(engine)] = _SessionHealth()
+        return record
+
+    def note_success(self, engine: InferenceEngine) -> None:
+        """A served flight: clears the session's consecutive-failure run."""
+        with self._health_lock:
+            record = self._record(engine)
+            record.consecutive_failures = 0
+
+    def note_failure(
+        self, engine: InferenceEngine, reason: str, poisoned: bool = False
+    ) -> None:
+        """A failed flight on this session.
+
+        ``poisoned=True`` (health scan failed, torn write detected) flags
+        the session for immediate recycling — its state cannot be
+        trusted, and the next flight's incremental plan would build on
+        it.  Plain failures only count toward ``recycle_threshold``.
+        """
+        with self._health_lock:
+            record = self._record(engine)
+            record.consecutive_failures += 1
+            if poisoned or record.consecutive_failures >= self.recycle_threshold:
+                record.flagged = True
+                record.reason = reason
+
+    def flag_recycle(self, engine: InferenceEngine, reason: str) -> None:
+        """Unconditionally mark the session for recycling on release."""
+        with self._health_lock:
+            record = self._record(engine)
+            record.flagged = True
+            record.reason = reason
+
+    def _maybe_recycle(self, engine: InferenceEngine) -> None:
+        with self._health_lock:
+            record = self._record(engine)
+            if not record.flagged:
+                return
+            reason = record.reason
+            record.consecutive_failures = 0
+            record.flagged = False
+            record.reason = ""
+        self._recycle(engine, reason)
+
+    def _recycle(self, engine: InferenceEngine, reason: str) -> None:
+        """Restore a suspect session from the baseline (or recalibrate).
+
+        Never raises: a session that cannot even recalibrate still
+        returns to rotation (dropping it would shrink the pool and
+        eventually deadlock checkout) — the next flight on it will fail
+        loudly through the normal tier cascade rather than silently.
+        """
+        restored = False
+        if self._baseline is not None:
+            try:
+                engine.restore(io.BytesIO(self._baseline))
+                restored = True
+            except Exception:
+                restored = False
+        if not restored:
+            try:
+                engine.set_evidence({})
+                engine.propagate(incremental=False)
+            except Exception:
+                pass
+        with self._health_lock:
+            self.recycles += 1
+            if restored:
+                self.recycles_from_checkpoint += 1
+            self.recycle_events.append(reason)
 
     @classmethod
     def from_junction_tree(
@@ -111,7 +243,12 @@ class EngineSessionPool:
             # first client request pays incremental cost, not a cold run.
             for engine in engines:
                 engine.propagate()
-        return cls(engines)
+        pool = cls(engines)
+        if warm:
+            # The warm prior is the recycling baseline: poisoned sessions
+            # warm-restart from this checkpoint instead of recalibrating.
+            pool.capture_checkpoint()
+        return pool
 
     @classmethod
     def from_network(
@@ -136,11 +273,18 @@ class EngineSessionPool:
 
     @contextmanager
     def session(self, timeout: Optional[float] = None):
-        """Check a session out (blocking), return it on exit."""
+        """Check a session out (blocking), return it on exit.
+
+        A session flagged as suspect while checked out is recycled
+        (baseline restore, else recalibration) *before* it re-enters the
+        LIFO rotation — a poisoned state is never handed to the next
+        flight.
+        """
         engine = self._free.get(timeout=timeout)
         try:
             yield engine
         finally:
+            self._maybe_recycle(engine)
             self._free.put(engine)
 
 
@@ -152,16 +296,21 @@ class _Future:
     once invariant explicit.
     """
 
-    __slots__ = ("_event", "_response")
+    __slots__ = ("_event", "_response", "_lock")
 
     def __init__(self):
         self._event = threading.Event()
         self._response: Optional[QueryResponse] = None
+        # resolve() must be atomic: the watchdog races the worker that a
+        # stuck flight eventually un-sticks, and exactly one may win.
+        self._lock = threading.Lock()
 
     def resolve(self, response: QueryResponse) -> None:
-        if self._response is None:
+        with self._lock:
+            if self._response is not None:
+                return
             self._response = response
-            self._event.set()
+        self._event.set()
 
     def result(self, timeout: Optional[float] = None) -> QueryResponse:
         if not self._event.wait(timeout):
@@ -236,6 +385,15 @@ class InferenceService:
         non-finite is quarantined with an explicit failure while the
         rest of the batch is answered exactly.  ``1`` (default) disables
         micro-batching.
+    watchdog_grace:
+        When set, a service-owned watchdog thread force-resolves any
+        flight still unresolved ``watchdog_grace`` seconds past its
+        propagation deadline (the worker is stuck — a wedged executor, a
+        hung worker process) as DeadlineExceeded, and flags the flight's
+        session for recycling.  ``None`` (default) disables the
+        watchdog.  Deadline-free flights are never force-resolved.
+    watchdog_interval:
+        Poll period of the watchdog thread, seconds.
     """
 
     def __init__(
@@ -248,11 +406,15 @@ class InferenceService:
         breaker: Optional[CircuitBreaker] = None,
         own_executors: bool = True,
         max_batch: int = 1,
+        watchdog_grace: Optional[float] = None,
+        watchdog_interval: float = 0.05,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if watchdog_grace is not None and watchdog_grace < 0:
+            raise ValueError("watchdog_grace must be >= 0")
         self.max_batch = max_batch
         self.pool = pool
         self.primary = primary
@@ -285,6 +447,7 @@ class InferenceService:
             "batched_flights": 0,
             "single_flights": 0,
             "quarantined": 0,
+            "watchdog_interventions": 0,
         }
         self._tier_counts: Dict[str, int] = {}
         self._queue_high_water = 0
@@ -300,6 +463,13 @@ class InferenceService:
         self._report: Optional[ServiceReport] = None
         self._lifecycle_lock = threading.Lock()
 
+        # In-flight registry for the watchdog: token -> (members,
+        # deadline_at, engine).  Entries exist only while a worker holds
+        # a session for the flight.
+        self._inflight: Dict[int, Tuple[List[_Member], Optional[float], InferenceEngine]] = {}
+        self._inflight_lock = threading.Lock()
+        self._inflight_seq = 0
+
         n_workers = workers if workers is not None else pool.num_sessions
         self._workers = [
             threading.Thread(
@@ -312,6 +482,19 @@ class InferenceService:
         ]
         for thread in self._workers:
             thread.start()
+
+        self.watchdog_grace = watchdog_grace
+        self.watchdog_interval = watchdog_interval
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if watchdog_grace is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                args=(len(self._workers),),
+                name="serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -533,6 +716,73 @@ class InferenceService:
         member.future.resolve(response)
 
     # ------------------------------------------------------------------ #
+    # Watchdog (stuck-flight detection)
+    # ------------------------------------------------------------------ #
+
+    def _register_inflight(
+        self,
+        members: List[_Member],
+        deadline_at: Optional[float],
+        engine: InferenceEngine,
+    ) -> int:
+        with self._inflight_lock:
+            self._inflight_seq += 1
+            token = self._inflight_seq
+            self._inflight[token] = (members, deadline_at, engine)
+            return token
+
+    def _unregister_inflight(self, token: int) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(token, None)
+
+    def _watchdog_loop(self, row: int) -> None:
+        """Force-resolve flights stuck past deadline + grace.
+
+        A worker wedged inside a tier (hung worker process, livelocked
+        executor) holds its members' futures hostage; clients blocked in
+        ``future.result()`` would wait forever.  The watchdog resolves
+        overdue members as DeadlineExceeded (idempotent — if the worker
+        un-sticks later, its resolution is a no-op) and flags the
+        session for recycling, since a flight that had to be torn loose
+        may leave the session state half-written.
+        """
+        buf = self._tracer.bind(row)
+        self._tracer.name_row(row, "serve-watchdog")
+        while not self._watchdog_stop.wait(self.watchdog_interval):
+            now = time.monotonic()
+            overdue = []
+            with self._inflight_lock:
+                for token, (members, deadline_at, engine) in list(
+                    self._inflight.items()
+                ):
+                    if deadline_at is None:
+                        continue
+                    if now >= deadline_at + self.watchdog_grace:
+                        overdue.append((token, members, engine))
+                        del self._inflight[token]
+            for token, members, engine in overdue:
+                pending = [m for m in members if not m.future.done()]
+                if not pending:
+                    continue
+                self._bump("watchdog_interventions")
+                buf.instant(f"watchdog:stuck-flight#{token}", CAT_SERVE)
+                self.pool.flag_recycle(
+                    engine, "watchdog: flight stuck past deadline+grace"
+                )
+                for member in pending:
+                    self._bump("deadline_missed")
+                    self._finish(
+                        member,
+                        QueryResponse(
+                            status=STATUS_DEADLINE,
+                            error=(
+                                "watchdog: flight stuck past deadline "
+                                f"(+{self.watchdog_grace:.3f}s grace)"
+                            ),
+                        ),
+                    )
+
+    # ------------------------------------------------------------------ #
     # Serving one flight
     # ------------------------------------------------------------------ #
 
@@ -607,64 +857,88 @@ class InferenceService:
         guarded_unattempted = bool(tiers) and tiers[0][2]
         last_error: Optional[BaseException] = None
         with self.pool.session() as engine:
-            engine.set_evidence(flight.evidence)
-            incremental = True
-            for name, executor, guarded in tiers:
-                if deadline_at is not None and time.monotonic() >= deadline_at:
-                    if guarded_unattempted:
-                        self.breaker.release_probe()
-                    self._resolve_deadline(members)
-                    return
-                if guarded:
-                    guarded_unattempted = False
-                try:
-                    state = engine.propagate(
-                        executor=executor,
-                        incremental=incremental,
-                        deadline=deadline_at,
-                    )
-                except TaskExecutionError as exc:
-                    if exc.phase == "deadline":
-                        self._resolve_deadline(members)
-                        return
-                    last_error = exc
-                    if guarded:
-                        self.breaker.record_failure(str(exc))
-                    # A failed tier may have mutated tables the previous
-                    # state shared with the incremental plan: rebuild.
-                    incremental = False
-                    continue
-                except Exception as exc:
+            token = self._register_inflight(members, deadline_at, engine)
+            try:
+                engine.set_evidence(flight.evidence)
+                incremental = True
+                for name, executor, guarded in tiers:
                     if (
                         deadline_at is not None
                         and time.monotonic() >= deadline_at
                     ):
+                        if guarded_unattempted:
+                            self.breaker.release_probe()
                         self._resolve_deadline(members)
                         return
-                    last_error = exc
                     if guarded:
-                        self.breaker.record_failure(str(exc))
-                    incremental = False
-                    continue
-                health = check_state_health(state)
-                if not health.healthy:
-                    last_error = RuntimeError(
-                        f"unhealthy result from {name}: {health.summary()}"
+                        guarded_unattempted = False
+                    try:
+                        state = engine.propagate(
+                            executor=executor,
+                            incremental=incremental,
+                            deadline=deadline_at,
+                        )
+                    except TaskExecutionError as exc:
+                        if exc.phase == "deadline":
+                            self._resolve_deadline(members)
+                            return
+                        last_error = exc
+                        # A torn write means the shared arena (and any
+                        # state built from it) cannot be trusted:
+                        # recycle the session before its next checkout.
+                        self.pool.note_failure(
+                            engine, str(exc),
+                            poisoned=isinstance(exc, TornWriteError),
+                        )
+                        if guarded:
+                            self.breaker.record_failure(str(exc))
+                        # A failed tier may have mutated tables the
+                        # previous state shared with the incremental
+                        # plan: rebuild.
+                        incremental = False
+                        continue
+                    except Exception as exc:
+                        if (
+                            deadline_at is not None
+                            and time.monotonic() >= deadline_at
+                        ):
+                            self._resolve_deadline(members)
+                            return
+                        last_error = exc
+                        self.pool.note_failure(engine, str(exc))
+                        if guarded:
+                            self.breaker.record_failure(str(exc))
+                        incremental = False
+                        continue
+                    health = check_state_health(state)
+                    if not health.healthy:
+                        last_error = RuntimeError(
+                            f"unhealthy result from {name}: "
+                            f"{health.summary()}"
+                        )
+                        # The engine's cached state *is* the poisoned
+                        # one — the next flight's incremental plan would
+                        # build on it.  Flag for recycling.
+                        self.pool.note_failure(
+                            engine, health.summary(), poisoned=True
+                        )
+                        if guarded:
+                            self.breaker.record_failure(health.summary())
+                        incremental = False
+                        continue
+                    if guarded:
+                        self.breaker.record_success()
+                    self.pool.note_success(engine)
+                    union = self._union_vars(members)
+                    results = engine.query(
+                        vars=union if union is not None else None
                     )
-                    if guarded:
-                        self.breaker.record_failure(health.summary())
-                    incremental = False
-                    continue
-                if guarded:
-                    self.breaker.record_success()
-                union = self._union_vars(members)
-                results = engine.query(
-                    vars=union if union is not None else None
-                )
-                self._record_stale(flight.signature, results)
-                self._bump("single_flights")
-                self._resolve_ok(members, results, name)
-                return
+                    self._record_stale(flight.signature, results)
+                    self._bump("single_flights")
+                    self._resolve_ok(members, results, name)
+                    return
+            finally:
+                self._unregister_inflight(token)
 
         # Every tier failed (serial included — pathological evidence or a
         # corrupted tree): explicit failure, never a silent wrong answer.
@@ -674,6 +948,8 @@ class InferenceService:
             else "no executor tier available"
         )
         for member in members:
+            if member.future.done():
+                continue
             self._bump("failed")
             self._finish(
                 member, QueryResponse(status=STATUS_FAILED, error=error)
@@ -740,91 +1016,125 @@ class InferenceService:
         tiers = self._tiers()
         guarded_unattempted = bool(tiers) and tiers[0][2]
         last_error: Optional[BaseException] = None
+        all_members = [m for _flight, members in live for m in members]
         with self.pool.session() as engine:
-            for name, executor, guarded in tiers:
-                if deadline_at is not None and time.monotonic() >= deadline_at:
-                    if guarded_unattempted:
-                        self.breaker.release_probe()
-                    for _flight, members in live:
-                        self._resolve_deadline(members)
-                    return
-                if guarded:
-                    guarded_unattempted = False
-                try:
-                    state = engine.propagate_batch(
-                        [flight.evidence for flight, _members in live],
-                        executor=executor,
-                        deadline=deadline_at,
-                    )
-                except TaskExecutionError as exc:
-                    if exc.phase == "deadline":
-                        for _flight, members in live:
-                            self._resolve_deadline(members)
-                        return
-                    last_error = exc
-                    if guarded:
-                        self.breaker.record_failure(str(exc))
-                    continue
-                except Exception as exc:
+            token = self._register_inflight(all_members, deadline_at, engine)
+            try:
+                for name, executor, guarded in tiers:
                     if (
                         deadline_at is not None
                         and time.monotonic() >= deadline_at
                     ):
+                        if guarded_unattempted:
+                            self.breaker.release_probe()
                         for _flight, members in live:
                             self._resolve_deadline(members)
                         return
-                    last_error = exc
                     if guarded:
-                        self.breaker.record_failure(str(exc))
-                    continue
-
-                rows = {var: state.marginal(var) for var in needed}
-                likelihoods = np.asarray(state.likelihood()).reshape(-1)
-                healthy = [
-                    np.isfinite(likelihoods[i])
-                    and all(np.isfinite(rows[var][i]).all() for var in needed)
-                    for i in range(len(live))
-                ]
-                if not any(healthy):
-                    last_error = RuntimeError(
-                        f"every batch case from {name} was non-finite"
-                    )
-                    if guarded:
-                        self.breaker.record_failure(
-                            "fully poisoned batch result"
+                        guarded_unattempted = False
+                    try:
+                        state = engine.propagate_batch(
+                            [flight.evidence for flight, _members in live],
+                            executor=executor,
+                            deadline=deadline_at,
                         )
-                    continue
-                if guarded:
-                    self.breaker.record_success()
-                for i, (flight, members) in enumerate(live):
-                    if not healthy[i]:
-                        self._bump("quarantined")
-                        for member in members:
-                            self._bump("failed")
-                            self._finish(
-                                member,
-                                QueryResponse(
-                                    status=STATUS_FAILED,
-                                    error=(
-                                        "batch case quarantined: "
-                                        "non-finite posterior"
-                                    ),
-                                ),
+                    except TaskExecutionError as exc:
+                        if exc.phase == "deadline":
+                            for _flight, members in live:
+                                self._resolve_deadline(members)
+                            return
+                        last_error = exc
+                        self.pool.note_failure(
+                            engine, str(exc),
+                            poisoned=isinstance(exc, TornWriteError),
+                        )
+                        if guarded:
+                            self.breaker.record_failure(str(exc))
+                        continue
+                    except Exception as exc:
+                        if (
+                            deadline_at is not None
+                            and time.monotonic() >= deadline_at
+                        ):
+                            for _flight, members in live:
+                                self._resolve_deadline(members)
+                            return
+                        last_error = exc
+                        self.pool.note_failure(engine, str(exc))
+                        if guarded:
+                            self.breaker.record_failure(str(exc))
+                        continue
+
+                    # One batch-aware health scan attributes non-finite
+                    # or underflowed tables to their batch columns —
+                    # no per-case, per-variable re-scanning.
+                    report = check_state_health(state)
+                    poisoned = report.poisoned_columns()
+                    likelihoods = np.asarray(state.likelihood()).reshape(-1)
+                    finite = np.isfinite(likelihoods)
+                    healthy = [
+                        bool(finite[i]) and i not in poisoned
+                        for i in range(len(live))
+                    ]
+                    if not any(healthy):
+                        last_error = RuntimeError(
+                            f"every batch case from {name} was non-finite"
+                        )
+                        self.pool.note_failure(
+                            engine, "fully poisoned batch result"
+                        )
+                        if guarded:
+                            self.breaker.record_failure(
+                                "fully poisoned batch result"
                             )
                         continue
-                    results = {var: rows[var][i] for var in needed}
-                    for var, values in results.items():
-                        self.pool.cache.put_marginal(
-                            flight.signature, var, values
+                    rows = {var: state.marginal(var) for var in needed}
+                    if guarded:
+                        self.breaker.record_success()
+                    if all(healthy):
+                        # propagate_batch leaves the session's cached
+                        # single-case state untouched, so a partially
+                        # quarantined batch is a strike, not a poisoning.
+                        self.pool.note_success(engine)
+                    else:
+                        self.pool.note_failure(
+                            engine,
+                            f"batch columns quarantined: "
+                            f"{sorted(i for i in range(len(live)) if not healthy[i])}",
                         )
-                    self.pool.cache.put_likelihood(
-                        flight.signature, float(likelihoods[i])
-                    )
-                    self._record_stale(flight.signature, results)
-                    self._bump("batched_flights")
-                    self._resolve_ok(members, results, name, batched=True)
-                self._bump("batches")
-                return
+                    for i, (flight, members) in enumerate(live):
+                        if not healthy[i]:
+                            self._bump("quarantined")
+                            for member in members:
+                                if member.future.done():
+                                    continue
+                                self._bump("failed")
+                                self._finish(
+                                    member,
+                                    QueryResponse(
+                                        status=STATUS_FAILED,
+                                        error=(
+                                            "batch case quarantined: "
+                                            "non-finite posterior"
+                                        ),
+                                    ),
+                                )
+                            continue
+                        results = {var: rows[var][i] for var in needed}
+                        for var, values in results.items():
+                            self.pool.cache.put_marginal(
+                                flight.signature, var, values
+                            )
+                        self.pool.cache.put_likelihood(
+                            flight.signature, float(likelihoods[i])
+                        )
+                        self._record_stale(flight.signature, results)
+                        self._bump("batched_flights")
+                        self._resolve_ok(members, results, name, batched=True)
+                    self._bump("batches")
+                    return
+            finally:
+                self._unregister_inflight(token)
 
         error = (
             f"{type(last_error).__name__}: {last_error}"
@@ -833,6 +1143,8 @@ class InferenceService:
         )
         for _flight, members in live:
             for member in members:
+                if member.future.done():
+                    continue
                 self._bump("failed")
                 self._finish(
                     member, QueryResponse(status=STATUS_FAILED, error=error)
@@ -872,6 +1184,10 @@ class InferenceService:
             self._tier_counts[tier] = self._tier_counts.get(tier, 0) + 1
         now = time.monotonic()
         for i, member in enumerate(members):
+            if member.future.done():
+                # The watchdog force-resolved this member while its
+                # worker was stuck; the late result must not double-count.
+                continue
             if member.deadline_at is not None and now >= member.deadline_at:
                 self._bump("deadline_missed")
                 self._finish(
@@ -933,6 +1249,9 @@ class InferenceService:
                     self._queue.put((_SENTINEL_PRIORITY, self._seq, None))
             for thread in self._workers:
                 thread.join(timeout)
+            self._watchdog_stop.set()
+            if self._watchdog is not None:
+                self._watchdog.join(timeout)
             if self.own_executors:
                 for executor in (self.primary, self.fallback):
                     close = getattr(executor, "close", None)
@@ -966,6 +1285,11 @@ class InferenceService:
             batched_flights=counts["batched_flights"],
             single_flights=counts["single_flights"],
             quarantined=counts["quarantined"],
+            watchdog_interventions=counts["watchdog_interventions"],
+            session_recycles=getattr(self.pool, "recycles", 0),
+            session_recycles_from_checkpoint=getattr(
+                self.pool, "recycles_from_checkpoint", 0
+            ),
             tier_counts=tier_counts,
             breaker_transitions=list(self.breaker.transitions),
             latency=latency_percentiles(served_spans, points=(50, 90, 99)),

@@ -251,6 +251,36 @@ class PropagationState:
         return state
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> Dict[str, object]:
+        """Checkpoint this state to ``path`` (npz archive + manifest).
+
+        ``path`` may be a filesystem path or a binary file-like object.
+        Returns the embedded manifest.  See
+        :mod:`repro.integrity.checkpoint` for the format and guarantees
+        (bit-identical restore, tree/evidence signatures, whole-state
+        checksum).  Batched states are refused.
+        """
+        from repro.integrity.checkpoint import save_state
+
+        return save_state(self, path)
+
+    @classmethod
+    def load(cls, jt: JunctionTree, path) -> "PropagationState":
+        """Restore a checkpointed state against ``jt``.
+
+        Refuses checkpoints from a different tree
+        (:class:`~repro.integrity.checkpoint.CheckpointMismatch`) or with
+        tampered bytes
+        (:class:`~repro.integrity.checkpoint.CheckpointCorrupt`).
+        """
+        from repro.integrity.checkpoint import load_state
+
+        return load_state(jt, path)
+
+    # ------------------------------------------------------------------ #
     # Scope helpers
     # ------------------------------------------------------------------ #
 

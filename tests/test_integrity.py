@@ -1,0 +1,480 @@
+"""Tests for repro.integrity: torn-write detection and checkpoint/restore.
+
+The contract under test: a worker write torn between checksum stamp and
+master read is *detected and refused* (never served — the entries are
+finite, so only the crc catches it), a checkpoint round-trips
+bit-identically, a checkpoint from a foreign tree or with tampered bytes
+is refused with a typed error, and the serving layer recycles a poisoned
+session from its baseline checkpoint so the next query is exact again.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.inference.engine import InferenceEngine
+from repro.integrity import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+    TornWriteError,
+    crc32_array,
+    crc32_regions,
+    read_manifest,
+    tree_signature,
+)
+from repro.jt.generation import synthetic_tree
+from repro.sched.faults import FaultPlan
+from repro.sched.process import ProcessSharedMemoryExecutor
+from repro.sched.serial import SerialExecutor
+from repro.serve import EngineSessionPool, InferenceService
+from repro.tasks.state import PropagationState
+
+
+def _tree(num_cliques=14, width=5, seed=11):
+    tree = synthetic_tree(
+        num_cliques, clique_width=width, states=2, avg_children=3, seed=seed
+    )
+    tree.initialize_potentials(np.random.default_rng(seed))
+    return tree
+
+
+def _variables(tree, count=8):
+    variables = set()
+    for clique in tree.cliques:
+        variables.update(clique.variables)
+    return sorted(variables)[:count]
+
+
+# --------------------------------------------------------------------- #
+# Checksum helpers
+# --------------------------------------------------------------------- #
+
+
+class TestChecksumHelpers:
+    def test_crc32_array_slicing_matches_whole(self):
+        values = np.arange(20, dtype=np.float64)
+        assert crc32_array(values) == crc32_array(values, 0, 20)
+        assert crc32_array(values, 5, 9) == crc32_array(values[5:9])
+
+    def test_crc32_regions_is_order_sensitive(self):
+        a = np.arange(4, dtype=np.float64)
+        b = np.arange(4, 8, dtype=np.float64)
+        assert crc32_regions([a, b]) != crc32_regions([b, a])
+        assert crc32_regions([a]) == crc32_array(a)
+
+    def test_crc32_detects_single_entry_change(self):
+        values = np.random.default_rng(0).random(64)
+        before = crc32_array(values)
+        values[17] += 1e-12
+        assert crc32_array(values) != before
+
+
+# --------------------------------------------------------------------- #
+# Torn-write detection in the process executor
+# --------------------------------------------------------------------- #
+
+
+class TestTornWriteDetection:
+    def test_whole_task_torn_write_raises_with_attribution(self):
+        tree = _tree(seed=3)
+        engine = InferenceEngine(tree)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            fault_plan=FaultPlan(torn_write={1: 4}),
+        )
+        with pytest.raises(TornWriteError) as excinfo:
+            engine.propagate(executor=executor, incremental=False)
+        err = excinfo.value
+        assert err.tid == 1
+        assert err.kind is not None
+        assert err.chunk is None
+        assert "stamped checksum" in str(err)
+
+    def test_chunked_torn_write_attributes_the_chunk(self):
+        tree = _tree(seed=3)
+        engine = InferenceEngine(tree)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            partition_threshold=4,
+            max_chunks=4,
+            fault_plan=FaultPlan(torn_write={2: 2}),
+        )
+        with pytest.raises(TornWriteError) as excinfo:
+            engine.propagate(executor=executor, incremental=False)
+        assert excinfo.value.chunk is not None
+        lo, hi = excinfo.value.chunk
+        assert 0 <= lo < hi
+
+    def test_verification_off_serves_the_wrong_finite_answer(self):
+        # The hole the checksum closes: with verification disabled the
+        # torn write goes through silently — every entry is finite, so
+        # the numerical health scan cannot catch it either.
+        tree = _tree(seed=3)
+        reference = InferenceEngine(tree)
+        ref_state = reference.propagate()
+        engine = InferenceEngine(tree)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            verify_writes=False,
+            fault_plan=FaultPlan(torn_write={1: 4}),
+        )
+        state = engine.propagate(executor=executor, incremental=False)
+        variables = _variables(tree)
+        worst = max(
+            abs(state.marginal(v) - ref_state.marginal(v)).max()
+            for v in variables
+        )
+        assert worst > 1e-9  # wrong — and nothing raised
+        assert np.isfinite(worst)
+
+    def test_clean_run_with_verification_is_exact(self):
+        tree = _tree(seed=5)
+        reference = InferenceEngine(tree)
+        ref_state = reference.propagate()
+        engine = InferenceEngine(tree)
+        executor = ProcessSharedMemoryExecutor(
+            num_workers=2, inline_threshold=0, verify_writes=True
+        )
+        state = engine.propagate(executor=executor, incremental=False)
+        for v in _variables(tree):
+            np.testing.assert_allclose(
+                state.marginal(v), ref_state.marginal(v),
+                rtol=1e-9, atol=1e-12,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint round-trip
+# --------------------------------------------------------------------- #
+
+
+class TestCheckpointRoundTrip:
+    def test_state_round_trip_is_bit_identical(self, tmp_path):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.observe(0, 1).observe_soft(3, [0.7, 0.3])
+        engine.propagate()
+        path = tmp_path / "state.npz"
+        manifest = engine.checkpoint(path)
+        assert manifest["tables"] > 0
+        assert manifest["tree_signature"] == tree_signature(engine.jt)
+
+        restored = InferenceEngine.from_checkpoint(tree, path)
+        for v in _variables(tree):
+            a, b = engine.marginal(v), restored.marginal(v)
+            assert (a == b).all()  # bit-identical, not merely close
+
+    def test_restore_adopts_the_checkpoint_evidence(self, tmp_path):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.observe(0, 1)
+        engine.propagate()
+        path = tmp_path / "state.npz"
+        engine.checkpoint(path)
+
+        other = InferenceEngine(tree)
+        other.observe(1, 0)  # overwritten by restore
+        other.propagate()
+        other.restore(path)
+        assert other.evidence.as_dict() == {0: 1}
+
+    def test_checkpoint_syncs_pending_evidence_first(self, tmp_path):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.propagate()
+        engine.observe(0, 1)  # not yet propagated
+        path = tmp_path / "state.npz"
+        manifest = engine.checkpoint(path)
+        assert manifest["evidence"] == {"0": 1}
+        restored = InferenceEngine.from_checkpoint(tree, path)
+        oracle = InferenceEngine(tree)
+        oracle.observe(0, 1)
+        oracle.propagate()
+        for v in _variables(tree):
+            np.testing.assert_allclose(
+                restored.marginal(v), oracle.marginal(v),
+                rtol=1e-9, atol=1e-12,
+            )
+
+    def test_read_manifest_without_loading(self, tmp_path):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.propagate()
+        path = tmp_path / "state.npz"
+        engine.checkpoint(path)
+        manifest = read_manifest(path)
+        assert manifest["format"] == 1
+        assert "state_checksum" in manifest
+
+    def test_file_like_round_trip(self):
+        tree = _tree(seed=9)
+        engine = InferenceEngine(tree)
+        engine.propagate()
+        buf = io.BytesIO()
+        engine.checkpoint(buf)
+        buf.seek(0)
+        state = PropagationState.load(engine.jt, buf)
+        for v in _variables(tree):
+            assert (state.marginal(v) == engine.marginal(v)).all()
+
+    def test_checkpoint_before_propagation_raises(self):
+        tree = _tree(seed=9)
+        engine = InferenceEngine(tree)
+        with pytest.raises(RuntimeError, match="no propagation"):
+            engine.checkpoint(io.BytesIO())
+
+
+# --------------------------------------------------------------------- #
+# Typed refusals
+# --------------------------------------------------------------------- #
+
+
+class TestCheckpointRefusals:
+    def _checkpoint_bytes(self, tree):
+        engine = InferenceEngine(tree)
+        engine.propagate()
+        buf = io.BytesIO()
+        engine.checkpoint(buf)
+        return buf.getvalue()
+
+    def test_foreign_tree_is_refused(self):
+        payload = self._checkpoint_bytes(_tree(seed=7))
+        other = _tree(seed=8)
+        with pytest.raises(CheckpointMismatch, match="different junction tree"):
+            InferenceEngine.from_checkpoint(other, io.BytesIO(payload))
+
+    def test_tampered_table_bytes_are_refused(self, tmp_path):
+        tree = _tree(seed=7)
+        payload = self._checkpoint_bytes(tree)
+        # Rewrite the archive with one entry of the packed table vector
+        # perturbed but the original manifest kept: the zip stays
+        # structurally valid, so only the whole-state checksum can catch
+        # the tamper.
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        arrays["__tables__"][3] += 1e-9
+        tampered = tmp_path / "tampered.npz"
+        np.savez(tampered, **arrays)
+        with pytest.raises(CheckpointCorrupt, match="checksum"):
+            InferenceEngine.from_checkpoint(tree, tampered)
+
+    def test_structurally_broken_archive_is_refused(self):
+        tree = _tree(seed=7)
+        raw = bytearray(self._checkpoint_bytes(tree))
+        raw[len(raw) // 2] ^= 0xFF
+        with pytest.raises(CheckpointCorrupt):
+            InferenceEngine.from_checkpoint(tree, io.BytesIO(bytes(raw)))
+
+    def test_tampered_evidence_record_is_refused(self, tmp_path):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.observe(0, 1)
+        engine.propagate()
+        buf = io.BytesIO()
+        engine.checkpoint(buf)
+        with np.load(io.BytesIO(buf.getvalue()), allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        manifest = json.loads(str(arrays["__manifest__"][()]))
+        manifest["evidence"] = {"0": 0}  # flip the finding, keep signature
+        arrays["__manifest__"] = np.array(json.dumps(manifest))
+        tampered = tmp_path / "evidence.npz"
+        np.savez(tampered, **arrays)
+        with pytest.raises(CheckpointMismatch, match="evidence"):
+            InferenceEngine.from_checkpoint(tree, tampered)
+
+    def test_batched_state_refuses_to_checkpoint(self):
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        state = engine.propagate_batch([{0: 1}, {0: 0}])
+        with pytest.raises(CheckpointError, match="batched"):
+            state.save(io.BytesIO())
+
+    def test_format_version_mismatch_is_refused(self, tmp_path):
+        tree = _tree(seed=7)
+        payload = self._checkpoint_bytes(tree)
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        manifest = json.loads(str(arrays["__manifest__"][()]))
+        manifest["format"] = 999
+        arrays["__manifest__"] = np.array(json.dumps(manifest))
+        future = tmp_path / "future.npz"
+        np.savez(future, **arrays)
+        with pytest.raises(CheckpointMismatch, match="format"):
+            InferenceEngine.from_checkpoint(tree, future)
+
+    def test_checkpoint_is_a_plain_zip(self):
+        # Operational property: the artifact is inspectable with stock
+        # tooling (the CI recovery job lists it with zipfile).
+        payload = self._checkpoint_bytes(_tree(seed=7))
+        names = zipfile.ZipFile(io.BytesIO(payload)).namelist()
+        assert "__manifest__.npy" in names
+        assert "__tables__.npy" in names
+
+
+# --------------------------------------------------------------------- #
+# Self-healing session pool
+# --------------------------------------------------------------------- #
+
+
+class TestSessionPoolRecycling:
+    def test_poisoned_session_recycles_from_checkpoint(self):
+        tree = _tree(seed=13)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        assert pool._baseline is not None
+        with pool.session() as engine:
+            # Simulate a poisoned propagation state left by a bad tier.
+            engine.observe(0, 1)
+            engine.propagate()
+            for table in engine._state.potentials.values():
+                table.values[...] = np.nan
+            pool.note_failure(engine, "unhealthy result", poisoned=True)
+        assert pool.recycles == 1
+        assert pool.recycles_from_checkpoint == 1
+        with pool.session() as engine:
+            # Restored to the warm no-evidence baseline: exact again.
+            assert engine.evidence.as_dict() == {}
+            oracle = InferenceEngine(tree)
+            oracle.propagate()
+            for v in _variables(tree):
+                np.testing.assert_allclose(
+                    engine.marginal(v), oracle.marginal(v),
+                    rtol=1e-9, atol=1e-12,
+                )
+
+    def test_consecutive_failures_hit_the_threshold(self):
+        tree = _tree(seed=13)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        pool.recycle_threshold = 2
+        with pool.session() as engine:
+            pool.note_failure(engine, "tier failed")
+        assert pool.recycles == 0  # one strike: below threshold
+        with pool.session() as engine:
+            pool.note_failure(engine, "tier failed again")
+        assert pool.recycles == 1
+
+    def test_success_resets_the_strike_count(self):
+        tree = _tree(seed=13)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        pool.recycle_threshold = 2
+        with pool.session() as engine:
+            pool.note_failure(engine, "one-off")
+            pool.note_success(engine)
+            pool.note_failure(engine, "another one-off")
+        assert pool.recycles == 0
+
+    def test_recycle_without_baseline_recalibrates(self):
+        tree = _tree(seed=13)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1, warm=False)
+        assert pool._baseline is None
+        with pool.session() as engine:
+            engine.propagate()
+            pool.note_failure(engine, "poisoned", poisoned=True)
+        assert pool.recycles == 1
+        assert pool.recycles_from_checkpoint == 0
+        with pool.session() as engine:
+            assert engine._state is not None  # recalibrated, usable
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: torn write -> detect -> recycle -> exact again
+# --------------------------------------------------------------------- #
+
+
+class _HangExecutor(SerialExecutor):
+    """Ignores the cooperative deadline and sleeps: a wedged tier."""
+
+    def __init__(self, seconds: float):
+        super().__init__()
+        self.seconds = seconds
+
+    def run(self, graph, state, **kw):
+        time.sleep(self.seconds)
+        kw.pop("deadline", None)
+        return super().run(graph, state, **kw)
+
+
+class TestServiceRecovery:
+    def test_torn_write_is_never_served_and_session_recycles(self):
+        tree = _tree(num_cliques=16, seed=11)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        primary = ProcessSharedMemoryExecutor(
+            num_workers=2,
+            inline_threshold=0,
+            fault_plan=FaultPlan(torn_write={1: 4}),
+        )
+        service = InferenceService(pool, primary=primary, workers=1)
+        variables = _variables(tree, count=4)
+
+        first = service.query(delta={0: 1}, vars=variables)
+        assert first.status == "ok"
+        # The torn primary never served: the fallback tier answered.
+        assert "Process" not in first.executor
+
+        # Next query runs on the recycled session and is exact.
+        second = service.query(delta={0: 0}, vars=variables)
+        assert second.status == "ok"
+        report = service.drain()
+        assert report.session_recycles >= 1
+        assert report.session_recycles_from_checkpoint >= 1
+
+        oracle = InferenceEngine(tree)
+        oracle.set_evidence({0: 1})
+        oracle.propagate()
+        for v in variables:
+            np.testing.assert_allclose(
+                first.marginals[v], oracle.marginal(v),
+                rtol=1e-9, atol=1e-12,
+            )
+        oracle.set_evidence({0: 0})
+        oracle.propagate(incremental=False)
+        for v in variables:
+            np.testing.assert_allclose(
+                second.marginals[v], oracle.marginal(v),
+                rtol=1e-9, atol=1e-12,
+            )
+
+    def test_watchdog_force_resolves_a_stuck_flight(self):
+        tree = _tree(seed=17)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        service = InferenceService(
+            pool,
+            fallback=_HangExecutor(2.5),
+            workers=1,
+            watchdog_grace=0.2,
+            watchdog_interval=0.02,
+        )
+        started = time.monotonic()
+        response = service.query(
+            delta={0: 1}, vars=[1], deadline=0.4, timeout=10.0
+        )
+        waited = time.monotonic() - started
+        assert response.status == "deadline"
+        assert "watchdog" in (response.error or "")
+        # Resolved by the watchdog near deadline+grace, not after the
+        # full 2.5 s hang.
+        assert waited < 2.0
+        report = service.drain()
+        assert report.watchdog_interventions >= 1
+        assert report.session_recycles >= 1
+
+    def test_watchdog_leaves_healthy_flights_alone(self):
+        tree = _tree(seed=17)
+        pool = EngineSessionPool.from_junction_tree(tree, sessions=1)
+        service = InferenceService(
+            pool, workers=1, watchdog_grace=0.5, watchdog_interval=0.02
+        )
+        response = service.query(delta={0: 1}, vars=[1], deadline=10.0)
+        assert response.status == "ok"
+        report = service.drain()
+        assert report.watchdog_interventions == 0
+        assert report.session_recycles == 0

@@ -882,3 +882,94 @@ class TestServiceMicroBatching:
         report = service.drain()
         assert report.batches == 0
         assert report.batched_flights == 0
+
+
+# --------------------------------------------------------------------- #
+# Robustness satellites: drain vs in-flight batch, abandoned probes
+# --------------------------------------------------------------------- #
+
+
+class TestDrainRacesBatchedFlight:
+    def test_drain_waits_for_inflight_batch_and_loses_nothing(
+        self, serve_tree
+    ):
+        gate = _GateExecutor()
+        service = make_service(
+            serve_tree, sessions=1, workers=1, fallback=gate, max_batch=8
+        )
+        blocker = service.submit(
+            QueryRequest(delta={17: 1}, vars=[1], deadline=30.0)
+        )
+        assert gate.started.wait(timeout=30.0)
+        futures = [
+            service.submit(
+                QueryRequest(delta={v: 1}, vars=[2], deadline=30.0)
+            )
+            for v in range(3)
+        ]
+        # Drain begins while the worker is wedged mid-flight and three
+        # flights are queued behind it.
+        drained = {}
+
+        def drain_target():
+            drained["report"] = service.drain()
+
+        drainer = threading.Thread(target=drain_target)
+        drainer.start()
+        time.sleep(0.05)
+        assert "report" not in drained  # drain is genuinely waiting
+        with pytest.raises(ServiceClosed):
+            service.submit(QueryRequest(vars=[0]))
+        gate.release.set()
+        drainer.join(timeout=30.0)
+        assert not drainer.is_alive()
+        report = drained["report"]
+        # Every admitted request resolved exactly; the queued flights
+        # rode one batch served after drain began.
+        assert blocker.result(timeout=1).status == "ok"
+        for future in futures:
+            assert future.result(timeout=1).status == "ok"
+        assert report.submitted == 4
+        assert report.served_ok == 4
+        assert report.batches == 1
+        assert report.batched_flights == 3
+
+
+class TestAbandonedProbeRelease:
+    def test_deadline_before_probe_attempt_releases_the_slot(
+        self, serve_tree
+    ):
+        clockbox = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: clockbox[0]
+        )
+        service = make_service(
+            serve_tree,
+            primary=SerialExecutor(),
+            breaker=breaker,
+            workers=1,
+            sessions=1,
+        )
+        breaker.record_failure("seeded failure")
+        assert breaker.state == "open"
+        clockbox[0] = 5.0  # the open window elapses: next allow() probes
+
+        # Steal the pool's only session so the worker reserves its probe
+        # slot in _tiers() and then blocks on session checkout until the
+        # request's deadline has already passed.
+        engine = service.pool._free.get(timeout=5.0)
+        future = service.submit(
+            QueryRequest(delta={0: 1}, vars=[1], deadline=0.3)
+        )
+        time.sleep(0.6)
+        service.pool._free.put(engine)
+
+        response = future.result(timeout=10.0)
+        assert response.status == "deadline"
+        assert breaker.state == "half-open"
+        # The abandoned probe slot was handed back: probing is not
+        # starved, the next caller can still attempt the primary.
+        assert breaker._probes_in_flight == 0
+        assert breaker.allow()
+        breaker.release_probe()
+        service.drain()

@@ -21,6 +21,12 @@ Two phases:
   outage window that must open the circuit breaker; after the outage the
   half-open probe must recover it.  Every exact answer served *during*
   the chaos is still checked against the oracle.
+* **Phase C — micro-batch chaos.**  One worker with ``max_batch=4`` and
+  a burst-submitting client swarm, so queued flights ride batched
+  propagations, under a fault plan that adds a *torn write* on top of
+  kill/delay/NaN: the checksum layer must refuse the torn result, the
+  poisoned session must recycle from its baseline checkpoint, and every
+  batched answer must still match the oracle.
 
 Exit status 0 when every invariant holds, 1 otherwise.  The schedule is
 fully determined by ``--seed``; timing-dependent *outcomes* (how many
@@ -341,6 +347,83 @@ def phase_b(seed: int, duration: float, failures: List[str]):
     return report
 
 
+def phase_c(seed: int, duration: float, failures: List[str]):
+    print("== phase C: micro-batch chaos + torn write ==")
+    rng = random.Random(seed + 2)
+    num_vars = 18
+    bn = random_network(num_vars, max_parents=3, edge_probability=0.6,
+                        seed=seed + 2)
+    oracle = Oracle(bn)
+    pool = EngineSessionPool.from_junction_tree(
+        junction_tree_from_network(bn), sessions=1
+    )
+    threads_before = {t.name for t in threading.enumerate()}
+    # Kill/delay/NaN as in phase B, plus a torn write: the worker stamps
+    # a correct checksum and then scribbles finite garbage — only the
+    # crc verification can catch it, and the session it poisoned must be
+    # recycled from the pool's baseline checkpoint, never reused as-is.
+    plan = FaultPlan(
+        kill_before_dispatch={3: 0},
+        delay_task={0: 0.2},
+        corrupt_task={1: "nan"},
+        torn_write={2: 4},
+    )
+    primary = ProcessSharedMemoryExecutor(
+        num_workers=2,
+        inline_threshold=0,
+        task_timeout=5.0,
+        max_retries=2,
+        fault_plan=plan,
+    )
+    service = InferenceService(
+        pool,
+        primary=primary,
+        fallback=CollaborativeExecutor(num_threads=2),
+        breaker=CircuitBreaker(failure_threshold=3, reset_timeout=0.3),
+        max_queue=64,
+        workers=1,
+        max_batch=4,
+        watchdog_grace=5.0,
+    )
+    per_client = max(6, int(duration * 2))
+    clients = 4
+    schedules, pauses = [], []
+    for cid in range(clients):
+        sched, _ = make_schedule(
+            random.Random(rng.randrange(1 << 30)),
+            num_vars,
+            per_client,
+            tight_deadlines=False,
+        )
+        schedules.append(sched)
+        # Pure burst: no pauses, so flights pile up behind the single
+        # worker and get drained into micro-batches.
+        pauses.append([0.0] * len(sched))
+
+    results = run_clients(service, schedules, pauses)
+    report = service.drain()
+    for request, response in results:
+        # A quarantined batch case is an explicit, legal failure.
+        verify_response(oracle, request, response, failures,
+                        allow_failed=True)
+    leak_check(threads_before, failures)
+    if report.batches == 0:
+        failures.append(
+            "phase C never micro-batched — burst setup is broken"
+        )
+    if report.session_recycles < 1:
+        failures.append(
+            "torn write never triggered a session recycle "
+            f"(recycles={report.session_recycles})"
+        )
+    if len(results) != clients * per_client:
+        failures.append(
+            f"lost responses: {len(results)} of {clients * per_client}"
+        )
+    print(report.format())
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -354,7 +437,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-process",
         action="store_true",
-        help="skip phase B (no process pools; fast smoke for CI)",
+        help="skip phases B and C (no process pools; fast smoke for CI)",
     )
     args = parser.parse_args(argv)
 
@@ -363,6 +446,7 @@ def main(argv=None) -> int:
     phase_a(args.seed, args.duration, args.clients, failures)
     if not args.skip_process:
         phase_b(args.seed, args.duration, failures)
+        phase_c(args.seed, args.duration, failures)
     elapsed = time.monotonic() - started
 
     print(f"== soak finished in {elapsed:.1f} s ==")
