@@ -1,0 +1,385 @@
+"""Cache economics and fairness of the multi-tenant model registry.
+
+Three scenarios against :class:`repro.registry.RegistryService`:
+
+* **Lifecycle latency** — per model: the cold-compile miss (full
+  bn → moralize → triangulate → reroot → calibrate pipeline), the
+  resident cache hit, and the checkpoint rehydration after an eviction.
+  The headline comparison is *hit vs compile-miss* request latency, and
+  the gate is the registry's reason to retain stubs at all:
+  **rehydration must beat the cold compile** for every model.
+* **Eviction churn** — 8 tenants drive a mixed workload over 4 models
+  under a memory budget sized to ~60% of the fleet, forcing LRU
+  evictions and rehydrations mid-run; every ``ok`` answer is verified
+  against its own model's serial oracle.  Gate: at least one eviction,
+  zero silent corruptions, zero lost responses.
+* **Fairness** — one saturating tenant burst-submits while seven light
+  tenants submit strictly serially (inflight <= 1, i.e. always within
+  quota headroom).  Gate: the hog's pressure produces quota refusals
+  *for the hog only* — no light tenant is ever quota-shed.
+
+Run as a script to record the table::
+
+    PYTHONPATH=src python benchmarks/bench_registry.py
+
+Results land in ``BENCH_registry.json`` at the repo root.  ``--smoke``
+shrinks the workload for CI and enforces every gate above with exit 1.
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import statistics
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro import InferenceEngine, random_network
+from repro.registry import ModelRegistry, RegistryService, TenantScheduler
+from repro.serve import QueryRequest
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_registry.json"
+)
+
+ATOL = 1e-9
+NUM_MODELS = 4
+NUM_TENANTS = 8
+
+
+def make_networks(num_vars, seed):
+    return {
+        f"model-{i}": random_network(
+            num_vars, max_parents=3, edge_probability=0.6, seed=seed + i
+        )
+        for i in range(NUM_MODELS)
+    }
+
+
+def make_registry(networks, **kw):
+    kw.setdefault("sessions", 2)
+    kw.setdefault("cache_size", 128)
+    registry = ModelRegistry(**kw)
+    for model_id, bn in networks.items():
+        registry.register(model_id, network=bn)
+    return registry
+
+
+def probe_costs(networks):
+    registry = make_registry(networks)
+    costs = {m: registry.acquire(m).cost_bytes for m in networks}
+    registry.close()
+    return costs
+
+
+def measure_lifecycle(networks, repeats, failures):
+    """Cold-compile vs cache-hit vs rehydrate latency, per model."""
+    rows = []
+    for model_id, bn in networks.items():
+        registry = make_registry(networks)
+        service = RegistryService(registry)
+        request = QueryRequest(delta={0: 1}, vars=[1], model_id=model_id)
+
+        t0 = time.perf_counter()
+        service.submit(request).result(120.0)
+        cold_miss = time.perf_counter() - t0
+
+        hits = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            service.submit(request).result(120.0)
+            hits.append(time.perf_counter() - t0)
+
+        rehydrates = []
+        for _ in range(repeats):
+            registry.evict(model_id)
+            t0 = time.perf_counter()
+            service.submit(request).result(120.0)
+            rehydrates.append(time.perf_counter() - t0)
+        service.drain()
+
+        row = {
+            "model": model_id,
+            "compile_miss_seconds": cold_miss,
+            "hit_seconds_p50": statistics.median(hits),
+            "rehydrate_miss_seconds_p50": statistics.median(rehydrates),
+        }
+        rows.append(row)
+        print(
+            f"{model_id}: compile-miss {cold_miss * 1e3:8.2f} ms | "
+            f"rehydrate-miss {row['rehydrate_miss_seconds_p50'] * 1e3:8.2f}"
+            f" ms | hit {row['hit_seconds_p50'] * 1e3:6.2f} ms"
+        )
+        if row["rehydrate_miss_seconds_p50"] >= cold_miss:
+            failures.append(
+                f"{model_id}: rehydration "
+                f"({row['rehydrate_miss_seconds_p50']:.4f}s) is not faster "
+                f"than the cold compile ({cold_miss:.4f}s)"
+            )
+        if row["hit_seconds_p50"] >= cold_miss:
+            failures.append(
+                f"{model_id}: a cache hit is not faster than a cold compile"
+            )
+    return rows
+
+
+def _oracle_verify(networks, results, failures):
+    oracles = {m: InferenceEngine.from_network(bn)
+               for m, bn in networks.items()}
+    memo = {}
+    for request, response in results:
+        if response.status != "ok":
+            continue
+        key = (request.model_id, request.signature())
+        if key not in memo:
+            oracle = oracles[request.model_id]
+            oracle.set_evidence(request.evidence())
+            oracle.propagate(incremental=False)
+            memo[key] = oracle.marginals_all()
+        for var, values in response.marginals.items():
+            if not np.allclose(values, memo[key][var], atol=ATOL):
+                failures.append(
+                    f"SILENT CORRUPTION: {request.model_id} var {var} "
+                    f"(tenant {request.tenant})"
+                )
+
+
+def measure_churn(networks, per_tenant, seed, failures):
+    """8 tenants over 4 models under a budget forcing evictions."""
+    costs = probe_costs(networks)
+    budget = int(sum(costs.values()) * 0.6)
+    registry = make_registry(networks, memory_budget=budget)
+    service = RegistryService(
+        registry, scheduler=TenantScheduler(capacity=32)
+    )
+    model_ids = sorted(networks)
+    num_vars = len(next(iter(networks.values())).cardinalities)
+    rng = random.Random(seed)
+    results, lock = [], threading.Lock()
+
+    def tenant_loop(tenant, trng):
+        for _ in range(per_tenant):
+            request = QueryRequest(
+                delta={trng.randrange(num_vars): trng.randrange(2)},
+                vars=[trng.randrange(num_vars)],
+                deadline=120.0,
+                model_id=trng.choice(model_ids),
+                tenant=tenant,
+            )
+            response = service.submit(request).result(120.0)
+            with lock:
+                results.append((request, response))
+
+    threads = [
+        threading.Thread(
+            target=tenant_loop,
+            args=(f"tenant-{i}", random.Random(rng.randrange(1 << 30))),
+        )
+        for i in range(NUM_TENANTS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    report = service.drain()
+
+    _oracle_verify(networks, results, failures)
+    expected = NUM_TENANTS * per_tenant
+    if len(results) != expected:
+        failures.append(f"lost responses: {len(results)} of {expected}")
+    if report.evictions < 1:
+        failures.append(
+            f"budget {budget} B never forced an eviction — churn setup "
+            "is broken"
+        )
+    if report.failed:
+        failures.append(
+            f"{report.failed} failed responses in a fault-free churn run"
+        )
+    print(
+        f"churn: {report.served} served in {elapsed:.2f} s | "
+        f"{report.model_hits} hits / {report.model_misses} misses | "
+        f"{report.compiles} compiles, {report.rehydrations} rehydrations, "
+        f"{report.evictions} evictions | peak "
+        f"{report.peak_resident_bytes / 1e6:.2f} of "
+        f"{budget / 1e6:.2f} MB"
+    )
+    return {
+        "tenants": NUM_TENANTS,
+        "models": len(model_ids),
+        "requests": expected,
+        "seconds": elapsed,
+        "memory_budget_bytes": budget,
+        "peak_resident_bytes": report.peak_resident_bytes,
+        "model_hits": report.model_hits,
+        "model_misses": report.model_misses,
+        "compiles": report.compiles,
+        "rehydrations": report.rehydrations,
+        "evictions": report.evictions,
+        "served_ok": report.served_ok,
+        "shed_by_quota": report.shed_by_quota,
+        "latency": report.latency,
+        "per_model": report.per_model,
+    }
+
+
+def measure_fairness(networks, seed, failures, hog_bursts, light_requests):
+    """One saturating tenant vs seven serial tenants: isolation gate."""
+    registry = make_registry(networks)
+    model_ids = sorted(networks)
+    registry.acquire(model_ids[0])  # pre-compile the contended model
+    scheduler = TenantScheduler(capacity=8, burst_factor=1.0)
+    service = RegistryService(registry, scheduler=scheduler)
+    num_vars = len(next(iter(networks.values())).cardinalities)
+    rng = random.Random(seed)
+
+    hog_futures = []
+    stop = threading.Event()
+
+    def hog():
+        hrng = random.Random(seed + 1)
+        while not stop.is_set() and len(hog_futures) < hog_bursts:
+            hog_futures.append(service.submit(QueryRequest(
+                delta={hrng.randrange(num_vars): hrng.randrange(2)},
+                vars=[hrng.randrange(num_vars)],
+                deadline=120.0,
+                model_id=model_ids[0],
+                tenant="hog",
+            )))
+
+    hog_thread = threading.Thread(target=hog)
+    hog_thread.start()
+    light_refused = 0
+    light_served = 0
+    for i in range(light_requests):
+        tenant = f"light-{i % (NUM_TENANTS - 1)}"
+        response = service.submit(QueryRequest(
+            delta={rng.randrange(num_vars): rng.randrange(2)},
+            vars=[rng.randrange(num_vars)],
+            deadline=120.0,
+            model_id=model_ids[0],
+            tenant=tenant,
+        )).result(120.0)
+        if response.kind == "quota":
+            light_refused += 1
+        elif response.ok:
+            light_served += 1
+    stop.set()
+    hog_thread.join()
+    hog_responses = [f.result(120.0) for f in hog_futures]
+    hog_refused = sum(1 for r in hog_responses if r.kind == "quota")
+    report = service.drain()
+
+    if light_refused:
+        failures.append(
+            f"{light_refused} quota refusals hit serial tenants with "
+            "headroom — fair isolation broken"
+        )
+    if hog_refused == 0:
+        failures.append(
+            "the saturating tenant was never quota-refused — quota "
+            "not engaging"
+        )
+    print(
+        f"fairness: hog {len(hog_responses)} submitted, {hog_refused} "
+        f"quota-refused | light tenants {light_served}/{light_requests} "
+        f"served, {light_refused} quota-refused"
+    )
+    return {
+        "hog_submitted": len(hog_responses),
+        "hog_quota_refused": hog_refused,
+        "light_requests": light_requests,
+        "light_served": light_served,
+        "light_quota_refused": light_refused,
+        "shed_by_quota": report.shed_by_quota,
+        "per_tenant": report.per_tenant,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the multi-tenant model registry"
+    )
+    parser.add_argument("--variables", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--per-tenant", type=int, default=16)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI workload; gates: rehydrate < cold compile, >=1 "
+        "eviction, exactness per model, no quota starvation of serial "
+        "tenants",
+    )
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    num_vars = 14 if args.smoke else args.variables
+    per_tenant = 6 if args.smoke else args.per_tenant
+    repeats = 3 if args.smoke else 7
+    networks = make_networks(num_vars, args.seed)
+    failures = []
+
+    lifecycle = measure_lifecycle(networks, repeats, failures)
+    churn = measure_churn(networks, per_tenant, args.seed, failures)
+    fairness = measure_fairness(
+        networks,
+        args.seed,
+        failures,
+        hog_bursts=40 if args.smoke else 200,
+        light_requests=12 if args.smoke else 48,
+    )
+
+    compile_p50 = statistics.median(
+        row["compile_miss_seconds"] for row in lifecycle
+    )
+    rehydrate_p50 = statistics.median(
+        row["rehydrate_miss_seconds_p50"] for row in lifecycle
+    )
+    hit_p50 = statistics.median(row["hit_seconds_p50"] for row in lifecycle)
+    payload = {
+        "variables": num_vars,
+        "models": NUM_MODELS,
+        "tenants": NUM_TENANTS,
+        "seed": args.seed,
+        "lifecycle": lifecycle,
+        "churn": churn,
+        "fairness": fairness,
+        # Headline rows for dashboards.
+        "compile_miss_seconds_p50": compile_p50,
+        "rehydrate_miss_seconds_p50": rehydrate_p50,
+        "hit_seconds_p50": hit_p50,
+        "rehydrate_speedup": (
+            compile_p50 / rehydrate_p50 if rehydrate_p50 > 0 else 0.0
+        ),
+        "evictions": churn["evictions"],
+        "rehydrations": churn["rehydrations"],
+    }
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"headline: compile-miss {compile_p50 * 1e3:.2f} ms, rehydrate "
+        f"{rehydrate_p50 * 1e3:.2f} ms "
+        f"({payload['rehydrate_speedup']:.1f}x), hit {hit_p50 * 1e3:.2f} ms"
+    )
+    print(f"recorded -> {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print(
+            "gate ok: rehydration beats cold compile, eviction pressure "
+            "engaged, every answer exact, no serial tenant quota-starved"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,9 @@ Public API highlights
   Perfetto export, derived metrics, and simulator calibration reports.
 * :mod:`repro.serve` — the concurrent inference service: pooled engine
   sessions, admission control, deadlines, circuit breaking, drain.
+* :mod:`repro.registry` — the sharded multi-tenant model registry:
+  on-demand compilation, LRU eviction under a global memory budget,
+  checkpoint rehydration, per-tenant weighted fair admission.
 """
 
 from repro.bn.generation import chain_network, naive_bayes_network, random_network
@@ -39,6 +42,7 @@ from repro.sched.serial import SerialExecutor
 from repro.sched.workstealing import WorkStealingExecutor
 from repro.obs.trace import PropagationTrace
 from repro.obs.tracer import Tracer
+from repro.registry import ModelRegistry, RegistryService, TenantScheduler
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.report import ServiceReport
 from repro.serve.request import QueryRequest, QueryResponse
@@ -81,4 +85,7 @@ __all__ = [
     "QueryResponse",
     "EngineSessionPool",
     "InferenceService",
+    "ModelRegistry",
+    "RegistryService",
+    "TenantScheduler",
 ]

@@ -177,6 +177,80 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _serve_demo_registry(args) -> int:
+    """Multi-model variant: a registry-fronted burst across N models and
+    K tenants, with an optional memory budget forcing LRU evictions."""
+    import random
+    import threading
+
+    from repro import random_network
+    from repro.registry import ModelRegistry, RegistryService, TenantScheduler
+    from repro.serve import QueryRequest
+
+    budget = (
+        int(args.budget_mb * 1e6) if args.budget_mb is not None else None
+    )
+    registry = ModelRegistry(
+        memory_budget=budget,
+        sessions=args.sessions,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+    )
+    model_ids = [f"model-{i}" for i in range(args.models)]
+    for i, model_id in enumerate(model_ids):
+        registry.register(
+            model_id,
+            loader=lambda s=args.seed + i: random_network(
+                args.variables, max_parents=3, edge_probability=0.6, seed=s
+            ),
+        )
+    service = RegistryService(
+        registry,
+        scheduler=TenantScheduler(capacity=max(8, 4 * args.tenants)),
+    )
+    budget_label = (
+        f"{args.budget_mb:g} MB budget" if budget else "no budget"
+    )
+    print(
+        f"{args.models} models x {args.variables} variables, "
+        f"{args.tenants} tenants, {args.sessions} sessions/model, "
+        f"{budget_label}"
+    )
+
+    def client(cid: int) -> None:
+        rng = random.Random(args.seed * 1000 + cid)
+        tenant = f"tenant-{cid % args.tenants}"
+        for _ in range(args.requests):
+            delta = {
+                rng.randrange(args.variables): rng.randrange(2)
+                for _ in range(rng.randrange(3))
+            }
+            vars_ = sorted(rng.sample(range(args.variables), 2))
+            service.submit(
+                QueryRequest(
+                    delta=delta,
+                    vars=vars_,
+                    deadline=args.deadline,
+                    max_staleness=args.max_staleness,
+                    model_id=rng.choice(model_ids),
+                    tenant=tenant,
+                )
+            ).result(120.0)
+
+    clients = max(args.clients, args.tenants)
+    threads = [
+        threading.Thread(target=client, args=(cid,), name=f"client-{cid}")
+        for cid in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report = service.drain()
+    print(report.format())
+    return 0
+
+
 def _cmd_serve_demo(args) -> int:
     """Stand up an InferenceService, fire a seeded client burst, report."""
     import random
@@ -185,6 +259,9 @@ def _cmd_serve_demo(args) -> int:
     from repro import random_network
     from repro.jt.build import junction_tree_from_network
     from repro.serve import EngineSessionPool, InferenceService, QueryRequest
+
+    if args.models > 1:
+        return _serve_demo_registry(args)
 
     bn = random_network(
         args.variables, max_parents=3, edge_probability=0.6, seed=args.seed
@@ -564,6 +641,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="collaborative",
         help="serving tier (process = breaker-guarded primary with a "
         "thread-tier fallback)",
+    )
+    serve.add_argument(
+        "--models", type=int, default=1, metavar="N",
+        help="serve N distinct models through the model registry "
+        "(on-demand compile, LRU eviction, per-model report breakdown); "
+        "1 keeps the single-model service",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=1, metavar="K",
+        help="spread clients over K tenants with weighted fair "
+        "admission (registry mode; per-tenant report breakdown)",
+    )
+    serve.add_argument(
+        "--budget-mb", type=float, default=None, metavar="MB",
+        help="global registry memory budget in megabytes; tight budgets "
+        "force LRU evictions and checkpoint rehydrations (registry mode)",
     )
 
     trace = sub.add_parser(

@@ -8,7 +8,7 @@ absorb each CPT into one covering clique.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.bn.moralization import moralize
 from repro.bn.network import BayesianNetwork
@@ -54,18 +54,34 @@ def _max_spanning_tree(
 
 
 def junction_tree_from_network(
-    bn: BayesianNetwork, heuristic: str = "min-fill"
+    bn: BayesianNetwork,
+    heuristic: str = "min-fill",
+    on_stage: Optional[Callable[[str], None]] = None,
 ) -> JunctionTree:
     """Build a junction tree for ``bn`` with CPTs absorbed into potentials.
 
     After a full two-phase propagation the tree is calibrated: each clique
     potential is the (unnormalized) marginal over its scope.
+
+    ``on_stage``, when given, is called with a stage name (``"moralize"``,
+    ``"triangulate"``, ``"spanning-tree"``, ``"absorb-cpts"``) *before*
+    each pipeline stage runs.  The model registry passes a closure that
+    raises :class:`~repro.serve.request.CompileDeadlineExceeded` once the
+    requesting client's deadline has passed, turning this monolithic
+    build into a cooperatively cancellable compile; any exception the
+    hook raises propagates unchanged.
     """
+    if on_stage is not None:
+        on_stage("moralize")
     moral = moralize(bn)
+    if on_stage is not None:
+        on_stage("triangulate")
     chordal, order = triangulate(moral, bn.cardinalities, heuristic)
     scopes = elimination_cliques(chordal, order)
     if not scopes:
         raise ValueError("network produced no cliques")
+    if on_stage is not None:
+        on_stage("spanning-tree")
     parent = _max_spanning_tree(scopes)
     cliques = [
         Clique(i, scope, [bn.cardinalities[v] for v in scope])
@@ -77,6 +93,8 @@ def junction_tree_from_network(
     # exactly one covering clique (family coverage holds because moralization
     # connects each variable to all its parents).
     jt.initialize_potentials()
+    if on_stage is not None:
+        on_stage("absorb-cpts")
     for v in range(bn.num_variables):
         cpt = bn.cpt(v)
         host = jt.clique_containing(cpt.variables)

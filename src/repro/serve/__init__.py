@@ -18,16 +18,22 @@ from repro.serve.request import (
     STATUS_OK,
     STATUS_SHED,
     STATUS_STALE,
+    CompileDeadlineExceeded,
     DeadlineExceeded,
+    ModelNotFound,
     Overloaded,
     QueryRequest,
     QueryResponse,
     ServiceClosed,
     ServiceError,
+    TenantQuotaExceeded,
 )
 from repro.serve.service import EngineSessionPool, InferenceService
 
 __all__ = [
+    "CompileDeadlineExceeded",
+    "ModelNotFound",
+    "TenantQuotaExceeded",
     "BreakerTransition",
     "CircuitBreaker",
     "ServiceReport",

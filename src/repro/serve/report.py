@@ -50,6 +50,24 @@ class ServiceReport:
     session_recycles: int = 0
     session_recycles_from_checkpoint: int = 0
     watchdog_interventions: int = 0
+    # Per-tenant / per-model response-status breakdowns, e.g.
+    # {"tenant-a": {"ok": 10, "shed": 2}}.  Filled by the service from
+    # request stamps; the registry aggregates them across every
+    # per-model service it drained.
+    per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    per_model: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Registry-level accounting (zero/empty for a plain single-model
+    # service): cache economics of the model registry and the typed
+    # refusals its admission layer issued.
+    model_hits: int = 0
+    model_misses: int = 0
+    compiles: int = 0
+    rehydrations: int = 0
+    evictions: int = 0
+    shed_by_quota: int = 0
+    compile_deadline_refusals: int = 0
+    peak_resident_bytes: int = 0
+    memory_budget: Optional[int] = None
     tier_counts: Dict[str, int] = field(default_factory=dict)
     breaker_transitions: List[BreakerTransition] = field(default_factory=list)
     latency: Dict[str, float] = field(default_factory=dict)
@@ -92,6 +110,17 @@ class ServiceReport:
                 self.session_recycles_from_checkpoint
             ),
             "watchdog_interventions": self.watchdog_interventions,
+            "per_tenant": {t: dict(c) for t, c in self.per_tenant.items()},
+            "per_model": {m: dict(c) for m, c in self.per_model.items()},
+            "model_hits": self.model_hits,
+            "model_misses": self.model_misses,
+            "compiles": self.compiles,
+            "rehydrations": self.rehydrations,
+            "evictions": self.evictions,
+            "shed_by_quota": self.shed_by_quota,
+            "compile_deadline_refusals": self.compile_deadline_refusals,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "memory_budget": self.memory_budget,
             "tier_counts": dict(self.tier_counts),
             "breaker_transitions": [str(t) for t in self.breaker_transitions],
             "latency": dict(self.latency),
@@ -127,6 +156,47 @@ class ServiceReport:
                 f"   ({self.session_recycles_from_checkpoint} from checkpoint,"
                 f" {self.watchdog_interventions} watchdog interventions)"
             )
+        if self.model_misses or self.model_hits or self.evictions:
+            lines.append(
+                f"registry           {self.model_hits} hits, "
+                f"{self.model_misses} misses ({self.compiles} compiles, "
+                f"{self.rehydrations} rehydrations), "
+                f"{self.evictions} evictions"
+            )
+            budget = (
+                f" of {self.memory_budget / 1e6:g} MB budget"
+                if self.memory_budget
+                else ""
+            )
+            lines.append(
+                f"peak resident      {self.peak_resident_bytes / 1e6:8.3g} MB"
+                f"{budget}"
+            )
+        if self.shed_by_quota or self.compile_deadline_refusals:
+            lines.append(
+                f"typed refusals     {self.shed_by_quota:8d}"
+                f"   quota, {self.compile_deadline_refusals} compile-deadline"
+            )
+        if self.per_model:
+            lines.append("per-model:")
+            for model in sorted(self.per_model):
+                counts = self.per_model[model]
+                per = ", ".join(
+                    f"{status} {counts[status]}"
+                    for status in sorted(counts)
+                )
+                lines.append(f"  {model:<16s} {per}")
+        if self.per_tenant and (
+            len(self.per_tenant) > 1 or "" not in self.per_tenant
+        ):
+            lines.append("per-tenant:")
+            for tenant in sorted(self.per_tenant):
+                counts = self.per_tenant[tenant]
+                per = ", ".join(
+                    f"{status} {counts[status]}"
+                    for status in sorted(counts)
+                )
+                lines.append(f"  {tenant or '(anon)':<16s} {per}")
         if self.latency:
             per = "  ".join(
                 f"{name} {value * 1e3:.2f} ms"

@@ -36,6 +36,30 @@ class ServiceClosed(ServiceError):
     """The service is draining (or drained) and admits no new requests."""
 
 
+class ModelNotFound(ServiceError):
+    """The request named a ``model_id`` the registry has never seen."""
+
+
+class CompileDeadlineExceeded(DeadlineExceeded):
+    """The model's compile could not finish inside the request deadline.
+
+    Raised (or carried as ``QueryResponse.kind == "compile-deadline"``) by
+    :class:`~repro.registry.ModelRegistry` when a cold model's compile
+    pipeline — moralize, triangulate, reroot, calibrate — is estimated or
+    observed to overrun the request's budget.  The refusal is immediate;
+    the request never blocks the admission queue behind a compile it
+    cannot outlive.
+    """
+
+
+class TenantQuotaExceeded(Overloaded):
+    """The tenant is over its fair-share admission quota.
+
+    Other tenants' requests are unaffected: this refusal exists precisely
+    so one hot tenant saturating the service cannot starve the rest.
+    """
+
+
 # Response statuses.  Everything except STATUS_OK / STATUS_STALE carries
 # no marginals; STATUS_STALE carries *last-known* marginals whose age the
 # client accepted up front via ``QueryRequest.max_staleness``.
@@ -49,6 +73,16 @@ _STATUS_ERRORS = {
     STATUS_SHED: Overloaded,
     STATUS_DEADLINE: DeadlineExceeded,
     STATUS_FAILED: ServiceError,
+}
+
+# Finer-grained refusal kinds (set by the registry layer) mapped to their
+# typed exceptions; ``raise_for_status`` prefers these over the plain
+# status mapping so callers can catch e.g. CompileDeadlineExceeded
+# separately from an ordinary missed deadline.
+_KIND_ERRORS = {
+    "compile-deadline": CompileDeadlineExceeded,
+    "quota": TenantQuotaExceeded,
+    "model-not-found": ModelNotFound,
 }
 
 
@@ -76,6 +110,16 @@ class QueryRequest:
         When the admission queue is full, accept a cached last-known
         answer at most this many seconds old instead of being shed;
         ``None`` (default) means never accept a stale answer.
+    model_id:
+        Which registered model answers this request.  ``None`` (default)
+        targets the single-model :class:`~repro.serve.InferenceService`
+        directly, or the registry's default model when routed through a
+        :class:`~repro.registry.RegistryService`.
+    tenant:
+        Accounting/fairness identity of the caller.  Per-tenant response
+        counts land in :attr:`~repro.serve.report.ServiceReport.per_tenant`,
+        and the registry's fair scheduler budgets admission by tenant.
+        The empty string (default) is the anonymous shared tenant.
     """
 
     delta: Mapping[int, object] = field(default_factory=dict)
@@ -83,6 +127,8 @@ class QueryRequest:
     deadline: Optional[float] = None
     priority: int = 0
     max_staleness: Optional[float] = None
+    model_id: Optional[str] = None
+    tenant: str = ""
 
     def evidence(self) -> Evidence:
         """Materialize the delta as a fresh :class:`Evidence` set."""
@@ -119,6 +165,13 @@ class QueryResponse:
     batched: bool = False  # answered by a micro-batched propagation
     stale_age: Optional[float] = None
     error: Optional[str] = None
+    # Finer refusal kind ("compile-deadline", "quota", "model-not-found")
+    # set by the registry layer; None for plain service responses.
+    kind: Optional[str] = None
+    # Which model/tenant the response belongs to (stamped by the registry
+    # router; empty for direct single-model service use).
+    model_id: Optional[str] = None
+    tenant: str = ""
 
     @property
     def ok(self) -> bool:
@@ -126,8 +179,14 @@ class QueryResponse:
         return self.status in (STATUS_OK, STATUS_STALE)
 
     def raise_for_status(self) -> "QueryResponse":
-        """Raise the matching :class:`ServiceError` unless :attr:`ok`."""
-        exc = _STATUS_ERRORS.get(self.status)
-        if exc is not None:
+        """Raise the matching :class:`ServiceError` unless :attr:`ok`.
+
+        Refusals stamped with a :attr:`kind` raise their finer-typed
+        exception (:class:`CompileDeadlineExceeded`,
+        :class:`TenantQuotaExceeded`, :class:`ModelNotFound`); everything
+        else falls back to the status-level mapping.
+        """
+        exc = _KIND_ERRORS.get(self.kind) or _STATUS_ERRORS.get(self.status)
+        if exc is not None and not self.ok:
             raise exc(self.error or self.status)
         return self

@@ -121,6 +121,11 @@ class EngineSessionPool:
         self.recycles = 0
         self.recycles_from_checkpoint = 0
         self.recycle_events: List[str] = []
+        # Lifecycle: a closed pool hands out no sessions and discards
+        # (rather than requeues) sessions released after the close —
+        # needed by the registry's eviction path, which may close a pool
+        # while a late flight is still resolving.
+        self._closed = False
 
     def capture_checkpoint(self) -> bool:
         """Snapshot the first session's calibrated state as the baseline.
@@ -137,6 +142,40 @@ class EngineSessionPool:
             return False
         self._baseline = buf.getvalue()
         return True
+
+    def adopt_checkpoint(self, data: bytes) -> None:
+        """Install an externally captured baseline checkpoint.
+
+        The registry's rehydration path restores every session from an
+        evicted model's retained checkpoint and then hands the same bytes
+        back to the pool, so recycling keeps working without paying a
+        fresh :meth:`capture_checkpoint`.
+        """
+        self._baseline = bytes(data)
+
+    @property
+    def baseline_checkpoint(self) -> Optional[bytes]:
+        """The in-memory baseline recycles restore from (None if unset)."""
+        return self._baseline
+
+    def resident_bytes(self) -> int:
+        """Approximate resident cost of this pool in bytes.
+
+        Counts the shared tree's prior potentials once, each session's
+        propagation-state tables (clique potentials, separators and
+        message intermediates), and the baseline checkpoint blob.  This
+        is the per-model cost the registry charges against its global
+        memory budget.
+        """
+        jt = self.engines[0].jt
+        total = sum(t.nbytes for t in jt.potentials.values())
+        for engine in self.engines:
+            state = getattr(engine, "_state", None)
+            if state is not None:
+                total += state.nbytes
+        if self._baseline is not None:
+            total += len(self._baseline)
+        return total
 
     # -------------------------------------------------------------- #
     # Session health (reported by the service, acted on at release)
@@ -271,6 +310,60 @@ class EngineSessionPool:
     def num_sessions(self) -> int:
         return len(self.engines)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the pool's sessions; idempotent and race-safe.
+
+        Needed for *dynamic* pool ownership (the registry evicts cold
+        models, tearing their pools down while the service above them may
+        still be resolving a late flight):
+
+        * calling :meth:`close` twice is a no-op the second time;
+        * a :meth:`session` release racing the close never requeues its
+          engine — the release path re-checks ``closed`` and discards,
+          so no session object outlives the pool's budget accounting;
+        * checkout after close refuses with
+          :class:`~repro.serve.request.ServiceClosed` instead of
+          blocking forever on an empty queue.
+
+        The baseline checkpoint and the free queue are dropped so the
+        pool's table memory is reclaimable; the ``engines`` list survives
+        (emptied) only as a tombstone for accounting code.
+        """
+        with self._health_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._baseline = None
+            # Drain whatever is checked in right now, under the same
+            # lock the release path requeues under: a racing release
+            # either requeues before this drain (and is drained) or
+            # observes _closed afterwards (and discards).  Either way no
+            # session survives in the free queue.
+            while True:
+                try:
+                    self._free.get_nowait()
+                except queue.Empty:
+                    break
+        self.engines = []
+
+    def _release(self, engine: InferenceEngine) -> None:
+        """Return one session to rotation — or drop it if the pool closed."""
+        with self._health_lock:
+            if self._closed:
+                return
+        self._maybe_recycle(engine)
+        with self._health_lock:
+            # close() may have landed while the recycle ran; a closed
+            # pool must not resurrect the session into the (drained)
+            # free queue.
+            if self._closed:
+                return
+            self._free.put(engine)
+
     @contextmanager
     def session(self, timeout: Optional[float] = None):
         """Check a session out (blocking), return it on exit.
@@ -280,12 +373,13 @@ class EngineSessionPool:
         LIFO rotation — a poisoned state is never handed to the next
         flight.
         """
+        if self._closed:
+            raise ServiceClosed("session pool is closed")
         engine = self._free.get(timeout=timeout)
         try:
             yield engine
         finally:
-            self._maybe_recycle(engine)
-            self._free.put(engine)
+            self._release(engine)
 
 
 class _Future:
@@ -296,7 +390,7 @@ class _Future:
     once invariant explicit.
     """
 
-    __slots__ = ("_event", "_response", "_lock")
+    __slots__ = ("_event", "_response", "_lock", "_callbacks")
 
     def __init__(self):
         self._event = threading.Event()
@@ -304,13 +398,37 @@ class _Future:
         # resolve() must be atomic: the watchdog races the worker that a
         # stuck flight eventually un-sticks, and exactly one may win.
         self._lock = threading.Lock()
+        self._callbacks: List = []
 
     def resolve(self, response: QueryResponse) -> None:
         with self._lock:
             if self._response is not None:
                 return
             self._response = response
+            callbacks, self._callbacks = self._callbacks, []
         self._event.set()
+        for callback in callbacks:
+            try:
+                callback(response)
+            except Exception:
+                pass  # a broken observer must not strand the client
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(response)`` on resolution (immediately if done).
+
+        The registry layer uses this to release tenant-admission charges
+        and tally per-tenant outcomes without polling futures.  Callbacks
+        run on the resolving thread; exceptions are swallowed.
+        """
+        with self._lock:
+            if self._response is None:
+                self._callbacks.append(callback)
+                return
+            response = self._response
+        try:
+            callback(response)
+        except Exception:
+            pass
 
     def result(self, timeout: Optional[float] = None) -> QueryResponse:
         if not self._event.wait(timeout):
@@ -451,6 +569,12 @@ class InferenceService:
         }
         self._tier_counts: Dict[str, int] = {}
         self._queue_high_water = 0
+        # Per-tenant / per-model response-status breakdowns (filled by
+        # _finish from the request's tenant/model_id stamps; surfaced in
+        # ServiceReport.per_tenant / per_model and aggregated across
+        # services by the registry).
+        self._tenant_status: Dict[str, Dict[str, int]] = {}
+        self._model_status: Dict[str, Dict[str, int]] = {}
 
         # Last-known exact marginals, {var: (values, monotonic_ts, sig)} —
         # the degraded answer served on overload when the caller opted in.
@@ -709,9 +833,26 @@ class InferenceService:
     def _finish(self, member: _Member, response: QueryResponse) -> None:
         """Stamp latency, record the serve span, resolve the future."""
         end_ns = time.perf_counter_ns()
+        request = member.request
         response.latency = (end_ns - member.admitted_ns) * 1e-9
+        if response.model_id is None:
+            response.model_id = request.model_id
+        if not response.tenant:
+            response.tenant = request.tenant
+        with self._stats_lock:
+            bucket = self._tenant_status.setdefault(request.tenant or "", {})
+            bucket[response.status] = bucket.get(response.status, 0) + 1
+            if request.model_id:
+                bucket = self._model_status.setdefault(request.model_id, {})
+                bucket[response.status] = bucket.get(response.status, 0) + 1
+        name = f"request:{response.status}"
+        if request.model_id or request.tenant:
+            # Model/tenant-attributed serve spans: the prefix keeps the
+            # latency-percentile extraction working, the suffix lets a
+            # trace viewer group request lifecycles by route.
+            name += f"@{request.model_id or '-'}/{request.tenant or '-'}"
         self._tracer.current().span(
-            f"request:{response.status}", CAT_SERVE, member.admitted_ns, end_ns
+            name, CAT_SERVE, member.admitted_ns, end_ns
         )
         member.future.resolve(response)
 
@@ -1266,12 +1407,14 @@ class InferenceService:
             span.duration
             for span in trace.spans
             if span.cat == CAT_SERVE
-            and span.name in ("request:ok", "request:stale")
+            and span.name.startswith(("request:ok", "request:stale"))
         ]
         with self._stats_lock:
             counts = dict(self._counts)
             tier_counts = dict(self._tier_counts)
             high_water = self._queue_high_water
+            per_tenant = {t: dict(c) for t, c in self._tenant_status.items()}
+            per_model = {m: dict(c) for m, c in self._model_status.items()}
         return ServiceReport(
             submitted=counts["submitted"],
             served_ok=counts["served_ok"],
@@ -1290,6 +1433,8 @@ class InferenceService:
             session_recycles_from_checkpoint=getattr(
                 self.pool, "recycles_from_checkpoint", 0
             ),
+            per_tenant=per_tenant,
+            per_model=per_model,
             tier_counts=tier_counts,
             breaker_transitions=list(self.breaker.transitions),
             latency=latency_percentiles(served_spans, points=(50, 90, 99)),

@@ -250,6 +250,20 @@ class PropagationState:
         state._inter = {key: table.copy() for key, table in prev._inter.items()}
         return state
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this state's tables.
+
+        Sums the working clique potentials, separator tables and message
+        intermediates (:class:`~repro.potential.table.PotentialTable`
+        float64 entries).  The model registry charges each pooled
+        session's state at this cost against its global memory budget.
+        """
+        total = sum(t.nbytes for t in self.potentials.values())
+        total += sum(t.nbytes for t in self.separators.values())
+        total += sum(t.nbytes for t in self._inter.values())
+        return total
+
     # ------------------------------------------------------------------ #
     # Checkpoint / restore
     # ------------------------------------------------------------------ #

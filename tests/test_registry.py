@@ -1,0 +1,642 @@
+"""Tests for the sharded multi-tenant model registry (repro.registry).
+
+Covers the compile pipeline (deadline-aware, stage-timed), the fair
+scheduler's quota/penalty math, the registry lifecycle (single-flight
+compiles, LRU eviction to stubs under a global budget, checkpoint
+rehydration) and the multi-tenant front door.  The contract carried over
+from the serve layer: every response is exact versus that model's own
+serial oracle, or an explicitly *typed* refusal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+from repro.registry import (
+    CompileDeadlineExceeded,
+    ModelNotFound,
+    ModelRegistry,
+    RegistryService,
+    TenantQuotaExceeded,
+    TenantScheduler,
+    compile_model,
+    rehydrate_model,
+)
+from repro.serve import (
+    EngineSessionPool,
+    QueryRequest,
+    ServiceClosed,
+)
+
+RTOL = 1e-9
+
+
+def make_networks(count=3, size=10, seed=40):
+    return {
+        f"m{i}": random_network(
+            size, cardinality=2, max_parents=2, edge_probability=0.7,
+            seed=seed + i,
+        )
+        for i in range(count)
+    }
+
+
+def make_registry(networks, **kw):
+    kw.setdefault("sessions", 2)
+    kw.setdefault("cache_size", 32)
+    registry = ModelRegistry(**kw)
+    for model_id, network in networks.items():
+        registry.register(model_id, network=network)
+    return registry
+
+
+def exact_marginals(network, request):
+    oracle = InferenceEngine.from_network(network)
+    oracle.set_evidence(request.evidence())
+    oracle.propagate(incremental=False)
+    variables = request.vars
+    if variables is None:
+        return oracle.marginals_all()
+    return {int(v): oracle.marginal(int(v)) for v in variables}
+
+
+def assert_exact(network, request, response):
+    assert response.status == "ok", response.error
+    expected = exact_marginals(network, request)
+    assert set(response.marginals) == set(expected)
+    for var, values in expected.items():
+        np.testing.assert_allclose(
+            response.marginals[var], values, rtol=RTOL, atol=0
+        )
+
+
+# --------------------------------------------------------------------- #
+# Compiler
+# --------------------------------------------------------------------- #
+
+
+class TestCompiler:
+    def test_compiled_model_answers_exactly(self):
+        bn = make_networks(1)["m0"]
+        compiled = compile_model("m0", bn, sessions=2)
+        request = QueryRequest(delta={0: 1}, vars=[3, 5])
+        with compiled.pool.session() as engine:
+            engine.set_evidence(request.evidence())
+            engine.propagate(incremental=False)
+            marginals = {v: engine.marginal(v) for v in request.vars}
+        expected = exact_marginals(bn, request)
+        for var in request.vars:
+            np.testing.assert_allclose(
+                marginals[var], expected[var], rtol=RTOL, atol=0
+            )
+        compiled.pool.close()
+
+    def test_stage_timings_recorded(self):
+        bn = make_networks(1)["m0"]
+        compiled = compile_model("m0", bn, sessions=2)
+        names = [name for name, _ in compiled.stages]
+        for expected in (
+            "moralize",
+            "triangulate",
+            "spanning-tree",
+            "absorb-cpts",
+            "reroot",
+            "calibrate-session-0",
+            "calibrate-session-1",
+            "checkpoint",
+        ):
+            assert expected in names
+        assert all(duration >= 0 for _, duration in compiled.stages)
+        assert compiled.cost_bytes > compiled.stub_cost_bytes > 0
+        assert not compiled.rehydrated
+        compiled.pool.close()
+
+    def test_expired_deadline_refuses_between_stages(self):
+        bn = make_networks(1)["m0"]
+        with pytest.raises(CompileDeadlineExceeded):
+            compile_model("m0", bn, deadline_at=time.monotonic() - 1.0)
+
+    def test_rehydrate_matches_cold_compile(self):
+        bn = make_networks(1)["m0"]
+        cold = compile_model("m0", bn, sessions=2)
+        warm = rehydrate_model(
+            "m0", cold.junction_tree, cold.baseline, sessions=2
+        )
+        assert warm.rehydrated
+        request = QueryRequest(delta={1: 0}, vars=[4])
+        with warm.pool.session() as engine:
+            engine.set_evidence(request.evidence())
+            engine.propagate(incremental=False)
+            got = engine.marginal(4)
+        expected = exact_marginals(bn, request)[4]
+        np.testing.assert_allclose(got, expected, rtol=RTOL, atol=0)
+        cold.pool.close()
+        warm.pool.close()
+
+    def test_rehydrate_requires_baseline(self):
+        bn = make_networks(1)["m0"]
+        cold = compile_model("m0", bn, sessions=1)
+        with pytest.raises(ValueError):
+            rehydrate_model("m0", cold.junction_tree, None)
+        cold.pool.close()
+
+
+# --------------------------------------------------------------------- #
+# Fair scheduler
+# --------------------------------------------------------------------- #
+
+
+class TestTenantScheduler:
+    def test_lone_tenant_gets_whole_capacity(self):
+        sched = TenantScheduler(capacity=8, burst_factor=1.0)
+        assert sched.fair_share("a") == pytest.approx(8.0)
+        assert sched.quota("a") == 8
+
+    def test_share_splits_between_active_tenants(self):
+        sched = TenantScheduler(capacity=8, burst_factor=1.0)
+        admitted, _, _ = sched.admit("a")
+        assert admitted
+        assert sched.fair_share("b") == pytest.approx(4.0)
+        sched.release("a")
+        assert sched.fair_share("b") == pytest.approx(8.0)
+
+    def test_weighted_shares(self):
+        sched = TenantScheduler(capacity=9, burst_factor=1.0)
+        sched.set_weight("big", 2.0)
+        sched.admit("big")
+        sched.admit("small")
+        assert sched.fair_share("big") == pytest.approx(6.0)
+        assert sched.fair_share("small") == pytest.approx(3.0)
+
+    def test_quota_refuses_past_burst(self):
+        sched = TenantScheduler(capacity=4, burst_factor=1.0)
+        for _ in range(4):
+            admitted, _, _ = sched.admit("hog")
+            assert admitted
+        admitted, _, _ = sched.admit("hog")
+        assert not admitted
+        assert sched.snapshot()["hog"]["refused"] == 1
+
+    def test_serial_tenant_never_refused(self):
+        # Quota never drops below 1: a one-at-a-time tenant always admits
+        # regardless of how many hogs are active.
+        sched = TenantScheduler(capacity=2, burst_factor=1.0)
+        for _ in range(2):
+            sched.admit("hog")
+        for _ in range(50):
+            admitted, _, _ = sched.admit("steady")
+            assert admitted
+            sched.release("steady")
+
+    def test_priority_bands_preserved(self):
+        # A saturated tenant's base-0 request still sorts ahead of any
+        # base-1 request: penalties reorder only within a band.
+        sched = TenantScheduler(capacity=4, burst_factor=2.0, priority_levels=4)
+        worst_base0 = 0
+        for _ in range(8):
+            admitted, effective, _ = sched.admit("hog", base_priority=0)
+            if admitted:
+                worst_base0 = max(worst_base0, effective)
+        _, base1, _ = sched.admit("light", base_priority=1)
+        assert worst_base0 < base1
+
+    def test_penalty_grows_with_inflight(self):
+        sched = TenantScheduler(capacity=4, burst_factor=4.0, priority_levels=4)
+        effectives = []
+        for _ in range(12):
+            admitted, effective, _ = sched.admit("hog")
+            if admitted:
+                effectives.append(effective)
+        assert effectives[0] == 0
+        assert max(effectives) > 0
+        assert sorted(effectives) == effectives
+
+    def test_release_floor_and_validation(self):
+        sched = TenantScheduler(capacity=4)
+        sched.release("ghost")  # never admitted: clamps at zero
+        assert sched.snapshot()["ghost"]["inflight"] == 0
+        with pytest.raises(ValueError):
+            sched.set_weight("a", 0.0)
+        with pytest.raises(ValueError):
+            TenantScheduler(capacity=0)
+        with pytest.raises(ValueError):
+            TenantScheduler(burst_factor=0.5)
+
+
+# --------------------------------------------------------------------- #
+# Registry lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestModelRegistry:
+    def test_register_validation(self):
+        registry = ModelRegistry()
+        bn = make_networks(1)["m0"]
+        with pytest.raises(ValueError):
+            registry.register("m0")  # neither network nor loader
+        registry.register("m0", network=bn)
+        with pytest.raises(ValueError):
+            registry.register("m0", network=bn)  # duplicate
+        with pytest.raises(ModelNotFound):
+            registry.acquire("unseen")
+        registry.close()
+
+    def test_hit_miss_accounting(self):
+        registry = make_registry(make_networks(1))
+        registry.acquire("m0")
+        registry.acquire("m0")
+        registry.acquire("m0")
+        stats = registry.stats()
+        assert stats["misses"] == 1 and stats["compiles"] == 1
+        assert stats["hits"] == 2
+        registry.close()
+
+    def test_lazy_loader_called_once(self):
+        calls = []
+        bn = make_networks(1)["m0"]
+
+        def loader():
+            calls.append(1)
+            return bn
+
+        registry = ModelRegistry()
+        registry.register("m0", loader=loader)
+        assert calls == []  # registration is lazy
+        registry.acquire("m0")
+        registry.acquire("m0")
+        assert len(calls) == 1
+        registry.close()
+
+    def test_single_flight_compile(self):
+        # 8 concurrent misses on one cold model must trigger exactly one
+        # compile; the followers wait and share the resident entry.
+        bn = make_networks(1, size=14)["m0"]
+        compiles = []
+        lock = threading.Lock()
+
+        def loader():
+            with lock:
+                compiles.append(1)
+            time.sleep(0.05)  # widen the race window
+            return bn
+
+        registry = ModelRegistry()
+        registry.register("m0", loader=loader)
+        entries, errors = [], []
+
+        def worker():
+            try:
+                entries.append(registry.acquire("m0"))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(compiles) == 1
+        assert len({id(e) for e in entries}) == 1
+        assert registry.stats()["misses"] == 1
+        registry.close()
+
+    def test_budget_evicts_lru_to_stub_and_rehydrates(self):
+        networks = make_networks(2)
+        probe = make_registry(networks)
+        costs = {m: probe.acquire(m).cost_bytes for m in networks}
+        probe.close()
+
+        registry = make_registry(
+            networks, memory_budget=sum(costs.values()) - 1
+        )
+        registry.acquire("m0")
+        registry.acquire("m1")  # over budget: m0 (LRU) demoted to stub
+        assert registry.resident_models() == ["m1"]
+        assert registry.stats()["models"]["m0"]["state"] == "stub"
+        assert registry.evictions == 1
+
+        entry = registry.acquire("m0")  # miss -> rehydrate from stub
+        assert registry.rehydrations == 1
+        assert entry.pool is not None
+        stats = registry.stats()["models"]["m0"]
+        assert stats["rehydrate_seconds"] is not None
+        registry.close()
+
+    def test_rehydrated_model_is_exact(self):
+        networks = make_networks(2)
+        probe = make_registry(networks)
+        costs = {m: probe.acquire(m).cost_bytes for m in networks}
+        probe.close()
+
+        registry = make_registry(
+            networks, memory_budget=sum(costs.values()) - 1
+        )
+        service = RegistryService(registry)
+        request = QueryRequest(delta={0: 1}, vars=[3], model_id="m0")
+        service.submit(request).result()
+        service.submit(
+            QueryRequest(delta={}, model_id="m1")
+        ).result()  # evicts m0
+        response = service.submit(request).result()  # rehydrated answer
+        assert registry.rehydrations == 1
+        assert_exact(networks["m0"], request, response)
+        service.drain()
+
+    def test_stub_demoted_to_cold_under_pressure(self):
+        networks = make_networks(2)
+        probe = make_registry(networks)
+        entry = probe.acquire("m0")
+        cost_m1 = probe.acquire("m1").cost_bytes
+        stub0 = entry.stub_cost_bytes
+        probe.close()
+
+        # Budget fits exactly one resident model and *no* stub.
+        registry = make_registry(
+            networks, memory_budget=cost_m1 + stub0 - 1
+        )
+        registry.acquire("m0")
+        registry.acquire("m1")
+        stats = registry.stats()["models"]["m0"]
+        assert stats["state"] == "cold"
+        registry.acquire("m0")  # full recompile, not rehydration
+        assert registry.rehydrations == 0
+        assert registry.compiles == 3
+        registry.close()
+
+    def test_oversized_model_still_serves(self):
+        networks = make_networks(1)
+        registry = make_registry(networks, memory_budget=1)
+        entry = registry.acquire("m0")
+        assert entry.state == "resident"
+        assert registry.stats()["budget_overruns"] >= 1
+        registry.close()
+
+    def test_explicit_evict(self):
+        registry = make_registry(make_networks(1))
+        assert not registry.evict("m0")  # not resident yet
+        registry.acquire("m0")
+        assert registry.evict("m0")
+        assert registry.stats()["models"]["m0"]["state"] == "stub"
+        with pytest.raises(ModelNotFound):
+            registry.evict("missing")
+        registry.close()
+
+    def test_compile_deadline_estimate_refuses_upfront(self):
+        networks = make_networks(1)
+        registry = make_registry(networks)
+        registry.acquire("m0")  # learn the compile estimate
+        registry.evict("m0")
+        registry._entries["m0"].rehydrate_estimate = 10.0
+        with pytest.raises(CompileDeadlineExceeded):
+            registry.acquire("m0", deadline_at=time.monotonic() + 0.001)
+        # the model stayed a stub and a patient caller still gets it
+        assert registry.stats()["models"]["m0"]["state"] == "stub"
+        assert registry.acquire("m0").state == "resident"
+        assert registry.compile_deadline_refusals == 1
+        registry.close()
+
+    def test_closed_registry_refuses(self):
+        registry = make_registry(make_networks(1))
+        report = registry.close()
+        assert registry.close() is report  # idempotent
+        with pytest.raises(ServiceClosed):
+            registry.acquire("m0")
+        with pytest.raises(ServiceClosed):
+            registry.register("late", network=make_networks(1)["m0"])
+
+    def test_close_aggregates_served_work(self):
+        networks = make_networks(2)
+        registry = make_registry(networks)
+        service = RegistryService(registry)
+        for model_id in ("m0", "m1", "m0"):
+            service.submit(
+                QueryRequest(delta={0: 1}, vars=[2], model_id=model_id)
+            ).result()
+        report = service.drain()
+        assert report.submitted == 3
+        assert report.served_ok == 3
+        assert report.model_hits == 1 and report.model_misses == 2
+        assert report.compiles == 2
+        assert set(report.per_model) == {"m0", "m1"}
+        assert report.per_model["m0"]["ok"] == 2
+        assert report.latency  # recomputed over union of serve spans
+        assert report.peak_resident_bytes > 0
+
+
+# --------------------------------------------------------------------- #
+# Front door (RegistryService)
+# --------------------------------------------------------------------- #
+
+
+class TestRegistryService:
+    def test_multi_model_routing_is_exact(self):
+        networks = make_networks(3)
+        registry = make_registry(networks)
+        service = RegistryService(registry)
+        requests = [
+            QueryRequest(delta={0: 1}, vars=[3], model_id="m0", tenant="a"),
+            QueryRequest(delta={1: 0}, vars=[4], model_id="m1", tenant="b"),
+            QueryRequest(delta={}, vars=[2, 5], model_id="m2", tenant="a"),
+        ]
+        futures = [service.submit(r) for r in requests]
+        for request, future in zip(requests, futures):
+            response = future.result(timeout=30)
+            assert response.model_id == request.model_id
+            assert response.tenant == request.tenant
+            assert_exact(networks[request.model_id], request, response)
+        service.drain()
+
+    def test_unknown_model_typed_refusal(self):
+        registry = make_registry(make_networks(1))
+        service = RegistryService(registry)
+        response = service.submit(
+            QueryRequest(delta={}, model_id="ghost")
+        ).result()
+        assert response.status == "failed"
+        assert response.kind == "model-not-found"
+        with pytest.raises(ModelNotFound):
+            response.raise_for_status()
+        service.drain()
+
+    def test_single_model_implicit_routing(self):
+        networks = make_networks(1)
+        registry = make_registry(networks)
+        service = RegistryService(registry)
+        request = QueryRequest(delta={0: 1}, vars=[2])
+        response = service.submit(request).result()
+        assert response.model_id == "m0"
+        assert_exact(networks["m0"], request, response)
+        service.drain()
+
+    def test_default_model_param(self):
+        networks = make_networks(2)
+        registry = make_registry(networks)
+        service = RegistryService(registry, default_model="m1")
+        response = service.submit(QueryRequest(delta={})).result()
+        assert response.model_id == "m1"
+        service.drain()
+
+    def test_quota_refusal_is_typed_and_isolated(self):
+        networks = make_networks(1)
+        registry = make_registry(networks)
+        registry.acquire("m0")  # pre-compile so submits don't block
+        scheduler = TenantScheduler(capacity=2, burst_factor=1.0)
+        service = RegistryService(registry, scheduler=scheduler)
+        # Saturate the hog's quota without letting futures resolve: hold
+        # the admission charge by submitting faster than service drains.
+        refused = None
+        for _ in range(64):
+            response_future = service.submit(
+                QueryRequest(delta={0: 1}, model_id="m0", tenant="hog")
+            )
+            if not response_future.done():
+                continue
+            response = response_future.result(0)
+            if response.kind == "quota":
+                refused = response
+                break
+        if refused is None:
+            # force it deterministically: charge the scheduler directly
+            scheduler.admit("hog")
+            scheduler.admit("hog")
+            refused = service.submit(
+                QueryRequest(delta={}, model_id="m0", tenant="hog")
+            ).result()
+        assert refused.status == "shed"
+        assert refused.kind == "quota"
+        with pytest.raises(TenantQuotaExceeded):
+            refused.raise_for_status()
+        # a different (serial) tenant is still served
+        ok = service.submit(
+            QueryRequest(delta={0: 1}, vars=[2], model_id="m0", tenant="calm")
+        ).result()
+        assert ok.status == "ok"
+        report = service.drain()
+        assert report.shed_by_quota >= 1
+        assert report.per_tenant["hog"].get("shed", 0) >= 1
+
+    def test_compile_deadline_response_is_typed(self):
+        networks = make_networks(1)
+        registry = make_registry(networks)
+        service = RegistryService(registry)
+        response = service.submit(
+            QueryRequest(delta={}, model_id="m0", deadline=1e-9)
+        ).result()
+        assert response.status == "deadline"
+        assert response.kind == "compile-deadline"
+        with pytest.raises(CompileDeadlineExceeded):
+            response.raise_for_status()
+        report = service.drain()
+        assert report.compile_deadline_refusals == 1
+        assert report.deadline_missed == 1
+
+    def test_scheduler_charge_released_after_response(self):
+        networks = make_networks(1)
+        registry = make_registry(networks)
+        scheduler = TenantScheduler(capacity=4)
+        service = RegistryService(registry, scheduler=scheduler)
+        for _ in range(12):
+            service.submit(
+                QueryRequest(delta={0: 1}, model_id="m0", tenant="t")
+            ).result()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if scheduler.snapshot()["t"]["inflight"] == 0:
+                break
+            time.sleep(0.01)
+        assert scheduler.snapshot()["t"]["inflight"] == 0
+        service.drain()
+
+    def test_drain_is_idempotent_and_closes_admission(self):
+        registry = make_registry(make_networks(1))
+        service = RegistryService(registry)
+        report = service.drain()
+        assert service.drain() is report
+        with pytest.raises(ServiceClosed):
+            service.submit(QueryRequest(delta={}))
+
+    def test_context_manager(self):
+        networks = make_networks(1)
+        with RegistryService(make_registry(networks)) as service:
+            response = service.query(delta={0: 1}, vars=[2], model_id="m0")
+            assert response.status == "ok"
+        with pytest.raises(ServiceClosed):
+            service.submit(QueryRequest(delta={}))
+
+
+# --------------------------------------------------------------------- #
+# Satellite: pool close()/release() race (evict during a live flight)
+# --------------------------------------------------------------------- #
+
+
+class TestPoolCloseRace:
+    def test_close_is_idempotent(self):
+        networks = make_networks(1)
+        pool = EngineSessionPool.from_network(networks["m0"], sessions=2)
+        pool.close()
+        pool.close()  # second close is a no-op
+        assert pool.closed
+        assert pool.engines == []
+        with pytest.raises(ServiceClosed):
+            with pool.session():
+                pass
+
+    def test_release_after_close_does_not_leak(self):
+        # An in-flight session released *after* close() must be discarded,
+        # not requeued into the freelist of a dead pool.
+        networks = make_networks(1)
+        pool = EngineSessionPool.from_network(networks["m0"], sessions=2)
+        entered = threading.Event()
+        proceed = threading.Event()
+        errors = []
+
+        def flight():
+            try:
+                with pool.session() as engine:
+                    entered.set()
+                    proceed.wait(timeout=10)
+                    engine.query({0: 1}, vars=[2])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        t = threading.Thread(target=flight)
+        t.start()
+        assert entered.wait(timeout=10)
+        pool.close()  # races the live flight
+        proceed.set()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert not errors  # the flight itself finished cleanly
+        assert pool.engines == []
+        assert pool._free.empty()  # nothing requeued after close
+
+    def test_eviction_during_flight_keeps_response_exact(self):
+        # End-to-end: a registry eviction drains the per-model service, so
+        # a request in flight at eviction time still gets its exact answer.
+        networks = make_networks(2)
+        probe = make_registry(networks)
+        costs = {m: probe.acquire(m).cost_bytes for m in networks}
+        probe.close()
+
+        registry = make_registry(
+            networks, memory_budget=sum(costs.values()) - 1
+        )
+        service = RegistryService(registry)
+        request = QueryRequest(delta={0: 1}, vars=[3], model_id="m0")
+        futures = [service.submit(request) for _ in range(4)]
+        # Compiling m1 forces m0's eviction; its service drains first.
+        evicted = service.submit(QueryRequest(delta={}, model_id="m1"))
+        for future in futures:
+            response = future.result(timeout=30)
+            assert_exact(networks["m0"], request, response)
+        assert evicted.result(timeout=30).status == "ok"
+        report = service.drain()
+        assert report.evictions >= 1
+        assert report.failed == 0

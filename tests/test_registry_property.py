@@ -1,0 +1,166 @@
+"""Property tests: the registry's exact-or-typed-refusal contract and the
+no-starvation fairness guarantee, over seeded multi-model multi-tenant
+schedules.
+
+Hypothesis draws an arbitrary schedule (model ids — some unregistered —
+tenants, evidence deltas, deadlines, priorities) and fires it at a small
+registry-fronted service.  Whatever compiles, evictions and scheduling
+races occur:
+
+* every request gets exactly one response;
+* an ``ok`` response's marginals match *that model's own* serial oracle
+  to 1e-9 (no cross-model contamination, ever);
+* every non-ok response is an explicit refusal with a meaningful status
+  and, for registry-level refusals, a typed ``kind``;
+* a tenant submitting strictly serially (inflight never above 1, i.e.
+  always within quota headroom) is never refused for quota, no matter
+  how hard the other tenants hammer the service.
+
+Runs under the ``deterministic`` Hypothesis profile (conftest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bn.generation import random_network
+from repro.inference.engine import InferenceEngine
+from repro.registry import ModelRegistry, RegistryService, TenantScheduler
+from repro.serve import QueryRequest
+
+NUM_VARS = 10
+MODEL_IDS = ("alpha", "beta")
+TENANTS = ("t0", "t1", "t2")
+
+_networks = {
+    model_id: random_network(
+        NUM_VARS, cardinality=2, max_parents=2, edge_probability=0.7,
+        seed=57 + i,
+    )
+    for i, model_id in enumerate(MODEL_IDS)
+}
+_oracles = {
+    model_id: InferenceEngine.from_network(bn)
+    for model_id, bn in _networks.items()
+}
+_oracle_memo = {}
+
+
+def oracle_marginal(model_id: str, request: QueryRequest, var: int):
+    key = (model_id, request.signature())
+    if key not in _oracle_memo:
+        oracle = _oracles[model_id]
+        oracle.set_evidence(request.evidence())
+        oracle.propagate(incremental=False)
+        _oracle_memo[key] = {v: oracle.marginal(v) for v in range(NUM_VARS)}
+    return _oracle_memo[key][var]
+
+
+request_strategy = st.builds(
+    QueryRequest,
+    delta=st.dictionaries(
+        st.integers(min_value=0, max_value=NUM_VARS - 1),
+        st.integers(min_value=0, max_value=1),
+        max_size=3,
+    ),
+    vars=st.lists(
+        st.integers(min_value=0, max_value=NUM_VARS - 1),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    deadline=st.sampled_from([30.0, 30.0, 30.0, 1e-6]),
+    priority=st.integers(min_value=0, max_value=2),
+    model_id=st.sampled_from(MODEL_IDS + ("ghost",)),
+    tenant=st.sampled_from(TENANTS),
+)
+
+
+def make_service(**scheduler_kw):
+    registry = ModelRegistry(sessions=2, cache_size=32)
+    for model_id, bn in _networks.items():
+        registry.register(model_id, network=bn)
+    scheduler = TenantScheduler(**scheduler_kw) if scheduler_kw else None
+    return RegistryService(registry, scheduler=scheduler)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(request_strategy, min_size=1, max_size=16))
+def test_every_response_exact_or_typed_refusal(requests):
+    service = make_service()
+    futures = [service.submit(r) for r in requests]
+    responses = [f.result(60.0) for f in futures]
+    report = service.drain()
+
+    assert len(responses) == len(requests)
+    assert report.submitted == len(requests)
+
+    for request, response in zip(requests, responses):
+        assert response.tenant == request.tenant
+        if response.status == "ok":
+            assert response.model_id == request.model_id
+            assert set(response.marginals) == set(request.vars)
+            for var, values in response.marginals.items():
+                np.testing.assert_allclose(
+                    values,
+                    oracle_marginal(request.model_id, request, var),
+                    atol=1e-9,
+                )
+        else:
+            assert response.status in ("shed", "deadline", "failed")
+            assert response.marginals == {}
+            assert response.error
+            if request.model_id == "ghost":
+                assert response.kind == "model-not-found"
+            elif response.status == "failed":
+                raise AssertionError(
+                    f"unexplained failure: {response.error}"
+                )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.lists(
+        request_strategy.filter(lambda r: r.model_id != "ghost"),
+        min_size=4,
+        max_size=24,
+    ),
+    st.integers(min_value=2, max_value=6),
+)
+def test_serial_tenant_never_quota_starved(hog_requests, capacity):
+    """A tenant with quota headroom (strictly serial, so inflight <= 1)
+    is never refused for quota, regardless of hog pressure."""
+    service = make_service(capacity=capacity, burst_factor=1.0)
+    hog_futures = [
+        service.submit(
+            QueryRequest(
+                delta=r.delta,
+                vars=r.vars,
+                deadline=30.0,
+                priority=r.priority,
+                model_id=r.model_id,
+                tenant="hog",
+            )
+        )
+        for r in hog_requests
+    ]
+    for i in range(6):
+        response = service.submit(
+            QueryRequest(
+                delta={0: i % 2},
+                vars=[1],
+                deadline=30.0,
+                model_id=MODEL_IDS[i % len(MODEL_IDS)],
+                tenant="steady",
+            )
+        ).result(60.0)
+        assert response.kind != "quota", (
+            "serial tenant refused for quota while within headroom"
+        )
+    for future in hog_futures:
+        future.result(60.0)
+    report = service.drain()
+    steady = report.per_tenant.get("steady", {})
+    assert steady.get("shed", 0) == 0

@@ -8,7 +8,7 @@ exact (marginals match a fresh serial-oracle propagation to 1e-9) or an
 explicit refusal** (shed / stale / deadline / failed) — never a silently
 corrupted posterior.
 
-Two phases:
+Four phases:
 
 * **Phase A — thread storm.**  Many client threads hammer a small
   admission queue with mixed deadlines, priorities and staleness
@@ -27,6 +27,14 @@ Two phases:
   kill/delay/NaN: the checksum layer must refuse the torn result, the
   poisoned session must recycle from its baseline checkpoint, and every
   batched answer must still match the oracle.
+* **Phase D — multi-model chaos.**  Mixed-tenant bursts across four
+  registered models routed through a
+  :class:`repro.registry.RegistryService`, under a memory budget tight
+  enough to force LRU evictions (and rehydrations) mid-storm, plus one
+  injected poisoned session that must recycle from its baseline
+  checkpoint.  Every ``ok`` answer must match *its own model's* oracle
+  (no cross-model contamination), quota/compile-deadline refusals must
+  be typed, and zero responses may be lost.
 
 Exit status 0 when every invariant holds, 1 otherwise.  The schedule is
 fully determined by ``--seed``; timing-dependent *outcomes* (how many
@@ -50,6 +58,7 @@ import numpy as np
 
 from repro import InferenceEngine, random_network
 from repro.jt.build import junction_tree_from_network
+from repro.registry import ModelRegistry, RegistryService, TenantScheduler
 from repro.sched.collaborative import CollaborativeExecutor
 from repro.sched.faults import FaultPlan
 from repro.sched.process import ProcessSharedMemoryExecutor
@@ -424,6 +433,136 @@ def phase_c(seed: int, duration: float, failures: List[str]):
     return report
 
 
+def phase_d(seed: int, duration: float, failures: List[str]):
+    print("== phase D: multi-model chaos (registry) ==")
+    rng = random.Random(seed + 3)
+    num_vars = 16
+    model_ids = ["m0", "m1", "m2", "m3"]
+    networks = {
+        mid: random_network(
+            num_vars, max_parents=3, edge_probability=0.6, seed=seed + 3 + i
+        )
+        for i, mid in enumerate(model_ids)
+    }
+    oracles = {mid: Oracle(bn) for mid, bn in networks.items()}
+
+    # Probe each model's true resident cost, then set a budget that can
+    # hold roughly 60% of the fleet: the storm *must* evict.
+    probe = ModelRegistry(sessions=2, cache_size=64)
+    for mid, bn in networks.items():
+        probe.register(mid, network=bn)
+    costs = {mid: probe.acquire(mid).cost_bytes for mid in model_ids}
+    probe.close()
+    budget = int(sum(costs.values()) * 0.6)
+
+    threads_before = {t.name for t in threading.enumerate()}
+    registry = ModelRegistry(
+        memory_budget=budget,
+        sessions=2,
+        cache_size=64,
+        max_queue=16,
+        workers=2,
+    )
+    for mid, bn in networks.items():
+        registry.register(mid, network=bn)
+    service = RegistryService(
+        registry, scheduler=TenantScheduler(capacity=24, burst_factor=2.0)
+    )
+
+    tenants = ["acme", "globex", "initech"]
+    clients = 6
+    per_client = max(8, int(duration * 2))
+    schedules, pauses = [], []
+    for cid in range(clients):
+        crng = random.Random(rng.randrange(1 << 30))
+        sched = []
+        for _ in range(per_client):
+            delta = {
+                crng.randrange(num_vars): crng.randrange(2)
+                for _ in range(crng.randrange(3))
+            }
+            vars_ = sorted(crng.sample(range(num_vars), crng.randrange(1, 3)))
+            sched.append(
+                QueryRequest(
+                    delta=delta,
+                    vars=vars_,
+                    deadline=60.0,
+                    priority=crng.randrange(3),
+                    model_id=crng.choice(model_ids),
+                    tenant=tenants[cid % len(tenants)],
+                )
+            )
+        schedules.append(sched)
+        pauses.append([crng.choice([0.0, 0.0, 0.001]) for _ in sched])
+
+    # Mid-storm poison injection: scribble NaNs over one resident
+    # session's state and flag it — the pool must recycle it from the
+    # baseline checkpoint before any flight sees the garbage.
+    injected = threading.Event()
+
+    def inject_poison():
+        deadline = time.monotonic() + 30.0
+        while not injected.is_set() and time.monotonic() < deadline:
+            time.sleep(0.05)
+            for mid in registry.resident_models():
+                entry = registry._entries.get(mid)
+                pool = entry.pool if entry is not None else None
+                if pool is None or pool.closed:
+                    continue
+                try:
+                    with pool.session(timeout=0.5) as engine:
+                        for table in engine._state.potentials.values():
+                            table.values[...] = np.nan
+                        pool.note_failure(
+                            engine, "soak-injected poison", poisoned=True
+                        )
+                    injected.set()
+                    return
+                except Exception:
+                    continue  # evicted underneath us: try another model
+
+    injector = threading.Thread(target=inject_poison, name="soak-injector")
+    injector.start()
+    results = run_clients(service, schedules, pauses)
+    injector.join(timeout=60.0)
+    report = service.drain()
+
+    for request, response in results:
+        mid = response.model_id or request.model_id
+        if response.status in ("ok", "stale") and mid != request.model_id:
+            failures.append(
+                f"CROSS-MODEL ROUTING: asked {request.model_id}, "
+                f"answered by {mid}"
+            )
+            continue
+        verify_response(
+            oracles[request.model_id], request, response, failures,
+            allow_failed=False,
+        )
+    leak_check(threads_before, failures)
+    expected = clients * per_client
+    if len(results) != expected:
+        failures.append(
+            f"lost responses: {len(results)} of {expected}"
+        )
+    if not injected.is_set():
+        failures.append("poison injection never landed on a live session")
+    if report.session_recycles_from_checkpoint < 1:
+        failures.append(
+            "injected poison never recycled from checkpoint "
+            f"(recycles={report.session_recycles})"
+        )
+    if report.evictions < 1:
+        failures.append(
+            f"budget {budget} never forced an eviction — "
+            "pressure setup is broken"
+        )
+    if report.served == 0:
+        failures.append("phase D served nothing — registry setup is broken")
+    print(report.format())
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -447,6 +586,8 @@ def main(argv=None) -> int:
     if not args.skip_process:
         phase_b(args.seed, args.duration, failures)
         phase_c(args.seed, args.duration, failures)
+    # Phase D uses no process pools, so it runs even in smoke mode.
+    phase_d(args.seed, args.duration, failures)
     elapsed = time.monotonic() - started
 
     print(f"== soak finished in {elapsed:.1f} s ==")
