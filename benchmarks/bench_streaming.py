@@ -1,0 +1,296 @@
+"""Streaming DBN filtering: tick throughput, tail latency, roll cost.
+
+Drives a seeded evidence-tick schedule through a
+:class:`repro.streaming.FilteringSession` and records ticks/sec, the
+per-tick p50/p99 split into plain ticks and window-roll ticks, and the
+incremental-vs-full speedup (the same schedule re-run with
+``incremental=False`` — every tick pays a full repropagation of the
+window).  A second scenario pushes the same load through a
+:class:`repro.serve.StreamingService` with several concurrent streams
+and records end-to-end ticks/sec and queue-to-response latency.
+
+Run as a script to record the table::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+
+Results land in ``BENCH_streaming.json`` at the repo root.  ``--smoke``
+shrinks the workload for CI and turns the run into a gate: exit 1 if any
+streamed posterior disagrees with the offline unrolled-network oracle at
+1e-9, if incremental repropagation is not faster than full, or if the
+window never rolled (the interface algorithm not engaging).
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+import numpy as np
+
+from repro.bn.dbn import DynamicBayesianNetwork
+from repro.inference.engine import InferenceEngine
+from repro.potential.table import PotentialTable
+from repro.serve import StreamingService
+from repro.streaming import FilteringSession
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+)
+
+ATOL = 1e-9
+
+
+def build_dbn(k=6, interface_size=2, seed=7):
+    """A k-variable template: intra chain, ``interface_size`` carryovers."""
+    rng = np.random.default_rng(seed)
+    cards = [2 + (v % 2) for v in range(k)]
+    dbn = DynamicBayesianNetwork(cards)
+    intra_parents = {v: [] for v in range(k)}
+    for v in range(1, k):
+        dbn.add_intra_edge(v - 1, v)
+        intra_parents[v].append(v - 1)
+    inter_parents = {v: [] for v in range(k)}
+    for u in range(interface_size):
+        dbn.add_inter_edge(u, u)
+        inter_parents[u].append(u)
+    if interface_size >= 1 and k >= 2:
+        dbn.add_inter_edge(0, 1)
+        inter_parents[1].append(0)
+
+    def cpt(scope_cards):
+        table = rng.random(tuple(scope_cards)) + 0.05
+        return table / table.sum(axis=-1, keepdims=True)
+
+    for v in range(k):
+        scope = intra_parents[v] + [v]
+        scards = [cards[u] for u in scope]
+        dbn.set_prior_cpt(v, PotentialTable(scope, scards, cpt(scards)))
+        tscope = [p + k for p in inter_parents[v]] + intra_parents[v] + [v]
+        tcards = [cards[u % k] for u in tscope]
+        dbn.set_transition_cpt(
+            v, PotentialTable(tscope, tcards, cpt(tcards))
+        )
+    return dbn
+
+
+def make_schedule(dbn, ticks, seed):
+    """Seeded evidence ticks: observe the chain's tail, sometimes nothing."""
+    rng = random.Random(seed)
+    observed = list(range(max(dbn.k - 2, 1), dbn.k))
+    schedule = []
+    for _ in range(ticks):
+        if rng.random() < 0.1:
+            schedule.append({})
+        else:
+            schedule.append(
+                {v: rng.randrange(dbn.slice_cards[v]) for v in observed}
+            )
+    return schedule
+
+
+def oracle_posteriors(dbn, ticks, vars, t):
+    engine = InferenceEngine.from_network(dbn.unroll(len(ticks)))
+    for ti, delta in enumerate(ticks):
+        for v, state in delta.items():
+            engine.observe(dbn.variable_at(v, ti), int(state))
+    engine.propagate(incremental=False)
+    return {v: engine.marginal(dbn.variable_at(v, t)) for v in vars}
+
+
+def _percentiles(seconds):
+    if not seconds:
+        return {}
+    arr = np.asarray(seconds)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def measure_session(dbn, schedule, window, retire, incremental,
+                    failures, check_every=0):
+    """One session over the schedule; per-tick timings and exactness."""
+    session = FilteringSession(
+        dbn, window=window, retire=retire, incremental=incremental
+    )
+    plain, rolls = [], []
+    t0 = time.perf_counter()
+    for i, delta in enumerate(schedule):
+        result = session.tick(dict(delta))
+        (rolls if result.rolled else plain).append(
+            result.seconds + result.roll_seconds
+        )
+        if check_every and (i + 1) % check_every == 0:
+            want = oracle_posteriors(
+                dbn, schedule[: i + 1], range(dbn.k), t=i
+            )
+            for v in range(dbn.k):
+                if not np.allclose(
+                    session.posterior(v), want[v], atol=ATOL
+                ):
+                    failures.append(
+                        f"streamed posterior of var {v} at t={i} "
+                        f"diverged from the unrolled oracle "
+                        f"(incremental={incremental})"
+                    )
+    elapsed = time.perf_counter() - t0
+    return {
+        "incremental": incremental,
+        "ticks": len(schedule),
+        "rolls": session.rolls,
+        "seconds": elapsed,
+        "ticks_per_sec": len(schedule) / elapsed if elapsed > 0 else 0.0,
+        "tick_seconds_total": sum(plain) + sum(rolls),
+        "latency_plain": _percentiles(plain),
+        "latency_roll": _percentiles(rolls),
+    }
+
+
+def measure_service(dbn, schedule, window, retire, streams, workers,
+                    failures):
+    """Concurrent streams through the service; end-to-end tick latency."""
+    service = StreamingService(
+        dbn, window=window, retire=retire, workers=workers,
+        max_pending=len(schedule),
+    )
+    handles = [
+        service.subscribe(name=f"bench-{i}") for i in range(streams)
+    ]
+    t0 = time.perf_counter()
+    futures = [
+        (handle, service.push_tick(handle, dict(delta)))
+        for delta in schedule
+        for handle in handles
+    ]
+    responses = [f.result(600.0) for _, f in futures]
+    elapsed = time.perf_counter() - t0
+    report = service.drain()
+    if report.ticks_failed or report.ticks_deadline:
+        failures.append(
+            f"service refused ticks in a fault-free workload "
+            f"({report.ticks_failed} failed, {report.ticks_deadline} "
+            f"deadline)"
+        )
+    ok = sum(1 for r in responses if r.ok)
+    return {
+        "streams": streams,
+        "workers": workers,
+        "ticks": len(responses),
+        "ticks_ok": ok,
+        "seconds": elapsed,
+        "ticks_per_sec": ok / elapsed if elapsed > 0 else 0.0,
+        "window_rolls": report.window_rolls,
+        "latency": report.latency,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark streaming DBN filtering"
+    )
+    parser.add_argument("--slice-vars", type=int, default=8)
+    parser.add_argument("--interface", type=int, default=3)
+    parser.add_argument("--ticks", type=int, default=60)
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--retire", type=int, default=None)
+    parser.add_argument("--streams", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI workload and gate: every streamed posterior must "
+        "match the unrolled oracle at 1e-9, incremental must beat full, "
+        "the window must roll",
+    )
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    ticks = 24 if args.smoke else args.ticks
+    dbn = build_dbn(args.slice_vars, args.interface, args.seed)
+    schedule = make_schedule(dbn, ticks, args.seed)
+    failures = []
+
+    incremental = measure_session(
+        dbn, schedule, args.window, args.retire, True, failures,
+        check_every=1 if args.smoke else max(ticks // 6, 1),
+    )
+    full = measure_session(
+        dbn, schedule, args.window, args.retire, False, failures,
+        check_every=0,
+    )
+    speedup = (
+        full["tick_seconds_total"] / incremental["tick_seconds_total"]
+        if incremental["tick_seconds_total"] > 0
+        else 0.0
+    )
+    for row, label in ((incremental, "incremental"), (full, "full")):
+        plain, roll = row["latency_plain"], row["latency_roll"]
+        print(
+            f"{label:11s}: {row['ticks_per_sec']:8.1f} ticks/s | "
+            f"plain p50 {plain.get('p50', 0)*1e3:7.2f} ms  "
+            f"p99 {plain.get('p99', 0)*1e3:7.2f} ms | "
+            f"roll p50 {roll.get('p50', 0)*1e3:7.2f} ms | "
+            f"{row['rolls']} rolls"
+        )
+    print(f"incremental-vs-full speedup: {speedup:.2f}x")
+
+    service = measure_service(
+        dbn, schedule, args.window, args.retire,
+        args.streams, args.workers, failures,
+    )
+    lat = service["latency"]
+    print(
+        f"service ({service['streams']} streams): "
+        f"{service['ticks_per_sec']:8.1f} ticks/s | "
+        f"p50 {lat.get('p50', 0)*1e3:7.2f} ms  "
+        f"p99 {lat.get('p99', 0)*1e3:7.2f} ms | "
+        f"{service['window_rolls']} rolls"
+    )
+
+    if incremental["rolls"] < 1:
+        failures.append(
+            "the window never rolled — grow --ticks or shrink --window"
+        )
+    if speedup <= 1.0:
+        failures.append(
+            f"incremental repropagation not faster than full "
+            f"({speedup:.2f}x)"
+        )
+
+    payload = {
+        "slice_vars": args.slice_vars,
+        "interface": args.interface,
+        "ticks": ticks,
+        "window": args.window,
+        "retire": args.retire,
+        "seed": args.seed,
+        "incremental": incremental,
+        "full": full,
+        "service": service,
+        # Headline row for dashboards.
+        "ticks_per_sec": incremental["ticks_per_sec"],
+        "p50_seconds": incremental["latency_plain"].get("p50", 0.0),
+        "p99_seconds": incremental["latency_plain"].get("p99", 0.0),
+        "speedup_incremental_vs_full": speedup,
+        "window_rolls": incremental["rolls"],
+    }
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"recorded -> {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("gate ok: every tick exact vs the unrolled oracle; "
+              "incremental beat full; the window rolled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,13 +53,83 @@ class DynamicBayesianNetwork:
         self._check(child)
         if parent == child:
             raise ValueError("intra-slice self loops are not allowed")
+        if (parent, child) in self.intra_edges:
+            raise ValueError(
+                f"duplicate intra-slice edge {parent} -> {child} "
+                f"in the template"
+            )
+        if self._intra_reaches(child, parent):
+            raise ValueError(
+                f"intra-slice edge {parent} -> {child} would create a "
+                f"cycle in the slice template"
+            )
         self.intra_edges.append((parent, child))
+
+    def _intra_reaches(self, src: int, dst: int) -> bool:
+        """Whether ``dst`` is reachable from ``src`` over intra edges."""
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(c for (p, c) in self.intra_edges if p == node)
+        return False
 
     def add_inter_edge(self, parent: int, child: int) -> None:
         """Temporal edge (``parent@t -> child@t+1``); self-arcs allowed."""
         self._check(parent)
         self._check(child)
+        if (parent, child) in self.inter_edges:
+            raise ValueError(
+                f"duplicate inter-slice edge {parent}@t -> {child}@t+1 "
+                f"in the template"
+            )
         self.inter_edges.append((parent, child))
+
+    def _check_scope_cards(
+        self, v: int, table: PotentialTable, kind: str, limit: int
+    ) -> None:
+        """Template-level CPT validation (shared by prior/transition).
+
+        Catches, *at set time and in slice-template terms*, everything
+        that used to surface deep inside :meth:`unroll` as an unrolled-id
+        error: scope ids outside ``[0, limit)``, repeated scope ids, a
+        scope missing ``v`` itself, and cardinalities that disagree with
+        ``slice_cards``.
+        """
+        scope = [int(u) for u in table.variables]
+        for u in scope:
+            if not 0 <= u < limit:
+                raise ValueError(
+                    f"{kind} CPT for slice variable {v}: scope id {u} "
+                    f"outside [0, {limit}) — slice ids are 0..{self.k - 1}"
+                    + (
+                        f", previous-slice ids {self.k}..{2 * self.k - 1}"
+                        if limit == 2 * self.k
+                        else ""
+                    )
+                )
+        if len(set(scope)) != len(scope):
+            raise ValueError(
+                f"{kind} CPT for slice variable {v}: repeated scope ids "
+                f"{scope}"
+            )
+        if v not in scope:
+            raise ValueError(
+                f"{kind} CPT for slice variable {v}: scope {scope} does "
+                f"not include {v} itself"
+            )
+        for u, card in zip(scope, table.cardinalities):
+            expected = self.slice_cards[u % self.k]
+            if int(card) != expected:
+                raise ValueError(
+                    f"{kind} CPT for slice variable {v}: scope id {u} has "
+                    f"cardinality {int(card)}, but slice_cards says "
+                    f"{expected}"
+                )
 
     def set_prior_cpt(self, v: int, table: PotentialTable) -> None:
         """CPT of ``v`` at slice 0, conditioned on its intra-slice parents.
@@ -67,6 +137,7 @@ class DynamicBayesianNetwork:
         Scope uses slice-variable ids (intra parents + ``v``).
         """
         self._check(v)
+        self._check_scope_cards(v, table, "prior", self.k)
         self._prior_cpts[v] = table
 
     def set_transition_cpt(self, v: int, table: PotentialTable) -> None:
@@ -76,7 +147,17 @@ class DynamicBayesianNetwork:
         ``0..k-1``; previous-slice parents use ``id + k``.
         """
         self._check(v)
+        self._check_scope_cards(v, table, "transition", 2 * self.k)
         self._transition_cpts[v] = table
+
+    def interface(self) -> List[int]:
+        """The forward interface: slice variables with outgoing inter edges.
+
+        ``P(interface_t | evidence up to t)`` d-separates the past from
+        the future, so it is exactly the state a filtering window must
+        carry when it retires old slices (Murphy's interface algorithm).
+        """
+        return sorted({u for (u, _v) in self.inter_edges})
 
     # ------------------------------------------------------------------ #
     # Unrolling

@@ -319,6 +319,75 @@ def _cmd_serve_demo(args) -> int:
     return 0
 
 
+def _cmd_stream_demo(args) -> int:
+    """Stream seeded evidence ticks through a StreamingService, report."""
+    import random
+
+    import numpy as np
+
+    from repro.bn.dbn import make_hmm
+    from repro.serve import StreamingService
+
+    rng = np.random.default_rng(args.seed)
+
+    def stochastic(shape, axis=-1):
+        table = rng.random(shape) + 0.1
+        return table / table.sum(axis=axis, keepdims=True)
+
+    states, observations = args.states, args.observations
+    dbn = make_hmm(
+        states,
+        observations,
+        initial=stochastic(states, axis=0),
+        transition=stochastic((states, states)),
+        emission=stochastic((states, observations)),
+    )
+    service = StreamingService(
+        dbn,
+        window=args.window,
+        retire=args.retire,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline,
+    )
+    print(
+        f"{states}-state/{observations}-symbol HMM, "
+        f"{args.streams} streams x {args.ticks} ticks, "
+        f"window {args.window} (retire "
+        f"{args.retire if args.retire is not None else args.window // 2}), "
+        f"max pending {args.max_pending}"
+    )
+    handles = [
+        service.subscribe(name=f"stream-{i}", query_vars=[0])
+        for i in range(args.streams)
+    ]
+    futures = []
+    for i, handle in enumerate(handles):
+        seq = random.Random(args.seed * 1000 + i)
+        for _ in range(args.ticks):
+            delta = (
+                {} if seq.random() < 0.1
+                else {1: seq.randrange(observations)}
+            )
+            futures.append((handle, service.push_tick(handle, delta)))
+    last = {}
+    for handle, future in futures:
+        response = future.result(60.0)
+        if response.ok:
+            last[handle.name] = response
+    for name in sorted(last):
+        response = last[name]
+        belief = ", ".join(f"{p:.4f}" for p in response.marginals[0])
+        print(
+            f"  {name}: t={response.t} "
+            f"P(state) = [{belief}]"
+            f"{'  (rolled)' if response.rolled else ''}"
+        )
+    report = service.drain()
+    print(report.format())
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -659,6 +728,32 @@ def build_parser() -> argparse.ArgumentParser:
         "force LRU evictions and checkpoint rehydrations (registry mode)",
     )
 
+    stream = sub.add_parser(
+        "stream-demo",
+        help="streaming DBN filtering demo: seeded evidence ticks over "
+        "concurrent streams, then a drain report",
+    )
+    stream.add_argument("--states", type=int, default=4,
+                        help="hidden states of the demo HMM")
+    stream.add_argument("--observations", type=int, default=3,
+                        help="observation symbols of the demo HMM")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--streams", type=int, default=3,
+                        help="concurrent filtering streams")
+    stream.add_argument("--ticks", type=int, default=12,
+                        metavar="N", help="evidence ticks per stream")
+    stream.add_argument("--window", type=int, default=6,
+                        help="unrolled slices held per stream")
+    stream.add_argument("--retire", type=int, default=None,
+                        help="slices rolled into the prior per roll "
+                        "(default window//2)")
+    stream.add_argument("--workers", type=int, default=2,
+                        help="worker threads shared by all streams")
+    stream.add_argument("--max-pending", type=int, default=8,
+                        help="per-stream tick-queue bound (backpressure)")
+    stream.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS", help="per-tick deadline")
+
     trace = sub.add_parser(
         "trace", help="inspect a recorded propagation trace"
     )
@@ -735,6 +830,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "demo": _cmd_demo,
         "serve-demo": _cmd_serve_demo,
+        "stream-demo": _cmd_stream_demo,
         "trace": _cmd_trace,
         "query": _cmd_query,
         "model": _cmd_model,

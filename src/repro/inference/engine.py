@@ -757,6 +757,25 @@ class InferenceEngine:
         with self._lock:
             return self._sync(targets={clique}).clique_marginal(clique)
 
+    def joint_marginal(self, variables: Iterable[int]):
+        """Normalized joint posterior over ``variables``.
+
+        The variables must share a clique (raises ``KeyError`` otherwise
+        — exact joints across cliques would need an out-of-tree
+        multiplication this engine deliberately does not do).  Used by
+        the streaming layer to extract the forward-interface joint when a
+        filtering window retires slices.
+        """
+        from repro.potential.primitives import marginalize
+
+        wanted = sorted(int(v) for v in variables)
+        if not wanted:
+            raise ValueError("joint_marginal needs at least one variable")
+        with self._lock:
+            host = self.jt.clique_containing(wanted)
+            table = self._sync(targets={host}).clique_marginal(host)
+            return marginalize(table, wanted).aligned_to(wanted).normalize()
+
     def likelihood(self) -> float:
         """Probability of the evidence, ``P(e)``."""
         with self._lock:

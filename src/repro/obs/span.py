@@ -23,8 +23,12 @@ CAT_LOCK = "lock"  # slow GL/LL lock acquisitions
 CAT_IPC = "ipc"  # process-executor dispatch round-trips
 CAT_FAULT = "fault"  # retries, injected faults, degradations
 CAT_SERVE = "serve"  # inference-service request lifecycles
+CAT_STREAM = "stream"  # streaming-session tick lifecycles / window rolls
 
-CATEGORIES = (CAT_EXECUTE, CAT_SCHED, CAT_LOCK, CAT_IPC, CAT_FAULT, CAT_SERVE)
+CATEGORIES = (
+    CAT_EXECUTE, CAT_SCHED, CAT_LOCK, CAT_IPC, CAT_FAULT, CAT_SERVE,
+    CAT_STREAM,
+)
 
 # Execution-span roles (stored in ``Span.role``).
 ROLE_TASK = "task"  # whole-task primitive execution

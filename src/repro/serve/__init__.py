@@ -26,9 +26,12 @@ from repro.serve.request import (
     QueryResponse,
     ServiceClosed,
     ServiceError,
+    StreamClosed,
+    StreamOverflow,
     TenantQuotaExceeded,
 )
 from repro.serve.service import EngineSessionPool, InferenceService
+from repro.serve.streaming import StreamHandle, StreamingService, TickResponse
 
 __all__ = [
     "CompileDeadlineExceeded",
@@ -50,4 +53,9 @@ __all__ = [
     "ServiceError",
     "EngineSessionPool",
     "InferenceService",
+    "StreamClosed",
+    "StreamOverflow",
+    "StreamHandle",
+    "StreamingService",
+    "TickResponse",
 ]

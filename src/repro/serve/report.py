@@ -32,9 +32,23 @@ class ServiceReport:
     served_stale: int = 0
     coalesced: int = 0
     shed: int = 0
+    # Overloaded requests that found a young-enough stale entry computed
+    # under a *different* conditioning: refused (counted inside ``shed``)
+    # rather than served another evidence signature's marginals.
+    stale_signature_miss: int = 0
     deadline_missed: int = 0
     failed: int = 0
     breaker_short_circuits: int = 0
+    # Streaming accounting (zero/empty for a plain request service):
+    # subscribed streams, evidence ticks served/refused, window rolls
+    # paid, and per-stream status breakdowns filled at drain.
+    streams: int = 0
+    ticks_ok: int = 0
+    ticks_overflowed: int = 0
+    ticks_deadline: int = 0
+    ticks_failed: int = 0
+    window_rolls: int = 0
+    per_stream: Dict[str, Dict[str, int]] = field(default_factory=dict)
     # Micro-batching accounting: how many batched propagations ran, how
     # many flights they carried, how many flights went through the
     # single-flight path, and how many batch cases were quarantined for
@@ -98,6 +112,7 @@ class ServiceReport:
             "served_stale": self.served_stale,
             "coalesced": self.coalesced,
             "shed": self.shed,
+            "stale_signature_miss": self.stale_signature_miss,
             "deadline_missed": self.deadline_missed,
             "failed": self.failed,
             "breaker_short_circuits": self.breaker_short_circuits,
@@ -121,6 +136,13 @@ class ServiceReport:
             "compile_deadline_refusals": self.compile_deadline_refusals,
             "peak_resident_bytes": self.peak_resident_bytes,
             "memory_budget": self.memory_budget,
+            "streams": self.streams,
+            "ticks_ok": self.ticks_ok,
+            "ticks_overflowed": self.ticks_overflowed,
+            "ticks_deadline": self.ticks_deadline,
+            "ticks_failed": self.ticks_failed,
+            "window_rolls": self.window_rolls,
+            "per_stream": {s: dict(c) for s, c in self.per_stream.items()},
             "tier_counts": dict(self.tier_counts),
             "breaker_transitions": [str(t) for t in self.breaker_transitions],
             "latency": dict(self.latency),
@@ -137,7 +159,12 @@ class ServiceReport:
             f"served exact       {self.served_ok:8d}"
             f"   ({self.coalesced} coalesced)",
             f"served stale       {self.served_stale:8d}",
-            f"shed (overload)    {self.shed:8d}",
+            f"shed (overload)    {self.shed:8d}"
+            + (
+                f"   ({self.stale_signature_miss} stale-signature misses)"
+                if self.stale_signature_miss
+                else ""
+            ),
             f"deadline missed    {self.deadline_missed:8d}",
             f"failed             {self.failed:8d}",
             f"shed rate          {self.shed_rate:8.1%}",
@@ -172,6 +199,24 @@ class ServiceReport:
                 f"peak resident      {self.peak_resident_bytes / 1e6:8.3g} MB"
                 f"{budget}"
             )
+        if self.streams:
+            lines.append(
+                f"streams            {self.streams:8d}"
+                f"   ({self.ticks_ok} ticks ok,"
+                f" {self.ticks_overflowed} overflowed,"
+                f" {self.ticks_deadline} deadline,"
+                f" {self.ticks_failed} failed,"
+                f" {self.window_rolls} window rolls)"
+            )
+        if self.per_stream:
+            lines.append("per-stream:")
+            for stream in sorted(self.per_stream):
+                counts = self.per_stream[stream]
+                per = ", ".join(
+                    f"{status} {counts[status]}"
+                    for status in sorted(counts)
+                )
+                lines.append(f"  {stream:<16s} {per}")
         if self.shed_by_quota or self.compile_deadline_refusals:
             lines.append(
                 f"typed refusals     {self.shed_by_quota:8d}"

@@ -60,6 +60,20 @@ class TenantQuotaExceeded(Overloaded):
     """
 
 
+class StreamOverflow(Overloaded):
+    """A stream's bounded tick queue was full; the tick was refused.
+
+    Backpressure is per stream: a slow consumer overflows only its own
+    queue, and the refusal is explicit — the tick's evidence is *not*
+    applied, so the stream's served posteriors remain an exact filter
+    over the ticks that were accepted.
+    """
+
+
+class StreamClosed(ServiceError):
+    """The stream (or the streaming service) no longer accepts ticks."""
+
+
 # Response statuses.  Everything except STATUS_OK / STATUS_STALE carries
 # no marginals; STATUS_STALE carries *last-known* marginals whose age the
 # client accepted up front via ``QueryRequest.max_staleness``.
@@ -83,6 +97,8 @@ _KIND_ERRORS = {
     "compile-deadline": CompileDeadlineExceeded,
     "quota": TenantQuotaExceeded,
     "model-not-found": ModelNotFound,
+    "stream-overflow": StreamOverflow,
+    "stream-closed": StreamClosed,
 }
 
 

@@ -558,6 +558,7 @@ class InferenceService:
             "served_stale": 0,
             "coalesced": 0,
             "shed": 0,
+            "stale_signature_miss": 0,
             "deadline_missed": 0,
             "failed": 0,
             "breaker_short_circuits": 0,
@@ -695,7 +696,16 @@ class InferenceService:
         return future.result(timeout)
 
     def _resolve_overload(self, member: _Member) -> None:
-        """Full queue: serve a tolerated-stale answer or shed explicitly."""
+        """Full queue: serve a tolerated-stale answer or shed explicitly.
+
+        A stale answer is a *dated* answer to the same question: every
+        stale-store entry is stamped with the evidence signature it was
+        computed under, and only entries whose signature equals this
+        request's own conditioning may be served.  A young-enough entry
+        under a different conditioning is a signature miss — counted in
+        ``stale_signature_miss`` — and the request is shed instead of
+        being handed another conditioning's marginals.
+        """
         request = member.request
         if request.max_staleness is not None:
             needed = (
@@ -703,22 +713,30 @@ class InferenceService:
                 if request.vars is not None
                 else self.pool.variables
             )
+            signature = request.signature()
             now = time.monotonic()
             marginals: Dict[int, np.ndarray] = {}
             worst_age = 0.0
+            signature_miss = False
             with self._stale_lock:
                 for var in needed:
                     entry = self._stale_store.get(var)
                     if entry is None:
                         marginals = {}
                         break
-                    values, ts, _sig = entry
+                    values, ts, sig = entry
+                    if sig != signature:
+                        marginals = {}
+                        signature_miss = True
+                        break
                     age = now - ts
                     if age > request.max_staleness:
                         marginals = {}
                         break
                     worst_age = max(worst_age, age)
                     marginals[var] = values
+            if signature_miss:
+                self._bump("stale_signature_miss")
             if marginals:
                 self._bump("served_stale")
                 self._finish(
@@ -1421,6 +1439,7 @@ class InferenceService:
             served_stale=counts["served_stale"],
             coalesced=counts["coalesced"],
             shed=counts["shed"],
+            stale_signature_miss=counts["stale_signature_miss"],
             deadline_missed=counts["deadline_missed"],
             failed=counts["failed"],
             breaker_short_circuits=counts["breaker_short_circuits"],

@@ -1,0 +1,552 @@
+"""Streaming DBN filtering as a service: subscribe, push ticks, read posteriors.
+
+:class:`StreamingService` serves many concurrent
+:class:`~repro.streaming.FilteringSession` streams through the same
+operability machinery as :class:`~repro.serve.service.InferenceService`:
+a bounded worker pool, explicit typed refusals, a span tracer
+(``cat="stream"`` tick lifecycles) and an idempotent ``drain()``
+returning a :class:`~repro.serve.report.ServiceReport` with streaming
+sections.
+
+The contract per tick mirrors the request service's: **exact or
+explicit**.  An ``ok`` :class:`TickResponse` carries posteriors equal to
+an offline unrolled-network propagation over every tick applied so far
+(to 1e-9); everything else is a typed refusal whose evidence was *not*
+applied — overflowed and refused ticks never corrupt the stream's
+filter.  Backpressure is per stream: each stream owns a bounded pending
+queue (``max_pending``), and a full queue refuses new ticks immediately
+(``kind="stream-overflow"``) instead of blocking the producer or
+starving other streams.  Ticks of one stream are processed strictly in
+admission order by at most one worker at a time; different streams
+progress in parallel.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import latency_percentiles
+from repro.obs.span import CAT_STREAM
+from repro.obs.tracer import Tracer
+from repro.serve.report import ServiceReport
+from repro.serve.request import (
+    STATUS_DEADLINE,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    _KIND_ERRORS,
+    _STATUS_ERRORS,
+    ServiceClosed,
+)
+from repro.serve.service import _Future
+from repro.streaming.session import (
+    FilteringSession,
+    TickDeadline,
+    TickFailed,
+)
+
+
+@dataclass
+class TickResponse:
+    """The service's answer to one pushed tick.
+
+    ``marginals`` maps *slice-template* variable ids to their posterior
+    at the tick's time when ``status == "ok"``; refusals carry no
+    marginals, and their evidence was not applied to the stream.
+    """
+
+    stream: str
+    status: str
+    t: int = -1  # absolute tick time; -1 for refusals (time not advanced)
+    marginals: Dict[int, np.ndarray] = field(default_factory=dict)
+    latency: float = 0.0
+    rolled: bool = False
+    incremental: bool = False
+    error: Optional[str] = None
+    kind: Optional[str] = None  # "stream-overflow" | "stream-closed" | None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def raise_for_status(self) -> "TickResponse":
+        """Raise the matching typed refusal unless :attr:`ok`."""
+        exc = _KIND_ERRORS.get(self.kind) or _STATUS_ERRORS.get(self.status)
+        if exc is not None and not self.ok:
+            raise exc(self.error or self.status)
+        return self
+
+
+@dataclass
+class _TickJob:
+    delta: Dict[int, object]
+    deadline_at: Optional[float]
+    future: _Future
+    admitted_ns: int
+
+
+class StreamHandle:
+    """One subscribed stream: its session, pending queue and update feed."""
+
+    def __init__(
+        self,
+        name: str,
+        session: FilteringSession,
+        query_vars: Optional[Sequence[int]],
+        max_pending: int,
+    ):
+        self.name = name
+        self.session = session
+        self.query_vars = (
+            [int(v) for v in query_vars] if query_vars is not None else None
+        )
+        self.max_pending = max_pending
+        self.pending: "deque[_TickJob]" = deque()
+        self.scheduled = False
+        self.closed = False
+        self.counts: Dict[str, int] = {}
+        self.window_rolls = 0
+        self.updates_queue: "queue.Queue[Optional[TickResponse]]" = (
+            queue.Queue()
+        )
+        self._sentinel_sent = False
+
+    def _count(self, status: str) -> None:
+        self.counts[status] = self.counts.get(status, 0) + 1
+
+
+class StreamingService:
+    """Concurrent online-filtering service over one DBN template.
+
+    Parameters
+    ----------
+    dbn:
+        The :class:`~repro.bn.dbn.DynamicBayesianNetwork` every stream
+        filters (prior and transition CPTs set).
+    window / retire:
+        Default :class:`~repro.streaming.FilteringSession` window
+        geometry; overridable per :meth:`subscribe`.
+    workers:
+        Worker threads shared by every stream.  One stream is served by
+        at most one worker at a time (ticks are ordered), so more
+        workers than active streams buys nothing.
+    max_pending:
+        Per-stream tick-queue bound — the backpressure knob.  A full
+        queue refuses pushes with ``kind="stream-overflow"``.
+    executor_factory:
+        Zero-argument callable building the executor one stream's
+        propagations run on (called once per subscribe); ``None`` runs
+        serial.  This is where the chaos soak injects faulty executors.
+    default_deadline:
+        Per-tick deadline (seconds from push) applied when
+        :meth:`push_tick` gives none; ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        dbn,
+        window: int = 8,
+        retire: Optional[int] = None,
+        workers: int = 2,
+        max_pending: int = 8,
+        executor_factory=None,
+        default_deadline: Optional[float] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.dbn = dbn
+        self.window = window
+        self.retire = retire
+        self.max_pending = max_pending
+        self.executor_factory = executor_factory
+        self.default_deadline = default_deadline
+
+        self._streams: Dict[str, StreamHandle] = {}
+        self._lock = threading.Lock()
+        self._ready: "queue.Queue[Optional[StreamHandle]]" = queue.Queue()
+        self._counts = {
+            "submitted": 0,
+            "ticks_ok": 0,
+            "ticks_overflowed": 0,
+            "ticks_deadline": 0,
+            "ticks_failed": 0,
+            "ticks_closed": 0,
+            "window_rolls": 0,
+        }
+        self._tracer = Tracer()
+        self._started_ns = time.perf_counter_ns()
+        self._closed = False
+        self._report: Optional[ServiceReport] = None
+        self._lifecycle_lock = threading.Lock()
+        self._seq = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"stream-worker-{slot}",
+                daemon=True,
+            )
+            for slot in range(max(workers, 1))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Subscription / admission
+    # ------------------------------------------------------------------ #
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[key] += n
+
+    def subscribe(
+        self,
+        name: Optional[str] = None,
+        query_vars: Optional[Sequence[int]] = None,
+        window: Optional[int] = None,
+        retire: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        incremental: bool = True,
+    ) -> StreamHandle:
+        """Open a new filtering stream; returns its handle.
+
+        ``query_vars`` selects which slice variables each ok tick
+        response reports (default: all of them).  The stream gets its
+        own :class:`~repro.streaming.FilteringSession` — window state is
+        per stream and never shared — and its own executor from
+        ``executor_factory``.
+        """
+        if self._closed:
+            raise ServiceClosed("streaming service is draining")
+        executor = (
+            self.executor_factory() if self.executor_factory else None
+        )
+        session = FilteringSession(
+            self.dbn,
+            window=window if window is not None else self.window,
+            retire=retire if retire is not None else self.retire,
+            executor=executor,
+            incremental=incremental,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("streaming service is draining")
+            if name is None:
+                self._seq += 1
+                name = f"stream-{self._seq}"
+            if name in self._streams:
+                raise ValueError(f"stream {name!r} already subscribed")
+            handle = StreamHandle(
+                name,
+                session,
+                query_vars,
+                max_pending if max_pending is not None else self.max_pending,
+            )
+            self._streams[name] = handle
+        return handle
+
+    def _handle(self, stream) -> StreamHandle:
+        if isinstance(stream, StreamHandle):
+            return stream
+        with self._lock:
+            handle = self._streams.get(stream)
+        if handle is None:
+            raise KeyError(f"unknown stream {stream!r}")
+        return handle
+
+    def push_tick(
+        self,
+        stream,
+        delta: Optional[Mapping[int, object]] = None,
+        deadline: Optional[float] = None,
+    ) -> _Future:
+        """Admit one evidence tick; returns a future of its TickResponse.
+
+        Never blocks: a full per-stream queue (or a closed stream)
+        resolves the future immediately with a typed refusal whose
+        evidence was not applied.
+        """
+        if self._closed:
+            raise ServiceClosed("streaming service is draining")
+        handle = self._handle(stream)
+        if deadline is None:
+            deadline = self.default_deadline
+        now = time.monotonic()
+        job = _TickJob(
+            delta=dict(delta or {}),
+            deadline_at=now + deadline if deadline is not None else None,
+            future=_Future(),
+            admitted_ns=time.perf_counter_ns(),
+        )
+        refusal: Optional[TickResponse] = None
+        with self._lock:
+            self._counts["submitted"] += 1
+            if self._closed or handle.closed:
+                self._counts["ticks_closed"] += 1
+                refusal = TickResponse(
+                    stream=handle.name,
+                    status=STATUS_SHED,
+                    kind="stream-closed",
+                    error=f"stream {handle.name!r} no longer accepts ticks",
+                )
+            elif len(handle.pending) >= handle.max_pending:
+                self._counts["ticks_overflowed"] += 1
+                handle._count("overflowed")
+                refusal = TickResponse(
+                    stream=handle.name,
+                    status=STATUS_SHED,
+                    kind="stream-overflow",
+                    error=(
+                        f"stream {handle.name!r} tick queue full "
+                        f"({handle.max_pending} pending)"
+                    ),
+                )
+            else:
+                handle.pending.append(job)
+                if not handle.scheduled:
+                    handle.scheduled = True
+                    self._ready.put(handle)
+        if refusal is not None:
+            self._resolve(handle, job, refusal)
+        return job.future
+
+    def close_stream(self, stream) -> None:
+        """Stop admitting ticks to one stream; pending ticks still run.
+
+        The stream's update feed ends (its :meth:`updates` iterator
+        stops) once every already-admitted tick has resolved.
+        """
+        handle = self._handle(stream)
+        with self._lock:
+            handle.closed = True
+            idle = not handle.pending and not handle.scheduled
+            if idle and not handle._sentinel_sent:
+                handle._sentinel_sent = True
+            else:
+                idle = False
+        if idle:
+            handle.updates_queue.put(None)
+
+    def updates(self, stream, timeout: Optional[float] = None) -> Iterator[TickResponse]:
+        """Yield this stream's tick responses in admission order.
+
+        Ends when the stream is closed (or the service drained) and
+        every admitted tick has resolved.  ``timeout`` bounds the wait
+        for *each* response; expiry raises ``TimeoutError``.
+        """
+        handle = self._handle(stream)
+        while True:
+            try:
+                item = handle.updates_queue.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no tick response from stream {handle.name!r} "
+                    f"within {timeout}s"
+                ) from None
+            if item is None:
+                return
+            yield item
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self, slot: int) -> None:
+        self._tracer.bind(slot)
+        self._tracer.name_row(slot, f"stream-{slot}")
+        while True:
+            handle = self._ready.get()
+            if handle is None:
+                return
+            while True:
+                with self._lock:
+                    if not handle.pending:
+                        handle.scheduled = False
+                        send_sentinel = (
+                            (handle.closed or self._closed)
+                            and not handle._sentinel_sent
+                        )
+                        if send_sentinel:
+                            handle._sentinel_sent = True
+                        break
+                    job = handle.pending.popleft()
+                self._serve_tick(handle, job)
+            if send_sentinel:
+                handle.updates_queue.put(None)
+
+    def _serve_tick(self, handle: StreamHandle, job: _TickJob) -> None:
+        session = handle.session
+        if (
+            job.deadline_at is not None
+            and time.monotonic() >= job.deadline_at
+        ):
+            self._bump("ticks_deadline")
+            handle._count("deadline")
+            self._resolve(
+                handle,
+                job,
+                TickResponse(
+                    stream=handle.name,
+                    status=STATUS_DEADLINE,
+                    error="deadline passed while the tick was queued",
+                ),
+            )
+            return
+        try:
+            result = session.tick(job.delta, deadline=job.deadline_at)
+        except TickDeadline as exc:
+            self._bump("ticks_deadline")
+            handle._count("deadline")
+            self._resolve(
+                handle,
+                job,
+                TickResponse(
+                    stream=handle.name,
+                    status=STATUS_DEADLINE,
+                    error=str(exc),
+                ),
+            )
+            return
+        except Exception as exc:  # TickFailed and anything unexpected
+            if not isinstance(exc, TickFailed):
+                # An unclassified failure may have left the session
+                # inconsistent; rebuild it from the durable records.
+                try:
+                    session.resync()
+                except Exception:
+                    pass
+            self._bump("ticks_failed")
+            handle._count("failed")
+            self._resolve(
+                handle,
+                job,
+                TickResponse(
+                    stream=handle.name,
+                    status=STATUS_FAILED,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+            )
+            return
+        marginals = session.posteriors(handle.query_vars, t=result.t)
+        if result.rolled:
+            self._bump("window_rolls")
+            handle.window_rolls += 1
+        self._bump("ticks_ok")
+        handle._count("ok")
+        self._resolve(
+            handle,
+            job,
+            TickResponse(
+                stream=handle.name,
+                status=STATUS_OK,
+                t=result.t,
+                marginals=marginals,
+                rolled=result.rolled,
+                incremental=result.incremental,
+            ),
+        )
+
+    def _resolve(
+        self, handle: StreamHandle, job: _TickJob, response: TickResponse
+    ) -> None:
+        end_ns = time.perf_counter_ns()
+        response.latency = (end_ns - job.admitted_ns) * 1e-9
+        self._tracer.current().span(
+            f"tick:{response.status}@{handle.name}",
+            CAT_STREAM,
+            job.admitted_ns,
+            end_ns,
+        )
+        job.future.resolve(response)
+        handle.updates_queue.put(response)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def drain(self, timeout: Optional[float] = None) -> ServiceReport:
+        """Stop admissions, finish every pending tick, report.
+
+        Idempotent; the report's streaming sections (``streams``,
+        ``ticks_*``, ``window_rolls``, ``per_stream``) ride next to the
+        shared fields (``submitted``, latency percentiles, the span
+        trace).
+        """
+        with self._lifecycle_lock:
+            if self._report is not None:
+                return self._report
+            with self._lock:
+                self._closed = True
+                # Schedule every stream with pending work that no worker
+                # currently owns, so nothing is stranded behind the
+                # sentinels.
+                for handle in self._streams.values():
+                    if handle.pending and not handle.scheduled:
+                        handle.scheduled = True
+                        self._ready.put(handle)
+            for _ in self._workers:
+                self._ready.put(None)
+            for thread in self._workers:
+                thread.join(timeout)
+            # Streams never scheduled after close still need their update
+            # feeds terminated.
+            for handle in list(self._streams.values()):
+                with self._lock:
+                    send = not handle._sentinel_sent
+                    if send:
+                        handle._sentinel_sent = True
+                if send:
+                    handle.updates_queue.put(None)
+            self._report = self._build_report()
+            return self._report
+
+    def _build_report(self) -> ServiceReport:
+        trace = self._tracer.finalize(executor="StreamingService")
+        ok_spans = [
+            span.duration
+            for span in trace.spans
+            if span.cat == CAT_STREAM and span.name.startswith("tick:ok")
+        ]
+        with self._lock:
+            counts = dict(self._counts)
+            per_stream = {
+                name: dict(handle.counts)
+                for name, handle in self._streams.items()
+            }
+            streams = len(self._streams)
+        return ServiceReport(
+            submitted=counts["submitted"],
+            served_ok=counts["ticks_ok"],
+            shed=counts["ticks_overflowed"] + counts["ticks_closed"],
+            deadline_missed=counts["ticks_deadline"],
+            failed=counts["ticks_failed"],
+            streams=streams,
+            ticks_ok=counts["ticks_ok"],
+            ticks_overflowed=counts["ticks_overflowed"],
+            ticks_deadline=counts["ticks_deadline"],
+            ticks_failed=counts["ticks_failed"],
+            window_rolls=counts["window_rolls"],
+            per_stream=per_stream,
+            latency=latency_percentiles(ok_spans, points=(50, 90, 99)),
+            wall_seconds=(time.perf_counter_ns() - self._started_ns) * 1e-9,
+            trace=trace,
+        )
+
+    def __enter__(self) -> "StreamingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingService(streams={len(self._streams)}, "
+            f"workers={len(self._workers)}, max_pending={self.max_pending})"
+        )

@@ -1,0 +1,27 @@
+"""repro.streaming — online DBN filtering over bounded windows.
+
+A :class:`FilteringSession` turns the static junction-tree stack into a
+temporal one: a bounded unrolled window of a
+:class:`~repro.bn.dbn.DynamicBayesianNetwork`, advanced one evidence
+tick at a time via incremental repropagation, rolled interface-algorithm
+style (the retired slices' interface posterior becomes the next window's
+prior) when it fills.  The served posteriors match the fully unrolled
+network exactly.  :class:`~repro.serve.streaming.StreamingService`
+serves many such sessions concurrently.  See ``docs/streaming.md``.
+"""
+
+from repro.streaming.session import (
+    FilteringSession,
+    TickDeadline,
+    TickError,
+    TickFailed,
+    TickResult,
+)
+
+__all__ = [
+    "FilteringSession",
+    "TickDeadline",
+    "TickError",
+    "TickFailed",
+    "TickResult",
+]

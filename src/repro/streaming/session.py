@@ -1,0 +1,498 @@
+"""Online DBN filtering over a bounded unrolled window.
+
+A :class:`FilteringSession` keeps a **window** of ``window`` consecutive
+time slices of a :class:`~repro.bn.dbn.DynamicBayesianNetwork` unrolled
+into one ordinary network, served by one
+:class:`~repro.inference.engine.InferenceEngine`.  Each evidence
+**tick** observes the next slice's variables and repropagates
+*incrementally* — the tick's findings are an evidence delta over the
+previous propagation, so only the dirty part of the task DAG re-runs.
+When the window fills, the session **rolls** (Murphy's interface
+algorithm): the posterior joint over the forward interface of the
+oldest retained boundary slice — ``P(interface | evidence up to the
+retired slices)`` — becomes the *prior* of a freshly unrolled window,
+encoded as chain-rule "ghost" parents of the new slice 0.  Because the
+forward interface d-separates the retired past from the future, the
+rolled window's posteriors are **exactly** the posteriors the fully
+unrolled network would give, to float noise.
+
+Two structural tricks keep this on the stock junction-tree machinery:
+
+* **Ghost chain-rule prior** — an arbitrary interface joint ``α`` is
+  factorized by the chain rule into per-ghost CPDs
+  ``P(g_j | g_1..g_{j-1})`` (0/0 contexts filled uniform), so the rolled
+  prior enters the network as ordinary CPTs.
+* **Boundary clique pin** — a card-2 dummy variable with a uniform CPT
+  whose parents are the boundary slice's interface variables; its
+  moralization forces the interface into one clique, so the roll can
+  read the joint with one ``joint_marginal`` call.
+
+Ticks are **transactional**: a tick that is refused (deadline) or fails
+(executor fault) leaves the session exactly as it was — its evidence is
+retracted, time does not advance — so the stream of *applied* ticks is
+always an exact filter the offline unrolled-network oracle reproduces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.bn.dbn import DynamicBayesianNetwork
+from repro.bn.network import BayesianNetwork
+from repro.inference.engine import InferenceEngine
+from repro.potential.table import PotentialTable
+from repro.sched.faults import TaskExecutionError, check_state_health
+
+
+class TickError(RuntimeError):
+    """A tick was not applied; the session state is unchanged."""
+
+
+class TickDeadline(TickError):
+    """The tick's deadline passed before its propagation finished."""
+
+
+class TickFailed(TickError):
+    """Every attempt to propagate the tick failed; evidence rolled back."""
+
+
+@dataclass
+class TickResult:
+    """What one applied tick did.
+
+    ``t`` is the absolute time of the slice the tick observed; ``rolled``
+    says whether the window retired slices first.  ``tasks_executed`` /
+    ``tasks_skipped`` come from the tick's own propagation (the roll's
+    rebuild propagation is accounted separately in ``roll_seconds``).
+    """
+
+    t: int
+    rolled: bool = False
+    tasks_executed: int = 0
+    tasks_skipped: int = 0
+    incremental: bool = False
+    seconds: float = 0.0
+    roll_seconds: float = 0.0
+
+
+def _chain_rule_cpds(
+    joint: PotentialTable, cards: Sequence[int]
+) -> List[np.ndarray]:
+    """Factorize a joint over m variables into chain-rule CPD arrays.
+
+    Returns ``[P(x_0), P(x_1 | x_0), ...]`` where the j-th array has
+    shape ``cards[:j+1]`` and is normalized over its last-listed
+    variable (axis j).  Conditioning contexts with zero probability are
+    filled uniform — any completion reproduces the joint exactly, since
+    the zero prefix annihilates the factor.
+    """
+    m = len(cards)
+    values = np.asarray(joint.values, dtype=np.float64)
+    cpds: List[np.ndarray] = []
+    for j in range(m):
+        tail = tuple(range(j + 1, m))
+        num = values.sum(axis=tail) if tail else values.copy()
+        den = num.sum(axis=j, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cpd = num / den
+        cpd = np.where(np.isfinite(cpd), cpd, 1.0 / cards[j])
+        # Kill 1e-16 division drift so BayesianNetwork.set_cpt's
+        # normalization check never trips.
+        cpd = cpd / cpd.sum(axis=j, keepdims=True)
+        cpds.append(cpd)
+    return cpds
+
+
+class FilteringSession:
+    """One online filtering stream over a DBN.
+
+    Parameters
+    ----------
+    dbn:
+        The two-slice template.  Prior CPTs must be set for every slice
+        variable; transition CPTs too (a one-slice window never rolls,
+        but streaming exists to roll).
+    window:
+        Slices held unrolled at once (>= 2).
+    retire:
+        Slices rolled into the prior per roll (1..window); defaults to
+        ``window // 2`` so roll cost amortizes over that many cheap
+        incremental ticks.
+    executor:
+        Executor handed to every propagation (None = serial).
+    incremental:
+        ``False`` forces full repropagation per tick — the benchmark's
+        baseline; leave True everywhere else.
+    """
+
+    def __init__(
+        self,
+        dbn: DynamicBayesianNetwork,
+        window: int = 8,
+        retire: Optional[int] = None,
+        executor=None,
+        incremental: bool = True,
+    ):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.dbn = dbn
+        self.k = dbn.k
+        self.window = int(window)
+        self.retire = int(retire) if retire is not None else max(1, window // 2)
+        if not 1 <= self.retire <= self.window:
+            raise ValueError(
+                f"retire must be in [1, window={self.window}], "
+                f"got {self.retire}"
+            )
+        self.executor = executor
+        self.incremental = incremental
+        self._interface: List[int] = dbn.interface()
+        # Absolute time of window position 0, and of the next tick.
+        self.base = 0
+        self.t = 0
+        # Rolled prior: normalized joint over the interface (sorted
+        # template ids), None before the first roll / for an empty
+        # interface.
+        self._ghost_joint: Optional[PotentialTable] = None
+        # Applied evidence, {absolute_t: {slice_var: finding}} — the
+        # durable record rolls and resyncs rebuild from.
+        self._evidence: Dict[int, Dict[int, object]] = {}
+        self.ticks = 0
+        self.rolls = 0
+        self.last_result: Optional[TickResult] = None
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------ #
+    # Window construction
+    # ------------------------------------------------------------------ #
+
+    def _pos_id(self, v: int, pos: int) -> int:
+        """Window-network id of slice variable ``v`` at window position."""
+        return pos * self.k + v
+
+    def wid(self, v: int, t: int) -> int:
+        """Window-network id of slice variable ``v`` at absolute time ``t``."""
+        pos = t - self.base
+        if not 0 <= pos < self.window:
+            raise ValueError(
+                f"time {t} outside the window "
+                f"[{self.base}, {self.base + self.window})"
+            )
+        return self._pos_id(v, pos)
+
+    def _build_window_network(self) -> BayesianNetwork:
+        W, k = self.window, self.k
+        interface = self._interface
+        m = len(interface) if self._ghost_joint is not None else 0
+        ghost_of = {
+            v: W * k + j for j, v in enumerate(interface[:m] if m else [])
+        }
+        # The boundary pin: only needed when the next roll must read a
+        # *joint* over >= 2 interface variables.
+        dummy = W * k + m if len(interface) >= 2 else None
+        cards = list(self.dbn.slice_cards) * W
+        cards += [self.dbn.slice_cards[v] for v in interface[:m]]
+        if dummy is not None:
+            cards.append(2)
+        bn = BayesianNetwork(cards)
+
+        for pos in range(W):
+            for parent, child in self.dbn.intra_edges:
+                bn.add_edge(self._pos_id(parent, pos), self._pos_id(child, pos))
+        for pos in range(W - 1):
+            for parent, child in self.dbn.inter_edges:
+                bn.add_edge(
+                    self._pos_id(parent, pos), self._pos_id(child, pos + 1)
+                )
+        if m:
+            ghosts = [ghost_of[v] for v in interface]
+            for i in range(m):
+                for j in range(i + 1, m):
+                    bn.add_edge(ghosts[i], ghosts[j])
+            for parent, child in self.dbn.inter_edges:
+                bn.add_edge(ghost_of[parent], self._pos_id(child, 0))
+        if dummy is not None:
+            boundary = [
+                self._pos_id(v, self.retire - 1) for v in interface
+            ]
+            for b in boundary:
+                bn.add_edge(b, dummy)
+
+        # Slice CPTs.  Position 0 uses the template prior in the first
+        # epoch and the transition CPTs (previous-slice parents mapped to
+        # ghosts) once the window has rolled.
+        for pos in range(W):
+            for v in range(self.k):
+                if pos == 0 and not m and self.base == 0:
+                    cpt = self.dbn._prior_cpts[v]
+                    scope = [self._pos_id(int(u), 0) for u in cpt.variables]
+                elif pos == 0 and not m:
+                    # Rolled window, empty interface: slices are
+                    # temporally disconnected, transition scopes hold
+                    # only current-slice ids.
+                    cpt = self.dbn._transition_cpts[v]
+                    scope = [self._pos_id(int(u), 0) for u in cpt.variables]
+                elif pos == 0:
+                    cpt = self.dbn._transition_cpts[v]
+                    scope = [
+                        self._pos_id(int(u), 0)
+                        if int(u) < self.k
+                        else ghost_of[int(u) - self.k]
+                        for u in cpt.variables
+                    ]
+                else:
+                    cpt = self.dbn._transition_cpts[v]
+                    scope = [
+                        self._pos_id(int(u), pos)
+                        if int(u) < self.k
+                        else self._pos_id(int(u) - self.k, pos - 1)
+                        for u in cpt.variables
+                    ]
+                bn.set_cpt(
+                    self._pos_id(v, pos),
+                    PotentialTable(scope, cpt.cardinalities, cpt.values),
+                )
+
+        if m:
+            ghosts = [ghost_of[v] for v in interface]
+            gcards = [self.dbn.slice_cards[v] for v in interface]
+            joint = self._ghost_joint.aligned_to(interface)
+            for j, cpd in enumerate(_chain_rule_cpds(joint, gcards)):
+                scope = ghosts[: j + 1]
+                bn.set_cpt(
+                    ghosts[j],
+                    PotentialTable(scope, gcards[: j + 1], cpd),
+                )
+        if dummy is not None:
+            boundary = [self._pos_id(v, self.retire - 1) for v in interface]
+            bcards = [self.dbn.slice_cards[v] for v in interface]
+            bn.set_cpt(
+                dummy,
+                PotentialTable(
+                    boundary + [dummy],
+                    bcards + [2],
+                    np.full(tuple(bcards) + (2,), 0.5),
+                ),
+            )
+        return bn
+
+    def _build_engine(self) -> InferenceEngine:
+        """Fresh engine over the current window, evidence re-applied."""
+        engine = InferenceEngine.from_network(self._build_window_network())
+        for t, delta in self._evidence.items():
+            for v, finding in delta.items():
+                wid = self.wid(v, t)
+                if isinstance(finding, (int, np.integer)):
+                    engine.observe(wid, int(finding))
+                else:
+                    engine.observe_soft(wid, finding)
+        engine.propagate(executor=self.executor, incremental=False)
+        return engine
+
+    def resync(self) -> None:
+        """Rebuild the engine from the durable records (failure recovery).
+
+        ``engine`` is dropped before the rebuild: if the rebuild itself
+        fails (the executor is still faulty), the session is left marked
+        dirty (``engine is None``) and the next tick retries the resync
+        instead of propagating on a stale window.
+        """
+        self.engine = None
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------ #
+    # Rolling
+    # ------------------------------------------------------------------ #
+
+    def _roll(self) -> None:
+        """Retire the oldest ``retire`` slices into the rolled prior."""
+        r, k = self.retire, self.k
+        if self._interface:
+            # The rolled prior conditions ONLY on retired evidence:
+            # retract everything at retained positions first (the engine
+            # absorbs the weakening delta; this engine is discarded).
+            engine = self.engine
+            for t, delta in self._evidence.items():
+                if t - self.base >= r:
+                    for v in delta:
+                        engine.retract(self.wid(v, t))
+            boundary = [self._pos_id(v, r - 1) for v in self._interface]
+            joint = engine.joint_marginal(boundary)
+            # joint_marginal aligns to sorted window ids, which is the
+            # sorted template-interface order; re-scope to template ids.
+            self._ghost_joint = PotentialTable(
+                self._interface, joint.cardinalities, joint.values
+            )
+        # Drop the engine before mutating the geometry: if the rebuild
+        # below fails, the session stays marked dirty rather than
+        # holding an engine whose window ids no longer match ``base``.
+        self.engine = None
+        self.base += r
+        self._evidence = {
+            t: delta for t, delta in self._evidence.items() if t >= self.base
+        }
+        self.rolls += 1
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------ #
+    # Ticks
+    # ------------------------------------------------------------------ #
+
+    def tick(
+        self,
+        delta: Optional[Mapping[int, object]] = None,
+        deadline: Optional[float] = None,
+    ) -> TickResult:
+        """Observe the next slice and repropagate incrementally.
+
+        ``delta`` maps *slice-template* variable ids to findings (an
+        ``int`` for a hard state, a weight sequence for soft evidence);
+        an empty delta advances time with an unobserved slice.
+        ``deadline`` is an absolute :func:`time.monotonic` instant.
+
+        Raises :class:`TickDeadline` / :class:`TickFailed` **without
+        applying anything**: the evidence is rolled back and ``t`` does
+        not advance, so the session keeps answering for the ticks that
+        *were* applied.
+        """
+        start = time.perf_counter()
+        delta = dict(delta or {})
+        for v in delta:
+            if not 0 <= int(v) < self.k:
+                raise ValueError(
+                    f"tick evidence names slice variable {v}, "
+                    f"template has 0..{self.k - 1}"
+                )
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TickDeadline("deadline passed before the tick started")
+        if self.engine is None:
+            # A previous failure interrupted a rebuild; retry it before
+            # touching the window.
+            try:
+                self.resync()
+            except Exception as exc:
+                raise TickFailed(
+                    f"resync after a failed rebuild failed again: {exc}"
+                ) from exc
+
+        roll_seconds = 0.0
+        rolled = False
+        if self.t - self.base >= self.window:
+            roll_start = time.perf_counter()
+            try:
+                self._roll()
+            except Exception as exc:
+                try:
+                    self.resync()
+                except Exception:
+                    pass  # still dirty; the next tick retries the resync
+                raise TickFailed(f"window roll failed: {exc}") from exc
+            rolled = True
+            roll_seconds = time.perf_counter() - roll_start
+            if deadline is not None and time.monotonic() >= deadline:
+                # The roll is evidence-neutral (posteriors unchanged),
+                # so keeping it while refusing the tick is safe.
+                raise TickDeadline("deadline passed during the window roll")
+
+        t = self.t
+        engine = self.engine
+        applied: List[int] = []
+        try:
+            for v, finding in delta.items():
+                wid = self.wid(int(v), t)
+                if isinstance(finding, (int, np.integer)):
+                    engine.observe(wid, int(finding))
+                else:
+                    engine.observe_soft(wid, finding)
+                applied.append(wid)
+            state = engine.propagate(
+                executor=self.executor,
+                incremental=True if self.incremental else False,
+                deadline=deadline,
+            )
+        except TaskExecutionError as exc:
+            # The engine guarantees a deadline/fault abort leaves the
+            # previous propagation untouched; retracting the just-applied
+            # findings restores the exact pre-tick evidence.
+            for wid in applied:
+                engine.retract(wid)
+            if exc.phase == "deadline":
+                raise TickDeadline(str(exc)) from exc
+            raise TickFailed(str(exc)) from exc
+        except TickError:
+            raise
+        except Exception as exc:
+            for wid in applied:
+                engine.retract(wid)
+            try:
+                self.resync()  # the failure may have left torn tables
+            except Exception:
+                pass  # still dirty; the next tick retries the resync
+            raise TickFailed(f"{type(exc).__name__}: {exc}") from exc
+
+        health = check_state_health(state)
+        if not health.healthy:
+            for wid in applied:
+                engine.retract(wid)
+            try:
+                self.resync()
+            except Exception:
+                pass  # still dirty; the next tick retries the resync
+            raise TickFailed(f"unhealthy tick state: {health.summary()}")
+
+        self._evidence[t] = delta
+        self.t = t + 1
+        self.ticks += 1
+        stats = engine.last_stats
+        result = TickResult(
+            t=t,
+            rolled=rolled,
+            tasks_executed=getattr(stats, "tasks_executed", 0),
+            tasks_skipped=getattr(stats, "tasks_skipped", 0),
+            incremental=bool(getattr(stats, "incremental", False)),
+            seconds=time.perf_counter() - start - roll_seconds,
+            roll_seconds=roll_seconds,
+        )
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Posteriors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def earliest(self) -> int:
+        """Oldest absolute time still queryable (window smoothing floor)."""
+        return self.base
+
+    def posterior(self, v: int, t: Optional[int] = None) -> np.ndarray:
+        """``P(v@t | all applied ticks)`` for a time inside the window.
+
+        ``t`` defaults to the most recent applied tick (the filtering
+        posterior); older in-window times give fixed-lag smoothing.
+        """
+        if t is None:
+            t = max(self.t - 1, 0)
+        return self.engine.marginal(self.wid(int(v), int(t)))
+
+    def posteriors(
+        self,
+        vars: Optional[Sequence[int]] = None,
+        t: Optional[int] = None,
+    ) -> Dict[int, np.ndarray]:
+        """Posterior of several slice variables at one time."""
+        wanted = (
+            [int(v) for v in vars] if vars is not None else list(range(self.k))
+        )
+        return {v: self.posterior(v, t) for v in wanted}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FilteringSession(k={self.k}, window={self.window}, "
+            f"retire={self.retire}, t={self.t}, base={self.base}, "
+            f"rolls={self.rolls})"
+        )

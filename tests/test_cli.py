@@ -23,6 +23,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_stream_demo_defaults(self):
+        args = build_parser().parse_args(["stream-demo"])
+        assert args.command == "stream-demo"
+        assert args.window == 6
+        assert args.max_pending == 8
+
 
 class TestHandlers:
     def test_info(self, capsys):
@@ -47,6 +53,16 @@ class TestHandlers:
         assert code == 0
         out = capsys.readouterr().out
         assert "MPE:" in out
+
+    def test_stream_demo(self, capsys):
+        code = main(
+            ["stream-demo", "--streams", "2", "--ticks", "6", "--window", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streams" in out
+        assert "window rolls" in out
+        assert "P(state)" in out
 
     def test_experiment_rerooting_cost(self, capsys):
         assert main(["experiment", "rerooting-cost"]) == 0

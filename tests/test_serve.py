@@ -470,30 +470,104 @@ class TestServiceAdmission:
         with pytest.raises(Overloaded):
             shed[0].raise_for_status()
 
-    def test_overload_serves_stale_when_allowed(self, serve_tree):
-        service = make_service(serve_tree, max_queue=1, workers=1,
-                               sessions=1)
-        # Prime the last-known store with an exact answer for var 2.
-        assert service.query(vars=[2], deadline=30.0).status == "ok"
-        futures = [
-            service.submit(
-                QueryRequest(
-                    delta={v % 18: 0}, vars=[2], deadline=30.0,
-                    max_staleness=60.0,
-                )
+    @staticmethod
+    def _overloaded_service(serve_tree, prime_delta):
+        """A service wedged at full queue, store primed under prime_delta.
+
+        Returns ``(service, release)``: the worker is blocked inside a
+        gated executor and the admission queue holds one more flight, so
+        every subsequent submit deterministically takes the overload
+        path.  ``release()`` unblocks the worker (call before drain).
+        """
+
+        class GatedSerial(SerialExecutor):
+            def __init__(self):
+                super().__init__()
+                self.gate = threading.Event()
+                self.gate.set()
+                self.entered = threading.Event()
+
+            def run(self, graph, state, **kw):
+                self.entered.set()
+                assert self.gate.wait(60.0)
+                return super().run(graph, state, **kw)
+
+        executor = GatedSerial()
+        service = make_service(
+            serve_tree, max_queue=1, workers=1, sessions=1,
+            fallback=executor,
+        )
+        # Prime the last-known store with an exact answer for var 2
+        # under the priming conditioning (the gate is open).
+        primed = service.query(delta=prime_delta, vars=[2], deadline=30.0)
+        assert primed.status == "ok"
+        # Close the gate, wedge the worker on one flight, then fill the
+        # queue with a second — admission is now deterministically full.
+        executor.gate.clear()
+        executor.entered.clear()
+        service.submit(QueryRequest(delta={5: 1}, vars=[2], deadline=30.0))
+        assert executor.entered.wait(30.0)
+        service.submit(QueryRequest(delta={6: 1}, vars=[2], deadline=30.0))
+        return service, executor.gate.set
+
+    def test_overload_serves_stale_when_allowed(self, serve_tree, oracle):
+        service, release = self._overloaded_service(
+            serve_tree, prime_delta={0: 1}
+        )
+        # Same conditioning as the primed store entry: the stale answer
+        # is a dated answer to the *same* question, so it may be served.
+        future = service.submit(
+            QueryRequest(
+                delta={0: 1}, vars=[2], deadline=30.0, max_staleness=60.0
             )
-            for v in range(40)
-        ]
-        responses = [f.result(60.0) for f in futures]
+        )
+        response = future.result(60.0)
+        release()
         report = service.drain()
-        stale = [r for r in responses if r.status == "stale"]
-        assert report.served_stale == len(stale) > 0
-        for r in stale:
-            assert r.stale_age is not None and r.stale_age <= 60.0
-            values = r.marginals[2]
-            assert np.all(np.isfinite(values))
-            assert values.sum() == pytest.approx(1.0, abs=1e-6)
-        assert {r.status for r in responses} <= {"ok", "stale", "shed"}
+        assert response.status == "stale"
+        assert response.stale_age is not None
+        assert response.stale_age <= 60.0
+        assert report.served_stale == 1
+        assert report.stale_signature_miss == 0
+        exact = exact_marginals(
+            oracle, QueryRequest(delta={0: 1}, vars=[2])
+        )
+        np.testing.assert_allclose(
+            response.marginals[2], exact[2], atol=1e-9
+        )
+
+    def test_overload_never_serves_other_conditionings_stale(
+        self, serve_tree, oracle
+    ):
+        # Regression: the stale store is keyed by variable, and
+        # _resolve_overload used to discard the stored evidence
+        # signature — an overloaded request conditioning on {3: 1} was
+        # handed the marginals computed under {0: 1}.  The fixed
+        # contract sheds on signature mismatch, always.
+        service, release = self._overloaded_service(
+            serve_tree, prime_delta={0: 1}
+        )
+        future = service.submit(
+            QueryRequest(
+                delta={3: 1}, vars=[2], deadline=30.0, max_staleness=60.0
+            )
+        )
+        response = future.result(60.0)
+        release()
+        report = service.drain()
+        # Never another conditioning's marginals: refuse explicitly.
+        assert response.status == "shed"
+        assert response.marginals == {}
+        assert report.served_stale == 0
+        assert report.stale_signature_miss == 1
+        assert report.to_dict()["stale_signature_miss"] == 1
+        with pytest.raises(Overloaded):
+            response.raise_for_status()
+        # The primed answer really is different evidence: the two
+        # conditionings give different posteriors for var 2.
+        primed = exact_marginals(oracle, QueryRequest(delta={0: 1}, vars=[2]))
+        other = exact_marginals(oracle, QueryRequest(delta={3: 1}, vars=[2]))
+        assert float(np.abs(primed[2] - other[2]).max()) > 1e-12
 
     def test_expired_staleness_is_shed(self, serve_tree):
         service = make_service(serve_tree, max_queue=1, workers=1,

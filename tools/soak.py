@@ -8,7 +8,7 @@ exact (marginals match a fresh serial-oracle propagation to 1e-9) or an
 explicit refusal** (shed / stale / deadline / failed) — never a silently
 corrupted posterior.
 
-Four phases:
+Five phases:
 
 * **Phase A — thread storm.**  Many client threads hammer a small
   admission queue with mixed deadlines, priorities and staleness
@@ -27,6 +27,15 @@ Four phases:
   kill/delay/NaN: the checksum layer must refuse the torn result, the
   poisoned session must recycle from its baseline checkpoint, and every
   batched answer must still match the oracle.
+* **Phase E — streaming chaos.**  Concurrent
+  :class:`repro.serve.StreamingService` filtering streams whose
+  executors suffer seeded kills (including during recovery rebuilds and
+  window rolls) while burst producers overflow the tiny per-stream tick
+  queues.  Every ``ok`` tick's posterior must equal the offline
+  unrolled-network oracle over *that stream's* applied ticks — exact
+  filtering under chaos and zero cross-stream contamination — refused
+  ticks must never advance a stream's clock, and zero responses may be
+  lost.
 * **Phase D — multi-model chaos.**  Mixed-tenant bursts across four
   registered models routed through a
   :class:`repro.registry.RegistryService`, under a memory budget tight
@@ -563,6 +572,172 @@ def phase_d(seed: int, duration: float, failures: List[str]):
     return report
 
 
+class _StreamChaosExecutor:
+    """Serial executor that fails seeded run() calls (streaming "kills").
+
+    The first call (the session's build propagation) always succeeds so
+    every stream subscribes; after that, each propagation fails with the
+    seeded probability — including recovery rebuilds, so the session's
+    dirty-resync retry path gets exercised too.
+    """
+
+    def __init__(self, seed: int, rate: float = 0.25):
+        self.inner = SerialExecutor()
+        self.rng = random.Random(seed)
+        self.rate = rate
+        self.calls = 0
+        self.kills = 0
+
+    def run(self, graph, state, **kw):
+        self.calls += 1
+        if self.calls > 1 and self.rng.random() < self.rate:
+            self.kills += 1
+            raise RuntimeError("soak-injected executor kill")
+        return self.inner.run(graph, state, **kw)
+
+
+def phase_e(seed: int, duration: float, failures: List[str]):
+    print("== phase E: streaming chaos (kills + overflow) ==")
+    from repro.bn.dbn import make_hmm
+    from repro.serve import StreamingService
+
+    rng = random.Random(seed + 4)
+    np_rng = np.random.default_rng(seed + 4)
+
+    def stochastic(shape, axis=-1):
+        table = np_rng.random(shape) + 0.1
+        return table / table.sum(axis=axis, keepdims=True)
+
+    states, observations = 3, 4
+    dbn = make_hmm(
+        states,
+        observations,
+        initial=stochastic(states, axis=0),
+        transition=stochastic((states, states)),
+        emission=stochastic((states, observations)),
+    )
+
+    threads_before = {t.name for t in threading.enumerate()}
+    injected: List[_StreamChaosExecutor] = []
+
+    def chaos_executor():
+        executor = _StreamChaosExecutor(rng.randrange(1 << 30))
+        injected.append(executor)
+        return executor
+
+    # Tiny pending queues + burst producers: overflow refusals are part
+    # of the plan, not an accident.
+    service = StreamingService(
+        dbn,
+        window=4,
+        retire=2,
+        workers=3,
+        max_pending=2,
+        executor_factory=chaos_executor,
+    )
+    streams = 4
+    ticks = max(12, int(duration * 3))
+    handles = [
+        service.subscribe(name=f"chaos-{i}", query_vars=[0])
+        for i in range(streams)
+    ]
+    schedules = {
+        handle.name: [
+            {}
+            if rng.random() < 0.1
+            else {1: rng.randrange(observations)}
+            for _ in range(ticks)
+        ]
+        for handle in handles
+    }
+
+    responses: Dict[str, List] = {handle.name: [] for handle in handles}
+    lock = threading.Lock()
+
+    def producer(handle) -> None:
+        futures = []
+        for i, delta in enumerate(schedules[handle.name]):
+            futures.append(service.push_tick(handle, dict(delta)))
+            if i % 3 == 2:
+                time.sleep(0.002)  # let the queue breathe between bursts
+        collected = [f.result(120.0) for f in futures]
+        with lock:
+            responses[handle.name] = collected
+
+    producers = [
+        threading.Thread(target=producer, args=(h,), name=f"soak-{h.name}")
+        for h in handles
+    ]
+    for t in producers:
+        t.start()
+    for t in producers:
+        t.join()
+    report = service.drain()
+
+    # Per-stream oracle replay: every ok tick's posterior must equal the
+    # offline unrolled network over THAT stream's applied ticks — exact
+    # filtering under chaos and zero cross-stream contamination (the
+    # schedules differ, so a leaked posterior cannot match).
+    for handle in handles:
+        got = responses[handle.name]
+        if len(got) != ticks:
+            failures.append(
+                f"lost responses on {handle.name}: {len(got)} of {ticks}"
+            )
+            continue
+        applied = [
+            schedules[handle.name][i]
+            for i, response in enumerate(got)
+            if response.ok
+        ]
+        ok_seen = 0
+        for i, response in enumerate(got):
+            if not response.ok:
+                if response.status not in ("shed", "deadline", "failed"):
+                    failures.append(
+                        f"{handle.name}: unexpected status "
+                        f"{response.status!r}"
+                    )
+                continue
+            if response.t != ok_seen:
+                failures.append(
+                    f"{handle.name}: ok tick #{ok_seen} reported "
+                    f"t={response.t} — refused ticks advanced time"
+                )
+            ok_seen += 1
+            engine = InferenceEngine.from_network(dbn.unroll(ok_seen))
+            for ti, delta in enumerate(applied[:ok_seen]):
+                for v, state in delta.items():
+                    engine.observe(dbn.variable_at(v, ti), int(state))
+            engine.propagate(SerialExecutor(), incremental=False)
+            exact = engine.marginal(dbn.variable_at(0, ok_seen - 1))
+            if not np.allclose(response.marginals[0], exact, atol=ATOL):
+                failures.append(
+                    f"CROSS-STREAM CONTAMINATION or drift: "
+                    f"{handle.name} tick t={response.t} served "
+                    f"{response.marginals[0].tolist()} expected "
+                    f"{exact.tolist()}"
+                )
+    leak_check(threads_before, failures)
+    kills = sum(e.kills for e in injected)
+    if kills == 0:
+        failures.append("phase E injected no executor kills — chaos "
+                        "setup is broken")
+    if report.ticks_failed == 0:
+        failures.append("injected kills produced no failed ticks")
+    if report.ticks_overflowed == 0:
+        failures.append(
+            "burst producers never overflowed a tick queue — "
+            "backpressure not engaging"
+        )
+    if report.ticks_ok == 0:
+        failures.append("phase E served nothing — chaos drowned the soak")
+    print(f"(injected {kills} executor kills across "
+          f"{len(injected)} streams)")
+    print(report.format())
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -578,16 +753,38 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip phases B and C (no process pools; fast smoke for CI)",
     )
+    parser.add_argument(
+        "--phases",
+        default=None,
+        metavar="LETTERS",
+        help="run only these phases, e.g. AE or E (default: all, "
+        "minus B/C under --skip-process)",
+    )
     args = parser.parse_args(argv)
+
+    if args.phases is not None:
+        selected = set(args.phases.upper())
+        unknown = selected - set("ABCDE")
+        if unknown:
+            parser.error(f"unknown phases: {''.join(sorted(unknown))}")
+    else:
+        selected = set("ABCDE")
+        if args.skip_process:
+            selected -= set("BC")
 
     failures: List[str] = []
     started = time.monotonic()
-    phase_a(args.seed, args.duration, args.clients, failures)
-    if not args.skip_process:
+    if "A" in selected:
+        phase_a(args.seed, args.duration, args.clients, failures)
+    if "B" in selected:
         phase_b(args.seed, args.duration, failures)
+    if "C" in selected:
         phase_c(args.seed, args.duration, failures)
-    # Phase D uses no process pools, so it runs even in smoke mode.
-    phase_d(args.seed, args.duration, failures)
+    # Phases D and E use no process pools, so they run even in smoke mode.
+    if "D" in selected:
+        phase_d(args.seed, args.duration, failures)
+    if "E" in selected:
+        phase_e(args.seed, args.duration, failures)
     elapsed = time.monotonic() - started
 
     print(f"== soak finished in {elapsed:.1f} s ==")
