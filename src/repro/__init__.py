@@ -22,6 +22,9 @@ Public API highlights
 * :mod:`repro.registry` — the sharded multi-tenant model registry:
   on-demand compilation, LRU eviction under a global memory budget,
   checkpoint rehydration, per-tenant weighted fair admission.
+* :mod:`repro.durability` — crash-durable serving: write-ahead tick
+  journals, crash-consistent durable model artifacts, and whole-process
+  recovery back to the exact acknowledged state.
 """
 
 from repro.bn.generation import chain_network, naive_bayes_network, random_network
@@ -40,6 +43,12 @@ from repro.sched.collaborative import CollaborativeExecutor
 from repro.sched.process import ProcessSharedMemoryExecutor
 from repro.sched.serial import SerialExecutor
 from repro.sched.workstealing import WorkStealingExecutor
+from repro.durability import (
+    DurableModelStore,
+    RecoveryManager,
+    RecoveryReport,
+    TickJournal,
+)
 from repro.obs.trace import PropagationTrace
 from repro.obs.tracer import Tracer
 from repro.registry import ModelRegistry, RegistryService, TenantScheduler
@@ -88,4 +97,8 @@ __all__ = [
     "ModelRegistry",
     "RegistryService",
     "TenantScheduler",
+    "TickJournal",
+    "RecoveryManager",
+    "RecoveryReport",
+    "DurableModelStore",
 ]

@@ -28,7 +28,8 @@ def _cmd_info(args) -> int:
         "'Parallel Evidence Propagation on Multicore Processors' (PACT 2009)"
     )
     print("subsystems: bn, potential, jt, tasks, sched, simcore, inference,")
-    print("            experiments, io")
+    print("            experiments, io, obs, serve, streaming, registry,")
+    print("            integrity, durability")
     return 0
 
 
@@ -195,6 +196,7 @@ def _serve_demo_registry(args) -> int:
         sessions=args.sessions,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
+        durable_root=args.durable_root,
     )
     model_ids = [f"model-{i}" for i in range(args.models)]
     for i, model_id in enumerate(model_ids):
@@ -216,6 +218,12 @@ def _serve_demo_registry(args) -> int:
         f"{args.tenants} tenants, {args.sessions} sessions/model, "
         f"{budget_label}"
     )
+    if args.durable_root is not None:
+        adopted = registry.stats()["recovered_models"]
+        print(
+            f"durable root {args.durable_root}: {adopted} of "
+            f"{args.models} models adopted warm from previous artifacts"
+        )
 
     def client(cid: int) -> None:
         rng = random.Random(args.seed * 1000 + cid)
@@ -260,7 +268,9 @@ def _cmd_serve_demo(args) -> int:
     from repro.jt.build import junction_tree_from_network
     from repro.serve import EngineSessionPool, InferenceService, QueryRequest
 
-    if args.models > 1:
+    if args.models > 1 or args.durable_root is not None:
+        # Durable artifacts live in the registry layer, so a durable
+        # serve-demo always routes through it (one model is fine).
         return _serve_demo_registry(args)
 
     bn = random_network(
@@ -349,7 +359,10 @@ def _cmd_stream_demo(args) -> int:
         workers=args.workers,
         max_pending=args.max_pending,
         default_deadline=args.deadline,
+        durable_root=args.durable_root,
     )
+    if service.recovery_report is not None and service.recovery_report.streams:
+        print(service.recovery_report.format())
     print(
         f"{states}-state/{observations}-symbol HMM, "
         f"{args.streams} streams x {args.ticks} ticks, "
@@ -357,10 +370,14 @@ def _cmd_stream_demo(args) -> int:
         f"{args.retire if args.retire is not None else args.window // 2}), "
         f"max pending {args.max_pending}"
     )
-    handles = [
-        service.subscribe(name=f"stream-{i}", query_vars=[0])
-        for i in range(args.streams)
-    ]
+    handles = []
+    for i in range(args.streams):
+        name = f"stream-{i}"
+        try:
+            # A durable rerun already rebuilt the stream at recovery.
+            handles.append(service._handle(name))
+        except KeyError:
+            handles.append(service.subscribe(name=name, query_vars=[0]))
     futures = []
     for i, handle in enumerate(handles):
         seq = random.Random(args.seed * 1000 + i)
@@ -385,6 +402,49 @@ def _cmd_stream_demo(args) -> int:
         )
     report = service.drain()
     print(report.format())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Replay a durable root's journals and print the recovery report."""
+    import os
+
+    from repro.durability import DurableModelStore, RecoveryManager
+    from repro.serve import StreamingService
+
+    manager = RecoveryManager(args.root)
+    streams = manager.stream_names()
+    store = DurableModelStore(args.root)
+    manifest = store.manifest()
+    if not streams and not manifest:
+        print(f"nothing durable under {args.root}")
+        return 0
+
+    if streams:
+        dbn = manager.load_template()
+        if dbn is None:
+            print(
+                f"{args.root}: {len(streams)} stream journal(s) but no "
+                f"_template.json — cannot rebuild the sessions",
+                file=sys.stderr,
+            )
+            return 1
+        service = StreamingService(
+            dbn, workers=args.workers, durable_root=args.root
+        )
+        report = service.recovery_report
+        print(report.format())
+        service.drain()
+    if manifest:
+        print(f"models ({len(manifest)} durable):")
+        for model_id in sorted(manifest):
+            meta = manifest[model_id]
+            print(
+                f"  {model_id}: {meta['checkpoint_bytes']} checkpoint "
+                f"bytes, cold compile was {meta['compile_seconds']*1e3:.1f} "
+                f"ms — a fresh registry on this root adopts it warm"
+            )
+        print(f"  (root: {os.path.abspath(args.root)})")
     return 0
 
 
@@ -727,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="global registry memory budget in megabytes; tight budgets "
         "force LRU evictions and checkpoint rehydrations (registry mode)",
     )
+    serve.add_argument(
+        "--durable-root", default=None, metavar="DIR",
+        help="persist compiled-model artifacts under DIR and adopt any "
+        "that survive there (routes through the registry; a rerun with "
+        "the same DIR starts warm instead of recompiling)",
+    )
 
     stream = sub.add_parser(
         "stream-demo",
@@ -753,6 +819,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-stream tick-queue bound (backpressure)")
     stream.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS", help="per-tick deadline")
+    stream.add_argument(
+        "--durable-root", default=None, metavar="DIR",
+        help="journal every admitted tick to a per-stream write-ahead "
+        "log under DIR; a rerun (or `repro recover`) with the same DIR "
+        "replays the journals and resumes the streams",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="scan a durable root, replay its stream journals, and "
+        "print the recovery report",
+    )
+    recover.add_argument("root", metavar="DIR",
+                         help="the durable root a previous serve-demo / "
+                         "stream-demo wrote")
+    recover.add_argument("--workers", type=int, default=2,
+                         help="worker threads for the rebuilt service")
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded propagation trace"
@@ -831,6 +914,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "serve-demo": _cmd_serve_demo,
         "stream-demo": _cmd_stream_demo,
+        "recover": _cmd_recover,
         "trace": _cmd_trace,
         "query": _cmd_query,
         "model": _cmd_model,

@@ -1,0 +1,344 @@
+"""The crc-framed, fsync'd write-ahead tick journal.
+
+A :class:`TickJournal` makes a filtering stream's admitted work durable
+before it executes.  The format is the classic crash-only WAL shape:
+
+* **Framing** — every record is ``magic | length | crc32 | payload``
+  (10-byte header, JSON payload).  The crc covers the payload, the
+  length field bounds it, and the magic pins the frame start, so a tail
+  torn anywhere — header, length, payload, even a single flipped byte —
+  is detected on open and **truncated** back to the last whole record.
+  Appends are flushed *and* ``fsync``'d before the caller proceeds:
+  once :meth:`append_tick` returns, the tick survives ``SIGKILL``.
+* **Segments** — the journal is a directory of numbered segments
+  (``00000001.wal`` …).  Every segment begins with a ``snapshot``
+  record carrying the owning session's durable state and the next
+  expected sequence number, so replay of a segment is self-contained.
+  :meth:`rotate` writes the next segment to a temp file, fsyncs it,
+  and ``os.replace``'s it into place before deleting its predecessors
+  — a crash at any instant leaves either the old segment chain or the
+  new one, never neither.  A segment whose *snapshot itself* is torn is
+  discarded whole and open falls back to the previous segment.
+* **Records** — ``tick`` records (sequence number + evidence delta)
+  are appended before execution; ``ack`` records (sequence + outcome)
+  after resolution.  Replay semantics live in
+  :mod:`repro.durability.recovery`: acked-ok ticks are re-applied
+  exactly, refused ticks are skipped, unacked ticks are replayed
+  at-least-once.
+
+Evidence deltas round-trip through JSON exactly: hard findings are
+ints, soft findings are float lists, and Python's ``repr``-based float
+serialization reproduces every ``float64`` bit-for-bit.
+
+Deterministic crash points (:class:`~repro.sched.faults.FaultPlan`'s
+``crash_after_journal_append`` / ``torn_append``) are honored inside
+:meth:`append_tick` so tests and the soak can cut the process at the
+exact byte the failure model cares about.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.sched.faults import InjectedCrash
+
+JOURNAL_MAGIC = b"\xc4W"
+_HEADER = struct.Struct("<2sII")  # magic, payload length, payload crc32
+SEGMENT_SUFFIX = ".wal"
+
+
+class JournalError(RuntimeError):
+    """A journal invariant was violated (not a torn tail — those heal)."""
+
+
+# --------------------------------------------------------------------- #
+# Small durable-write helpers (shared with the model store)
+# --------------------------------------------------------------------- #
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a rename/unlink inside it is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically: temp file, fsync, replace."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    fsync_dir(os.path.dirname(path) or ".")
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# Evidence-delta JSON codec
+# --------------------------------------------------------------------- #
+
+
+def encode_delta(delta: Mapping[int, object]) -> Dict[str, object]:
+    """JSON-ready form of a tick's evidence delta.
+
+    Hard findings serialize as ints, soft findings as float lists;
+    both round-trip exactly (JSON floats use ``repr``, which is
+    bit-exact for ``float64``).
+    """
+    out: Dict[str, object] = {}
+    for v, finding in delta.items():
+        if isinstance(finding, (int, np.integer)):
+            out[str(int(v))] = int(finding)
+        else:
+            out[str(int(v))] = [
+                float(w) for w in np.asarray(finding, dtype=np.float64).reshape(-1)
+            ]
+    return out
+
+
+def decode_delta(doc: Mapping[str, object]) -> Dict[int, object]:
+    """Inverse of :func:`encode_delta`."""
+    out: Dict[int, object] = {}
+    for v, finding in doc.items():
+        if isinstance(finding, int):
+            out[int(v)] = finding
+        else:
+            out[int(v)] = np.asarray(finding, dtype=np.float64)
+    return out
+
+
+def _frame(record: Mapping[str, object]) -> bytes:
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(JOURNAL_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+class TickJournal:
+    """One stream's append-only write-ahead log, a directory of segments.
+
+    Opening scans the newest segment, truncates any torn tail in place
+    (``torn_bytes`` records how much), and falls back to the previous
+    segment — deleting the unusable one — if the newest segment's
+    snapshot record itself did not survive.  After open,
+    :attr:`snapshot` holds the segment's opening session state and
+    :attr:`records` every whole record appended since.
+
+    ``fault_plan`` wires deterministic crash injection into
+    :meth:`append_tick` (see :class:`~repro.sched.faults.FaultPlan`).
+    """
+
+    def __init__(self, root: str, fault_plan=None):
+        self.root = root
+        self._plan = fault_plan
+        self.torn_bytes = 0
+        self.segments_discarded = 0
+        self.appended = 0
+        self.snapshot: Dict[str, object] = {}
+        self.records: List[Dict[str, object]] = []
+        self._file = None
+        self._index = 0
+        os.makedirs(root, exist_ok=True)
+        self._open()
+
+    # ------------------------------------------------------------------ #
+    # Open / scan
+    # ------------------------------------------------------------------ #
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.root, f"{index:08d}{SEGMENT_SUFFIX}")
+
+    def _segments(self) -> List[Tuple[int, str]]:
+        found = []
+        for name in os.listdir(self.root):
+            stem, ext = os.path.splitext(name)
+            if ext == SEGMENT_SUFFIX and stem.isdigit():
+                found.append((int(stem), os.path.join(self.root, name)))
+        return sorted(found)
+
+    def _scan(self, path: str):
+        """Scan one segment; truncate a torn tail; None if unusable."""
+        with open(path, "rb") as handle:
+            data = handle.read()
+        records: List[Dict[str, object]] = []
+        pos = 0
+        while pos + _HEADER.size <= len(data):
+            magic, length, crc = _HEADER.unpack_from(data, pos)
+            if magic != JOURNAL_MAGIC:
+                break
+            start = pos + _HEADER.size
+            end = start + length
+            if end > len(data):
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                break
+            records.append(record)
+            pos = end
+        torn = len(data) - pos
+        if not records or records[0].get("type") != "snapshot":
+            # The segment's own snapshot is gone: nothing here is
+            # replayable without the previous segment's context.
+            return None
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(pos)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records[0], records[1:], torn
+
+    def _open(self) -> None:
+        segments = self._segments()
+        path = None
+        while segments:
+            index, candidate = segments[-1]
+            scanned = self._scan(candidate)
+            if scanned is None:
+                self.segments_discarded += 1
+                self.torn_bytes += os.path.getsize(candidate)
+                os.unlink(candidate)
+                fsync_dir(self.root)
+                segments.pop()
+                continue
+            self.snapshot, self.records, torn = scanned
+            self.torn_bytes += torn
+            self._index = index
+            path = candidate
+            break
+        if path is None:
+            # Fresh journal: segment 1 opens with an empty snapshot.
+            self._index = 1
+            self.snapshot = {"type": "snapshot", "next_seq": 0, "state": None}
+            self.records = []
+            path = self._segment_path(1)
+            atomic_write_bytes(path, _frame(self.snapshot))
+        self._file = open(path, "ab")
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next admitted tick should carry."""
+        seq = int(self.snapshot.get("next_seq", 0))
+        for record in self.records:
+            recorded = record.get("seq")
+            if recorded is not None:
+                seq = max(seq, int(recorded) + 1)
+        return seq
+
+    # ------------------------------------------------------------------ #
+    # Appends
+    # ------------------------------------------------------------------ #
+
+    def _write(self, frame: bytes) -> None:
+        if self._file is None:
+            raise JournalError("journal is closed")
+        self._file.write(frame)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.appended += 1
+
+    def append_tick(self, seq: int, delta: Mapping[int, object]) -> None:
+        """Durably record one admitted tick *before* it executes.
+
+        Honors the fault plan's deterministic crash points: a
+        ``torn_append`` writes only a prefix of the frame (the torn tail
+        open() must truncate) and a ``crash_after_journal_append`` cuts
+        the process after the record is durable but before execution —
+        both raise :class:`~repro.sched.faults.InjectedCrash`.
+        """
+        record = {"type": "tick", "seq": int(seq), "delta": encode_delta(delta)}
+        frame = _frame(record)
+        if self._plan is not None:
+            keep = self._plan.take_torn_append(seq)
+            if keep is not None:
+                torn = frame[: max(1, min(int(keep), len(frame) - 1))]
+                self._write(torn)
+                raise InjectedCrash(
+                    f"torn journal append at seq {seq} "
+                    f"({len(torn)} of {len(frame)} bytes)"
+                )
+        self._write(frame)
+        self.records.append(record)
+        if self._plan is not None and self._plan.take_crash_after_append(seq):
+            raise InjectedCrash(f"crash after journal append of seq {seq}")
+
+    def append_ack(self, seq: int, status: str, t: Optional[int] = None) -> None:
+        """Durably record one tick's resolution.
+
+        ``status`` is ``"ok"`` (applied, answered), ``"refused"``
+        (typed refusal, evidence not applied), ``"recovered"`` (applied
+        by a recovery replay) or ``"dropped"`` (recovery replay failed).
+        """
+        record: Dict[str, object] = {"type": "ack", "seq": int(seq), "status": status}
+        if t is not None:
+            record["t"] = int(t)
+        self._write(_frame(record))
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Rotation
+    # ------------------------------------------------------------------ #
+
+    def rotate(self, state: Optional[Dict[str, object]], next_seq: int) -> None:
+        """Atomically start a new segment opening with ``state``.
+
+        The new segment is fully durable (written, fsync'd, renamed
+        into place, directory fsync'd) before any predecessor is
+        deleted: a crash mid-rotation recovers from whichever chain
+        survived, never from neither.
+        """
+        index = self._index + 1
+        snapshot = {"type": "snapshot", "next_seq": int(next_seq), "state": state}
+        path = self._segment_path(index)
+        atomic_write_bytes(path, _frame(snapshot))
+        old = self._file
+        self._file = open(path, "ab")
+        self._index = index
+        self.snapshot = snapshot
+        self.records = []
+        if old is not None:
+            old.close()
+        for other_index, other_path in self._segments():
+            if other_index < index:
+                os.unlink(other_path)
+        fsync_dir(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Flush, fsync and close the current segment (idempotent)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TickJournal(root={self.root!r}, segment={self._index}, "
+            f"records={len(self.records)}, next_seq={self.next_seq})"
+        )

@@ -1,0 +1,333 @@
+"""Whole-process recovery: scan a durable root, replay journals, report.
+
+A durable root is the on-disk home of one serving process::
+
+    <root>/streams/_template.json      the DBN every stream filters
+    <root>/streams/<name>/meta.json    one stream's subscribe parameters
+    <root>/streams/<name>/NNNNNNNN.wal its tick journal segments
+    <root>/models/manifest.json        registered-model artifact index
+    <root>/models/<slug>.tree.json     a compiled model's rerooted tree
+    <root>/models/<slug>.ckpt.npz      its baseline integrity checkpoint
+
+:class:`RecoveryManager` is what a restarted
+:class:`~repro.serve.streaming.StreamingService` calls before accepting
+traffic: it re-subscribes every stream found under the root, restores
+each session from its journal's segment snapshot, and replays the
+records after it.  The replay contract:
+
+* **acked-ok** ticks are re-applied and *must* succeed — they are the
+  durable state the pre-crash process acknowledged, and replaying the
+  same evidence set reproduces the same posteriors (propagation is
+  evidence-set-deterministic, so replay is idempotent).  A failure here
+  is a :class:`RecoveryError`, never a silently thinner state.
+* **refused** ticks are skipped — their evidence was never applied.
+* **unacked** ticks (admitted, outcome unknown at the crash) are
+  replayed at-least-once: on success they join the state and an ack
+  with status ``"recovered"`` is journaled (so a second crash does not
+  re-count them, and so the no-double-ack invariant is checkable); on
+  failure they are dropped with a durable ``"dropped"`` ack.
+
+Replay runs serially (the stream's executor is bypassed) so recovery
+never depends on the health of the machinery that may have caused the
+crash.  After replay each journal rotates to a fresh segment whose
+snapshot is the recovered state, bounding the cost of the *next*
+recovery.  The typed :class:`RecoveryReport` — per-stream replay/drop
+counts, torn bytes truncated, wall time — is what the ``repro
+recover`` CLI prints and what ``ServiceReport`` counters summarize.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.durability.journal import TickJournal, decode_delta
+from repro.streaming.session import TickError
+
+
+class RecoveryError(RuntimeError):
+    """Recovery could not reproduce the acknowledged durable state."""
+
+
+@dataclass
+class StreamRecovery:
+    """What recovering one stream's journal did."""
+
+    stream: str
+    replayed_acked: int = 0
+    replayed_unacked: int = 0
+    dropped_unacked: int = 0
+    skipped_refused: int = 0
+    torn_bytes: int = 0
+    segments_discarded: int = 0
+    final_t: int = 0
+    seconds: float = 0.0
+    # Sequence-number evidence for the harnesses' invariants: seqs
+    # applied to the recovered state (in order), seqs the pre-crash
+    # process acked ok, seqs newly applied by THIS replay (never
+    # re-acked to any client), and seqs dropped by this replay.
+    applied_seqs: List[int] = field(default_factory=list)
+    acked_seqs: List[int] = field(default_factory=list)
+    recovered_seqs: List[int] = field(default_factory=list)
+    dropped_seqs: List[int] = field(default_factory=list)
+
+    @property
+    def replayed(self) -> int:
+        return self.replayed_acked + self.replayed_unacked
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stream": self.stream,
+            "replayed_acked": self.replayed_acked,
+            "replayed_unacked": self.replayed_unacked,
+            "dropped_unacked": self.dropped_unacked,
+            "skipped_refused": self.skipped_refused,
+            "torn_bytes": self.torn_bytes,
+            "segments_discarded": self.segments_discarded,
+            "final_t": self.final_t,
+            "seconds": self.seconds,
+            "applied_seqs": list(self.applied_seqs),
+            "acked_seqs": list(self.acked_seqs),
+            "recovered_seqs": list(self.recovered_seqs),
+            "dropped_seqs": list(self.dropped_seqs),
+        }
+
+
+@dataclass
+class ModelRecovery:
+    """One registered model's durable-artifact adoption outcome."""
+
+    model_id: str
+    adopted: bool
+    checkpoint_bytes: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_id": self.model_id,
+            "adopted": self.adopted,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one recovery pass over a durable root did."""
+
+    root: str
+    streams: List[StreamRecovery] = field(default_factory=list)
+    models: List[ModelRecovery] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def replayed_ticks(self) -> int:
+        return sum(s.replayed for s in self.streams)
+
+    @property
+    def dropped_unacked(self) -> int:
+        return sum(s.dropped_unacked for s in self.streams)
+
+    @property
+    def torn_bytes(self) -> int:
+        return sum(s.torn_bytes for s in self.streams)
+
+    @property
+    def models_adopted(self) -> int:
+        return sum(1 for m in self.models if m.adopted)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "streams": [s.to_dict() for s in self.streams],
+            "models": [m.to_dict() for m in self.models],
+            "replayed_ticks": self.replayed_ticks,
+            "dropped_unacked": self.dropped_unacked,
+            "torn_bytes": self.torn_bytes,
+            "models_adopted": self.models_adopted,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def format(self) -> str:
+        """Multi-line human rendering (``repro recover`` prints this)."""
+        lines = [
+            f"durable root       {self.root}",
+            f"streams recovered  {len(self.streams):8d}"
+            f"   in {self.wall_seconds:.3f} s wall",
+            f"ticks replayed     {self.replayed_ticks:8d}"
+            f"   ({sum(s.replayed_acked for s in self.streams)} acked, "
+            f"{sum(s.replayed_unacked for s in self.streams)} unacked)",
+            f"unacked dropped    {self.dropped_unacked:8d}",
+            f"torn bytes cut     {self.torn_bytes:8d}"
+            f"   ({sum(s.segments_discarded for s in self.streams)} "
+            f"segments discarded)",
+        ]
+        for stream in self.streams:
+            lines.append(
+                f"  {stream.stream:<16s} t={stream.final_t}"
+                f" replayed {stream.replayed}"
+                f" (acked {stream.replayed_acked},"
+                f" unacked {stream.replayed_unacked},"
+                f" dropped {stream.dropped_unacked},"
+                f" refused-skipped {stream.skipped_refused})"
+                f" torn {stream.torn_bytes} B"
+                f" in {stream.seconds:.3f} s"
+            )
+        if self.models:
+            lines.append(
+                f"models adopted     {self.models_adopted:8d}"
+                f"   of {len(self.models)} with durable artifacts"
+            )
+            for model in self.models:
+                state = "warm" if model.adopted else f"cold ({model.detail})"
+                lines.append(
+                    f"  {model.model_id:<16s} {state}, "
+                    f"checkpoint {model.checkpoint_bytes} B"
+                )
+        return "\n".join(lines)
+
+
+class RecoveryManager:
+    """Scans a durable root and rebuilds serving state from it."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.streams_dir = os.path.join(root, "streams")
+
+    def stream_names(self) -> List[str]:
+        """Streams with durable state under the root (sorted)."""
+        if not os.path.isdir(self.streams_dir):
+            return []
+        return sorted(
+            name
+            for name in os.listdir(self.streams_dir)
+            if os.path.isfile(os.path.join(self.streams_dir, name, "meta.json"))
+        )
+
+    def load_template(self):
+        """The DBN template the root's streams filter, or ``None``."""
+        path = os.path.join(self.streams_dir, "_template.json")
+        if not os.path.isfile(path):
+            return None
+        from repro.io.json_io import dbn_from_dict
+
+        with open(path, "r", encoding="utf-8") as handle:
+            return dbn_from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------ #
+    # Stream recovery
+    # ------------------------------------------------------------------ #
+
+    def recover_streams(self, service, span_buffer=None) -> RecoveryReport:
+        """Re-subscribe and replay every durable stream into ``service``.
+
+        ``service`` is a freshly constructed (still traffic-free)
+        :class:`~repro.serve.streaming.StreamingService` whose
+        ``durable_root`` is this manager's root: ``subscribe`` opens
+        each stream's journal (truncating torn tails), and this method
+        restores the session snapshot and replays the records.
+        """
+        from repro.obs.span import CAT_RECOVERY
+
+        started = time.perf_counter()
+        started_ns = time.perf_counter_ns()
+        report = RecoveryReport(root=self.root)
+        for name in self.stream_names():
+            meta_path = os.path.join(self.streams_dir, name, "meta.json")
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            t0_ns = time.perf_counter_ns()
+            handle_ = service.subscribe(
+                name=name,
+                query_vars=meta.get("query_vars"),
+                window=meta.get("window"),
+                retire=meta.get("retire"),
+                max_pending=meta.get("max_pending"),
+                incremental=meta.get("incremental", True),
+            )
+            recovery = self.replay_stream(handle_.session, handle_.journal, name)
+            handle_.next_seq = handle_.journal.next_seq
+            report.streams.append(recovery)
+            if span_buffer is not None:
+                span_buffer.span(
+                    f"recover:{name}",
+                    CAT_RECOVERY,
+                    t0_ns,
+                    time.perf_counter_ns(),
+                )
+        report.wall_seconds = time.perf_counter() - started
+        if span_buffer is not None and report.streams:
+            span_buffer.span(
+                "recover:streams",
+                CAT_RECOVERY,
+                started_ns,
+                time.perf_counter_ns(),
+            )
+        return report
+
+    def replay_stream(self, session, journal: TickJournal, name: str) -> StreamRecovery:
+        """Restore ``session`` from ``journal`` and replay its records."""
+        started = time.perf_counter()
+        recovery = StreamRecovery(
+            stream=name,
+            torn_bytes=journal.torn_bytes,
+            segments_discarded=journal.segments_discarded,
+        )
+        state = journal.snapshot.get("state")
+        if state is not None:
+            session.restore_state(state)
+        acks: Dict[int, str] = {}
+        ticks: List[Dict[str, object]] = []
+        for record in journal.records:
+            if record.get("type") == "tick":
+                ticks.append(record)
+            elif record.get("type") == "ack":
+                acks[int(record["seq"])] = str(record["status"])
+        recovery.acked_seqs = sorted(
+            seq for seq, status in acks.items() if status == "ok"
+        )
+        # Recovery must not depend on the (possibly still faulty)
+        # executor that crashed the previous process: replay serially.
+        executor = session.executor
+        session.executor = None
+        try:
+            for record in ticks:
+                seq = int(record["seq"])
+                delta = decode_delta(record["delta"])
+                status = acks.get(seq)
+                if status in ("ok", "recovered"):
+                    try:
+                        session.tick(delta)
+                    except TickError as exc:
+                        raise RecoveryError(
+                            f"stream {name!r}: replay of acked tick seq "
+                            f"{seq} failed — the durable state cannot be "
+                            f"reproduced: {exc}"
+                        ) from exc
+                    recovery.replayed_acked += 1
+                    recovery.applied_seqs.append(seq)
+                elif status in ("refused", "dropped"):
+                    recovery.skipped_refused += 1
+                else:  # unacked: at-least-once replay
+                    try:
+                        session.tick(delta)
+                    except Exception:
+                        recovery.dropped_unacked += 1
+                        recovery.dropped_seqs.append(seq)
+                        journal.append_ack(seq, "dropped")
+                    else:
+                        recovery.replayed_unacked += 1
+                        recovery.applied_seqs.append(seq)
+                        recovery.recovered_seqs.append(seq)
+                        journal.append_ack(seq, "recovered", t=session.t - 1)
+        finally:
+            session.executor = executor
+        # Rotate so the NEXT crash replays from the recovered state, not
+        # from this whole journal again.
+        journal.rotate(session.snapshot_state(), next_seq=journal.next_seq)
+        recovery.final_t = session.t
+        recovery.seconds = time.perf_counter() - started
+        return recovery

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import zlib
 from typing import Dict, List, Mapping, Optional, Tuple
 from weakref import WeakKeyDictionary
@@ -160,6 +161,11 @@ def save_state(state, path) -> Dict[str, object]:
     manifest that was embedded.  Batched states are refused — a
     checkpoint captures one session's calibration, not a transient
     micro-batch.
+
+    Filesystem writes are **crash-atomic**: the archive is written to a
+    temp file, fsync'd, then ``os.replace``'d over the target, so a
+    process killed mid-save leaves either the previous checkpoint or
+    the new one — never a torn archive at the target path.
     """
     if getattr(state, "batch", None) is not None:
         raise CheckpointError(
@@ -205,13 +211,33 @@ def save_state(state, path) -> Dict[str, object]:
         "table_sizes": [int(arrays[n].size) for n in names],
         "tables": len(names),
     }
-    np.savez(
-        path,
-        **{
-            _MANIFEST_KEY: np.array(json.dumps(manifest)),
-            _TABLES_KEY: packed,
-        },
-    )
+    entries = {
+        _MANIFEST_KEY: np.array(json.dumps(manifest)),
+        _TABLES_KEY: packed,
+    }
+    if hasattr(path, "write"):
+        np.savez(path, **entries)
+        return manifest
+    # Replicate np.savez's suffix behavior before building the temp
+    # name, so the atomic replace lands on the same final path.
+    target = str(path)
+    if not target.endswith(".npz"):
+        target += ".npz"
+    tmp = f"{target}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **entries)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    dir_fd = os.open(os.path.dirname(target) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
     return manifest
 
 

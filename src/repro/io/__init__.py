@@ -1,10 +1,14 @@
-"""Serialization of networks and junction trees (JSON-based)."""
+"""Serialization of networks, junction trees and DBN templates (JSON)."""
 
 from repro.io.json_io import (
+    dbn_from_dict,
+    dbn_to_dict,
+    load_dbn,
     load_network,
     load_tree,
     network_from_dict,
     network_to_dict,
+    save_dbn,
     save_network,
     save_tree,
     tree_from_dict,
@@ -20,4 +24,8 @@ __all__ = [
     "tree_from_dict",
     "save_tree",
     "load_tree",
+    "dbn_to_dict",
+    "dbn_from_dict",
+    "save_dbn",
+    "load_dbn",
 ]

@@ -16,7 +16,18 @@ Junction-tree document::
      "parent": [null, 0, ...],
      "potentials": {"0": [...], ...}}   # optional, flat C-order values
 
+Dynamic-network document (the 2-TBN template, not an unrolled net)::
+
+    {"format": "repro-dbn", "version": 1,
+     "slice_cardinalities": [3, 4, ...],
+     "intra_edges": [[u, v], ...],
+     "inter_edges": [[u, v], ...],
+     "prior_cpts": {"0": {"scope": [...], "values": [...]}, ...},
+     "transition_cpts": {"0": {"scope": [...], "values": [...]}, ...}}
+
 Potential values are stored as flat lists in C order of the stored scope.
+JSON floats round-trip ``float64`` exactly (``repr``-based), so a
+serialized model reproduces bit-identical posteriors.
 """
 
 from __future__ import annotations
@@ -27,12 +38,14 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.bn.dbn import DynamicBayesianNetwork
 from repro.bn.network import BayesianNetwork
 from repro.jt.junction_tree import Clique, JunctionTree
 from repro.potential.table import PotentialTable
 
 NETWORK_FORMAT = "repro-network"
 TREE_FORMAT = "repro-junction-tree"
+DBN_FORMAT = "repro-dbn"
 VERSION = 1
 
 PathLike = Union[str, Path]
@@ -161,3 +174,62 @@ def save_tree(
 def load_tree(path: PathLike) -> JunctionTree:
     """Read a junction tree from a JSON file."""
     return tree_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- #
+# Dynamic Bayesian networks (2-TBN templates)
+# ---------------------------------------------------------------------- #
+
+
+def _cpts_to_dict(cpts: Dict[int, PotentialTable]) -> Dict:
+    return {
+        str(v): {
+            "scope": list(cpt.variables),
+            "values": cpt.values.reshape(-1).tolist(),
+        }
+        for v, cpt in cpts.items()
+    }
+
+
+def dbn_to_dict(dbn: DynamicBayesianNetwork) -> Dict:
+    """Serialize a DBN template (structure + prior/transition CPTs)."""
+    return {
+        "format": DBN_FORMAT,
+        "version": VERSION,
+        "slice_cardinalities": list(dbn.slice_cards),
+        "intra_edges": [[u, v] for u, v in dbn.intra_edges],
+        "inter_edges": [[u, v] for u, v in dbn.inter_edges],
+        "prior_cpts": _cpts_to_dict(dbn._prior_cpts),
+        "transition_cpts": _cpts_to_dict(dbn._transition_cpts),
+    }
+
+
+def dbn_from_dict(doc: Dict) -> DynamicBayesianNetwork:
+    """Rebuild a DBN template from :func:`dbn_to_dict` output."""
+    _check_header(doc, DBN_FORMAT)
+    dbn = DynamicBayesianNetwork(doc["slice_cardinalities"])
+    for parent, child in doc["intra_edges"]:
+        dbn.add_intra_edge(int(parent), int(child))
+    for parent, child in doc["inter_edges"]:
+        dbn.add_inter_edge(int(parent), int(child))
+
+    def _table(entry: Dict) -> PotentialTable:
+        scope = [int(u) for u in entry["scope"]]
+        cards = [dbn.slice_cards[u % dbn.k] for u in scope]
+        return PotentialTable(scope, cards, np.array(entry["values"]))
+
+    for key, entry in doc["prior_cpts"].items():
+        dbn.set_prior_cpt(int(key), _table(entry))
+    for key, entry in doc["transition_cpts"].items():
+        dbn.set_transition_cpt(int(key), _table(entry))
+    return dbn
+
+
+def save_dbn(dbn: DynamicBayesianNetwork, path: PathLike) -> None:
+    """Write a DBN template to a JSON file."""
+    Path(path).write_text(json.dumps(dbn_to_dict(dbn)))
+
+
+def load_dbn(path: PathLike) -> DynamicBayesianNetwork:
+    """Read a DBN template from a JSON file."""
+    return dbn_from_dict(json.loads(Path(path).read_text()))

@@ -24,10 +24,11 @@ CAT_IPC = "ipc"  # process-executor dispatch round-trips
 CAT_FAULT = "fault"  # retries, injected faults, degradations
 CAT_SERVE = "serve"  # inference-service request lifecycles
 CAT_STREAM = "stream"  # streaming-session tick lifecycles / window rolls
+CAT_RECOVERY = "recovery"  # journal replay / checkpoint adoption on restart
 
 CATEGORIES = (
     CAT_EXECUTE, CAT_SCHED, CAT_LOCK, CAT_IPC, CAT_FAULT, CAT_SERVE,
-    CAT_STREAM,
+    CAT_STREAM, CAT_RECOVERY,
 )
 
 # Execution-span roles (stored in ``Span.role``).

@@ -43,13 +43,16 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from repro.bn.network import BayesianNetwork
+from repro.durability.recovery import ModelRecovery
+from repro.durability.store import DurableModelStore
 from repro.obs.metrics import latency_percentiles
-from repro.obs.span import CAT_SERVE
+from repro.obs.span import CAT_RECOVERY, CAT_SERVE
 from repro.obs.tracer import Tracer
 from repro.registry.compiler import (
     CompiledModel,
     compile_model,
     rehydrate_model,
+    stub_cost_bytes,
 )
 from repro.registry.fairness import TenantScheduler
 from repro.serve.report import ServiceReport
@@ -146,6 +149,13 @@ class ModelRegistry:
         per-model service (called once per compile/rehydrate, so evicted
         models' executors are truly released).  ``None`` keeps the
         service defaults.
+    durable_root:
+        Directory compiled-model artifacts (rerooted tree + baseline
+        checkpoint) persist under.  A fresh process registering a model
+        whose artifacts survive there adopts them as a **stub** — the
+        first acquire rehydrates warm instead of paying moralize /
+        triangulate / calibrate cold.  Invalid artifacts (signature
+        mismatch, torn files) are ignored and the model compiles cold.
     """
 
     def __init__(
@@ -161,6 +171,7 @@ class ModelRegistry:
         fallback_factory: Optional[Callable[[], object]] = None,
         heuristic: str = "min-fill",
         clock: Callable[[], float] = time.monotonic,
+        durable_root: Optional[str] = None,
     ):
         if memory_budget is not None and memory_budget < 1:
             raise ValueError("memory_budget must be >= 1 byte (or None)")
@@ -175,6 +186,10 @@ class ModelRegistry:
         self.fallback_factory = fallback_factory
         self.heuristic = heuristic
         self._clock = clock
+        self.durable_root = durable_root
+        self._durable = (
+            DurableModelStore(durable_root) if durable_root is not None else None
+        )
 
         self._lock = threading.Lock()
         self._entries: Dict[str, _Entry] = {}
@@ -190,6 +205,8 @@ class ModelRegistry:
         self.compile_deadline_refusals = 0
         self.budget_overruns = 0
         self.peak_resident_bytes = 0
+        self.recovered_models = 0
+        self.model_recoveries: List[ModelRecovery] = []
 
         # Aggregated totals absorbed from drained per-model services.
         self._totals: Dict[str, int] = {f: 0 for f in _SUMMED_FIELDS}
@@ -220,6 +237,10 @@ class ModelRegistry:
         Exactly one of ``network`` (held by reference) or ``loader`` (a
         zero-arg callable invoked at compile time — the cheap way to
         register thousands of models) must be given.
+
+        With a ``durable_root``, registration also checks the durable
+        model store: validated artifacts from a previous process are
+        adopted as a stub, so the first :meth:`acquire` rehydrates warm.
         """
         if (network is None) == (loader is None):
             raise ValueError("register needs exactly one of network/loader")
@@ -230,8 +251,54 @@ class ModelRegistry:
                 raise ServiceClosed("registry is closed")
             if model_id in self._entries:
                 raise ValueError(f"model {model_id!r} already registered")
-            self._entries[model_id] = _Entry(
-                model_id, loader, threading.Condition(self._lock)
+            entry = _Entry(model_id, loader, threading.Condition(self._lock))
+            self._entries[model_id] = entry
+        if self._durable is not None:
+            self._adopt_durable(entry)
+
+    def _adopt_durable(self, entry: _Entry) -> None:
+        """Promote a cold entry to a stub from durable artifacts.
+
+        Artifact loading and validation (tree parse, checkpoint
+        signature check) run outside the lock; any validation failure
+        leaves the entry cold — a bad artifact is never worth a wrong
+        answer.
+        """
+        t0_ns = time.perf_counter_ns()
+        recovery = ModelRecovery(model_id=entry.model_id, adopted=False)
+        try:
+            loaded = self._durable.load(entry.model_id)
+        except Exception as exc:
+            loaded = None
+            recovery.detail = f"{type(exc).__name__}: {exc}"
+        if loaded is None:
+            if not recovery.detail:
+                recovery.detail = "no durable artifacts"
+            with self._lock:
+                self.model_recoveries.append(recovery)
+            return
+        junction_tree, baseline, meta = loaded
+        recovery.adopted = True
+        recovery.checkpoint_bytes = len(baseline)
+        recovery.detail = "adopted as stub"
+        with self._lock:
+            if entry.state != _COLD:
+                return
+            entry.junction_tree = junction_tree
+            entry.baseline = baseline
+            entry.stub_cost_bytes = stub_cost_bytes(junction_tree, baseline)
+            seconds = meta.get("compile_seconds")
+            if seconds:
+                entry.compile_estimate = float(seconds)
+            entry.state = _STUB
+            self.recovered_models += 1
+            self.model_recoveries.append(recovery)
+            self._make_room(protect=entry.model_id)
+            self._buf.span(
+                f"adopt:{entry.model_id}",
+                CAT_RECOVERY,
+                t0_ns,
+                time.perf_counter_ns(),
             )
 
     def models(self) -> List[str]:
@@ -274,6 +341,8 @@ class ModelRegistry:
                 "resident_bytes": self._resident_bytes_locked(),
                 "peak_resident_bytes": self.peak_resident_bytes,
                 "memory_budget": self.memory_budget,
+                "recovered_models": self.recovered_models,
+                "durable_root": self.durable_root,
                 "models": {
                     m: {
                         "state": e.state,
@@ -378,7 +447,20 @@ class ModelRegistry:
                 time.perf_counter_ns(),
             )
             entry.cond.notify_all()
-            return entry
+        if (
+            self._durable is not None
+            and not rehydrating
+            and compiled.baseline is not None
+        ):
+            # Persist the fresh compile's artifacts (outside the lock —
+            # fsync'd writes are slow) so the NEXT process starts warm.
+            self._durable.save(
+                model_id,
+                compiled.junction_tree,
+                compiled.baseline,
+                compile_seconds=compiled.compile_seconds,
+            )
+        return entry
 
     def _build(
         self, entry: _Entry, rehydrating: bool, deadline_at: Optional[float]
@@ -600,6 +682,7 @@ class ModelRegistry:
             compile_deadline_refusals=self.compile_deadline_refusals,
             peak_resident_bytes=self.peak_resident_bytes,
             memory_budget=self.memory_budget,
+            recoveries=self.recovered_models,
             latency=latency_percentiles(
                 self._served_durations, points=(50, 90, 99)
             ),

@@ -26,11 +26,24 @@ module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 CORRUPTION_MODES = ("nan", "inf", "garbage")
+
+
+class InjectedCrash(BaseException):
+    """A deterministic simulated process death at a planned crash point.
+
+    Derives from :class:`BaseException` so the ordinary ``except
+    Exception`` recovery paths — which a real ``SIGKILL`` would never
+    give a chance to run — cannot swallow it: the injection cuts the
+    worker exactly as hard as the crash it stands in for.  Raised by
+    :class:`~repro.durability.journal.TickJournal` appends and the
+    streaming service's tick lifecycle when a
+    :class:`FaultPlan` crash point fires.
+    """
 
 
 class TaskExecutionError(RuntimeError):
@@ -143,6 +156,21 @@ class FaultPlan:
         would start its Nth task (see :mod:`repro.simcore.policies`).
     sim_delay_task:
         ``{node_index: seconds}`` — simulator-only per-node delay.
+    crash_after_journal_append:
+        Tick sequence numbers after whose journal append the serving
+        process "dies" (:class:`InjectedCrash`): the tick is durable
+        but never executed — recovery must replay it (at-least-once).
+    crash_before_ack:
+        Tick sequence numbers whose execution completes and whose
+        response resolves, but whose ack record never becomes durable:
+        recovery sees an unacked tick and must replay it *idempotently*
+        (the evidence set, not the work order, determines posteriors).
+    torn_append:
+        ``{seq: keep_bytes}`` — the journal append for ``seq`` writes
+        only the first ``keep_bytes`` bytes of the framed record before
+        the process dies, leaving a torn tail the next open must
+        truncate.  ``keep_bytes`` is clamped inside the frame so the
+        record is genuinely unreadable.
     """
 
     kill_before_dispatch: Dict[int, int] = field(default_factory=dict)
@@ -152,6 +180,9 @@ class FaultPlan:
     torn_write: Dict[int, int] = field(default_factory=dict)
     sim_kill_core: Dict[int, int] = field(default_factory=dict)
     sim_delay_task: Dict[int, float] = field(default_factory=dict)
+    crash_after_journal_append: Sequence[int] = ()
+    crash_before_ack: Sequence[int] = ()
+    torn_append: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         for tid, spec in self.corrupt_task.items():
@@ -179,6 +210,17 @@ class FaultPlan:
                 raise ValueError(
                     f"torn-write entry count for task {tid} must be >= 1"
                 )
+        for seq in tuple(self.crash_after_journal_append) + tuple(
+            self.crash_before_ack
+        ):
+            if seq < 0:
+                raise ValueError(f"crash-point seq must be >= 0, got {seq}")
+        for seq, keep in self.torn_append.items():
+            if seq < 0 or keep < 1:
+                raise ValueError(
+                    f"torn append needs seq >= 0 and keep_bytes >= 1, "
+                    f"got seq {seq} keeping {keep}"
+                )
         self._taken_kills: set = set()
         self._taken_delays: set = set()
         self._taken_corruptions: set = set()
@@ -186,6 +228,9 @@ class FaultPlan:
         self._taken_torn: set = set()
         self._taken_sim_kills: set = set()
         self._taken_sim_delays: set = set()
+        self._taken_crash_appends: set = set()
+        self._taken_crash_acks: set = set()
+        self._taken_torn_appends: set = set()
 
     # ------------------------------------------------------------------ #
     # One-shot consumption (master-side; workers never see the plan)
@@ -253,6 +298,30 @@ class FaultPlan:
             return self.sim_delay_task[node_index]
         return 0.0
 
+    def take_crash_after_append(self, seq: int) -> bool:
+        """True if the process should die right after ``seq``'s append."""
+        if (
+            seq in self.crash_after_journal_append
+            and seq not in self._taken_crash_appends
+        ):
+            self._taken_crash_appends.add(seq)
+            return True
+        return False
+
+    def take_crash_before_ack(self, seq: int) -> bool:
+        """True if the process should die before ``seq``'s ack append."""
+        if seq in self.crash_before_ack and seq not in self._taken_crash_acks:
+            self._taken_crash_acks.add(seq)
+            return True
+        return False
+
+    def take_torn_append(self, seq: int) -> Optional[int]:
+        """Frame bytes to keep of ``seq``'s torn append, or ``None``."""
+        if seq in self.torn_append and seq not in self._taken_torn_appends:
+            self._taken_torn_appends.add(seq)
+            return self.torn_append[seq]
+        return None
+
     @property
     def empty(self) -> bool:
         return not (
@@ -263,6 +332,9 @@ class FaultPlan:
             or self.torn_write
             or self.sim_kill_core
             or self.sim_delay_task
+            or self.crash_after_journal_append
+            or self.crash_before_ack
+            or self.torn_append
         )
 
 

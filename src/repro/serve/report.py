@@ -49,6 +49,14 @@ class ServiceReport:
     ticks_failed: int = 0
     window_rolls: int = 0
     per_stream: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Durability accounting (zero without a durable root): journal
+    # records replayed into rebuilt sessions at recovery, unacked ticks
+    # recovery could not re-apply (dropped with a durable ack), and how
+    # many recovery passes ran (construction-time for the streaming
+    # service, per adopted model for the registry).
+    replayed_ticks: int = 0
+    dropped_unacked: int = 0
+    recoveries: int = 0
     # Micro-batching accounting: how many batched propagations ran, how
     # many flights they carried, how many flights went through the
     # single-flight path, and how many batch cases were quarantined for
@@ -142,6 +150,9 @@ class ServiceReport:
             "ticks_deadline": self.ticks_deadline,
             "ticks_failed": self.ticks_failed,
             "window_rolls": self.window_rolls,
+            "replayed_ticks": self.replayed_ticks,
+            "dropped_unacked": self.dropped_unacked,
+            "recoveries": self.recoveries,
             "per_stream": {s: dict(c) for s, c in self.per_stream.items()},
             "tier_counts": dict(self.tier_counts),
             "breaker_transitions": [str(t) for t in self.breaker_transitions],
@@ -207,6 +218,12 @@ class ServiceReport:
                 f" {self.ticks_deadline} deadline,"
                 f" {self.ticks_failed} failed,"
                 f" {self.window_rolls} window rolls)"
+            )
+        if self.recoveries or self.replayed_ticks or self.dropped_unacked:
+            lines.append(
+                f"recovered          {self.replayed_ticks:8d}"
+                f"   ticks replayed in {self.recoveries} recoveries"
+                f" ({self.dropped_unacked} unacked dropped)"
             )
         if self.per_stream:
             lines.append("per-stream:")

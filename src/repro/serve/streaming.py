@@ -19,10 +19,24 @@ queue (``max_pending``), and a full queue refuses new ticks immediately
 starving other streams.  Ticks of one stream are processed strictly in
 admission order by at most one worker at a time; different streams
 progress in parallel.
+
+With a ``durable_root``, the service is additionally **crash-durable**:
+every admitted tick is journaled to a per-stream write-ahead log
+(:class:`~repro.durability.journal.TickJournal`) *before* it executes,
+every outcome is journaled after it resolves, and a freshly constructed
+service on the same root replays the journals through
+:class:`~repro.durability.recovery.RecoveryManager` before accepting
+traffic — acked posteriors are exactly-once (replay reproduces them
+bit-for-bit), unacked ticks are at-least-once internally.  The
+sequence-number assignment and all journal writes happen on the one
+worker serving the stream, so the journal order *is* the admission
+order.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import threading
 import time
@@ -32,9 +46,12 @@ from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.durability.journal import TickJournal, atomic_write_text
+from repro.durability.recovery import RecoveryManager, RecoveryReport
 from repro.obs.metrics import latency_percentiles
 from repro.obs.span import CAT_STREAM
 from repro.obs.tracer import Tracer
+from repro.sched.faults import InjectedCrash
 from repro.serve.report import ServiceReport
 from repro.serve.request import (
     STATUS_DEADLINE,
@@ -101,6 +118,7 @@ class StreamHandle:
         session: FilteringSession,
         query_vars: Optional[Sequence[int]],
         max_pending: int,
+        journal: Optional[TickJournal] = None,
     ):
         self.name = name
         self.session = session
@@ -108,6 +126,10 @@ class StreamHandle:
             [int(v) for v in query_vars] if query_vars is not None else None
         )
         self.max_pending = max_pending
+        self.journal = journal
+        # Next WAL sequence number; touched only by the single worker
+        # currently serving this stream (and by recovery, pre-traffic).
+        self.next_seq = journal.next_seq if journal is not None else 0
         self.pending: "deque[_TickJob]" = deque()
         self.scheduled = False
         self.closed = False
@@ -147,6 +169,19 @@ class StreamingService:
     default_deadline:
         Per-tick deadline (seconds from push) applied when
         :meth:`push_tick` gives none; ``None`` means unbounded.
+    durable_root:
+        Directory the service journals to and recovers from; ``None``
+        keeps the service purely in-memory (the pre-durability
+        behavior).  On construction any streams already durable under
+        the root are rebuilt (journal replay) *before* the service
+        accepts traffic; :attr:`recovery_report` describes what was
+        replayed.
+    fault_plan:
+        Optional :class:`~repro.sched.faults.FaultPlan` wiring
+        deterministic crash points (``crash_after_journal_append``,
+        ``crash_before_ack``, ``torn_append``) into the journal path;
+        an injected crash kills the serving worker silently, simulating
+        ``SIGKILL`` at that exact byte (:attr:`crashed` turns true).
     """
 
     def __init__(
@@ -158,6 +193,8 @@ class StreamingService:
         max_pending: int = 8,
         executor_factory=None,
         default_deadline: Optional[float] = None,
+        durable_root: Optional[str] = None,
+        fault_plan=None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -167,6 +204,8 @@ class StreamingService:
         self.max_pending = max_pending
         self.executor_factory = executor_factory
         self.default_deadline = default_deadline
+        self.durable_root = durable_root
+        self.fault_plan = fault_plan
 
         self._streams: Dict[str, StreamHandle] = {}
         self._lock = threading.Lock()
@@ -179,6 +218,9 @@ class StreamingService:
             "ticks_failed": 0,
             "ticks_closed": 0,
             "window_rolls": 0,
+            "replayed_ticks": 0,
+            "dropped_unacked": 0,
+            "recoveries": 0,
         }
         self._tracer = Tracer()
         self._started_ns = time.perf_counter_ns()
@@ -186,6 +228,8 @@ class StreamingService:
         self._report: Optional[ServiceReport] = None
         self._lifecycle_lock = threading.Lock()
         self._seq = 0
+        self._crash_event = threading.Event()
+        self._recovery: Optional[RecoveryReport] = None
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -197,6 +241,40 @@ class StreamingService:
         ]
         for thread in self._workers:
             thread.start()
+        if durable_root is not None:
+            self._recover(durable_root)
+
+    def _recover(self, root: str) -> None:
+        """Rebuild durable streams from ``root`` before serving traffic."""
+        streams_dir = os.path.join(root, "streams")
+        os.makedirs(streams_dir, exist_ok=True)
+        template = os.path.join(streams_dir, "_template.json")
+        if not os.path.isfile(template):
+            from repro.io.json_io import dbn_to_dict
+
+            atomic_write_text(
+                template, json.dumps(dbn_to_dict(self.dbn), separators=(",", ":"))
+            )
+        row = len(self._workers)
+        buf = self._tracer.buffer(row)
+        self._tracer.name_row(row, "recovery")
+        report = RecoveryManager(root).recover_streams(self, span_buffer=buf)
+        self._recovery = report
+        with self._lock:
+            self._counts["replayed_ticks"] += report.replayed_ticks
+            self._counts["dropped_unacked"] += report.dropped_unacked
+            if report.streams:
+                self._counts["recoveries"] += 1
+
+    @property
+    def recovery_report(self) -> Optional[RecoveryReport]:
+        """What construction-time recovery replayed (None without one)."""
+        return self._recovery
+
+    @property
+    def crashed(self) -> bool:
+        """Whether an injected crash point has killed a serving worker."""
+        return self._crash_event.is_set()
 
     # ------------------------------------------------------------------ #
     # Subscription / admission
@@ -221,20 +299,21 @@ class StreamingService:
         response reports (default: all of them).  The stream gets its
         own :class:`~repro.streaming.FilteringSession` — window state is
         per stream and never shared — and its own executor from
-        ``executor_factory``.
+        ``executor_factory``.  Under a ``durable_root`` the stream also
+        gets its own write-ahead journal (opening it truncates any torn
+        tail from a previous crash) and a durable ``meta.json`` so a
+        fresh process can re-subscribe it with the same geometry.
         """
         if self._closed:
             raise ServiceClosed("streaming service is draining")
-        executor = (
-            self.executor_factory() if self.executor_factory else None
+        window = window if window is not None else self.window
+        retire = retire if retire is not None else self.retire
+        max_pending = (
+            max_pending if max_pending is not None else self.max_pending
         )
-        session = FilteringSession(
-            self.dbn,
-            window=window if window is not None else self.window,
-            retire=retire if retire is not None else self.retire,
-            executor=executor,
-            incremental=incremental,
-        )
+        # Reserve the name first so session/journal construction (slow,
+        # filesystem-touching) runs outside the lock without racing a
+        # duplicate subscribe.
         with self._lock:
             if self._closed:
                 raise ServiceClosed("streaming service is draining")
@@ -243,12 +322,50 @@ class StreamingService:
                 name = f"stream-{self._seq}"
             if name in self._streams:
                 raise ValueError(f"stream {name!r} already subscribed")
-            handle = StreamHandle(
-                name,
-                session,
-                query_vars,
-                max_pending if max_pending is not None else self.max_pending,
+            self._streams[name] = None  # reservation
+        journal = None
+        try:
+            executor = (
+                self.executor_factory() if self.executor_factory else None
             )
+            session = FilteringSession(
+                self.dbn,
+                window=window,
+                retire=retire,
+                executor=executor,
+                incremental=incremental,
+            )
+            if self.durable_root is not None:
+                stream_dir = os.path.join(self.durable_root, "streams", name)
+                os.makedirs(stream_dir, exist_ok=True)
+                atomic_write_text(
+                    os.path.join(stream_dir, "meta.json"),
+                    json.dumps(
+                        {
+                            "window": window,
+                            "retire": retire,
+                            "max_pending": max_pending,
+                            "incremental": incremental,
+                            "query_vars": (
+                                [int(v) for v in query_vars]
+                                if query_vars is not None
+                                else None
+                            ),
+                        }
+                    ),
+                )
+                journal = TickJournal(stream_dir, fault_plan=self.fault_plan)
+            handle = StreamHandle(
+                name, session, query_vars, max_pending, journal=journal
+            )
+        except BaseException:
+            if journal is not None:
+                journal.close()
+            with self._lock:
+                if self._streams.get(name) is None:
+                    self._streams.pop(name, None)
+            raise
+        with self._lock:
             self._streams[name] = handle
         return handle
 
@@ -377,16 +494,27 @@ class StreamingService:
                             handle._sentinel_sent = True
                         break
                     job = handle.pending.popleft()
-                self._serve_tick(handle, job)
+                try:
+                    self._serve_tick(handle, job)
+                except InjectedCrash:
+                    # A planned crash point fired: die exactly like
+                    # SIGKILL would — no resolution, no sentinel, no
+                    # cleanup.  Recovery (a fresh service on the same
+                    # durable root) is the only way forward.
+                    self._crash_event.set()
+                    return
             if send_sentinel:
                 handle.updates_queue.put(None)
 
     def _serve_tick(self, handle: StreamHandle, job: _TickJob) -> None:
         session = handle.session
+        journal = handle.journal
         if (
             job.deadline_at is not None
             and time.monotonic() >= job.deadline_at
         ):
+            # Expired before execution: nothing was journaled, nothing
+            # needs to be — the evidence never touched the stream.
             self._bump("ticks_deadline")
             handle._count("deadline")
             self._resolve(
@@ -399,6 +527,14 @@ class StreamingService:
                 ),
             )
             return
+        seq = -1
+        if journal is not None:
+            # Write-ahead: the tick is durable before it executes.  An
+            # InjectedCrash from a planned crash point propagates to the
+            # worker loop (simulated SIGKILL).
+            seq = handle.next_seq
+            handle.next_seq = seq + 1
+            journal.append_tick(seq, job.delta)
         try:
             result = session.tick(job.delta, deadline=job.deadline_at)
         except TickDeadline as exc:
@@ -413,6 +549,8 @@ class StreamingService:
                     error=str(exc),
                 ),
             )
+            if journal is not None:
+                journal.append_ack(seq, "refused")
             return
         except Exception as exc:  # TickFailed and anything unexpected
             if not isinstance(exc, TickFailed):
@@ -433,6 +571,8 @@ class StreamingService:
                     error=f"{type(exc).__name__}: {exc}",
                 ),
             )
+            if journal is not None:
+                journal.append_ack(seq, "refused")
             return
         marginals = session.posteriors(handle.query_vars, t=result.t)
         if result.rolled:
@@ -452,6 +592,24 @@ class StreamingService:
                 incremental=result.incremental,
             ),
         )
+        if journal is not None:
+            # The window between the client seeing the answer (above)
+            # and the durable ack (below) is the at-least-once window:
+            # a crash here leaves the tick unacked and recovery replays
+            # it — idempotently, since posteriors depend only on the
+            # evidence set.
+            if self.fault_plan is not None and self.fault_plan.take_crash_before_ack(
+                seq
+            ):
+                raise InjectedCrash(f"crash before ack of seq {seq}")
+            journal.append_ack(seq, "ok", t=result.t)
+            if result.rolled:
+                # Retired slices just left the in-memory window; fold
+                # them into the segment snapshot so replay cost stays
+                # bounded by the window, not the stream's lifetime.
+                journal.rotate(
+                    session.snapshot_state(), next_seq=handle.next_seq
+                )
 
     def _resolve(
         self, handle: StreamHandle, job: _TickJob, response: TickResponse
@@ -488,6 +646,8 @@ class StreamingService:
                 # currently owns, so nothing is stranded behind the
                 # sentinels.
                 for handle in self._streams.values():
+                    if handle is None:
+                        continue
                     if handle.pending and not handle.scheduled:
                         handle.scheduled = True
                         self._ready.put(handle)
@@ -498,12 +658,19 @@ class StreamingService:
             # Streams never scheduled after close still need their update
             # feeds terminated.
             for handle in list(self._streams.values()):
+                if handle is None:
+                    continue
                 with self._lock:
                     send = not handle._sentinel_sent
                     if send:
                         handle._sentinel_sent = True
                 if send:
                     handle.updates_queue.put(None)
+            # Every pending tick has resolved (or the process is
+            # simulating death); flush and release the journals.
+            for handle in list(self._streams.values()):
+                if handle is not None and handle.journal is not None:
+                    handle.journal.close()
             self._report = self._build_report()
             return self._report
 
@@ -519,8 +686,9 @@ class StreamingService:
             per_stream = {
                 name: dict(handle.counts)
                 for name, handle in self._streams.items()
+                if handle is not None
             }
-            streams = len(self._streams)
+            streams = len(per_stream)
         return ServiceReport(
             submitted=counts["submitted"],
             served_ok=counts["ticks_ok"],
@@ -533,6 +701,9 @@ class StreamingService:
             ticks_deadline=counts["ticks_deadline"],
             ticks_failed=counts["ticks_failed"],
             window_rolls=counts["window_rolls"],
+            replayed_ticks=counts["replayed_ticks"],
+            dropped_unacked=counts["dropped_unacked"],
+            recoveries=counts["recoveries"],
             per_stream=per_stream,
             latency=latency_percentiles(ok_spans, points=(50, 90, 99)),
             wall_seconds=(time.perf_counter_ns() - self._started_ns) * 1e-9,

@@ -305,6 +305,85 @@ class FilteringSession:
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------ #
+    # Durable state (checkpoint / restore for crash recovery)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready capture of everything that determines this session.
+
+        The window geometry is constructor state; everything else — the
+        absolute clock (``base``/``t``), the applied evidence, the
+        rolled ghost prior, the tick/roll counters — is here.  Hard
+        findings serialize as ints, soft findings and the ghost joint
+        as float lists; both round-trip through JSON bit-exactly, so a
+        session restored by :meth:`restore_state` answers posteriors
+        identically to the one that snapshotted.
+        """
+        evidence: Dict[str, Dict[str, object]] = {}
+        for t, delta in self._evidence.items():
+            encoded: Dict[str, object] = {}
+            for v, finding in delta.items():
+                if isinstance(finding, (int, np.integer)):
+                    encoded[str(int(v))] = int(finding)
+                else:
+                    encoded[str(int(v))] = [
+                        float(w)
+                        for w in np.asarray(
+                            finding, dtype=np.float64
+                        ).reshape(-1)
+                    ]
+            evidence[str(int(t))] = encoded
+        ghost = (
+            self._ghost_joint.values.reshape(-1).tolist()
+            if self._ghost_joint is not None
+            else None
+        )
+        return {
+            "base": int(self.base),
+            "t": int(self.t),
+            "ticks": int(self.ticks),
+            "rolls": int(self.rolls),
+            "evidence": evidence,
+            "ghost": ghost,
+        }
+
+    def restore_state(self, doc: Mapping[str, object]) -> None:
+        """Adopt a :meth:`snapshot_state` capture and rebuild the engine.
+
+        The session must have been constructed over the same DBN with
+        the same window geometry (the snapshot stores neither); the
+        rebuild is a full :meth:`resync`, so on success the session is
+        calibrated and immediately answers posteriors for the restored
+        evidence.
+        """
+        evidence: Dict[int, Dict[int, object]] = {}
+        for t_key, encoded in doc["evidence"].items():
+            delta: Dict[int, object] = {}
+            for v_key, finding in encoded.items():
+                if isinstance(finding, (int, np.integer)):
+                    delta[int(v_key)] = int(finding)
+                else:
+                    delta[int(v_key)] = np.asarray(finding, dtype=np.float64)
+            evidence[int(t_key)] = delta
+        ghost = doc.get("ghost")
+        if ghost is not None:
+            cards = [self.dbn.slice_cards[v] for v in self._interface]
+            joint = PotentialTable(
+                self._interface,
+                cards,
+                np.asarray(ghost, dtype=np.float64).reshape(tuple(cards)),
+            )
+        else:
+            joint = None
+        self.base = int(doc["base"])
+        self.t = int(doc["t"])
+        self.ticks = int(doc.get("ticks", 0))
+        self.rolls = int(doc.get("rolls", 0))
+        self._evidence = evidence
+        self._ghost_joint = joint
+        self.resync()
+
+    # ------------------------------------------------------------------ #
     # Rolling
     # ------------------------------------------------------------------ #
 

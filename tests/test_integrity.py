@@ -234,6 +234,55 @@ class TestCheckpointRoundTrip:
             engine.checkpoint(io.BytesIO())
 
 
+class TestCheckpointCrashAtomicity:
+    def test_kill_mid_save_leaves_previous_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A process killed mid-``save_state`` must never tear the
+        checkpoint at the target path: the archive is written to a temp
+        file and renamed over the target only once fully durable."""
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.observe(0, 1)
+        engine.propagate()
+        path = tmp_path / "state.npz"
+        engine.checkpoint(path)
+        original = path.read_bytes()
+
+        engine.observe(2, 0)
+        engine.propagate()
+        real_savez = np.savez
+
+        def dies_mid_write(target, **entries):
+            if hasattr(target, "write"):  # the temp-file handle
+                target.write(b"PK\x03\x04 torn half-written archive")
+                raise KeyboardInterrupt("simulated kill mid-save")
+            return real_savez(target, **entries)
+
+        monkeypatch.setattr(np, "savez", dies_mid_write)
+        with pytest.raises(KeyboardInterrupt):
+            engine.checkpoint(path)
+        monkeypatch.setattr(np, "savez", real_savez)
+
+        # The target is byte-identical to the pre-crash checkpoint, no
+        # temp debris survives, and the archive still restores.
+        assert path.read_bytes() == original
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+        restored = InferenceEngine.from_checkpoint(tree, path)
+        assert restored.evidence.as_dict() == {0: 1}
+
+    def test_save_without_npz_suffix_lands_atomically(self, tmp_path):
+        """np.savez appends ``.npz`` to bare paths; the atomic-replace
+        path must land on that same final name."""
+        tree = _tree(seed=7)
+        engine = InferenceEngine(tree)
+        engine.propagate()
+        bare = tmp_path / "state"
+        engine.checkpoint(bare)
+        assert (tmp_path / "state.npz").is_file()
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]
+
+
 # --------------------------------------------------------------------- #
 # Typed refusals
 # --------------------------------------------------------------------- #

@@ -8,7 +8,7 @@ exact (marginals match a fresh serial-oracle propagation to 1e-9) or an
 explicit refusal** (shed / stale / deadline / failed) — never a silently
 corrupted posterior.
 
-Five phases:
+Six phases:
 
 * **Phase A — thread storm.**  Many client threads hammer a small
   admission queue with mixed deadlines, priorities and staleness
@@ -44,6 +44,13 @@ Five phases:
   checkpoint.  Every ``ok`` answer must match *its own model's* oracle
   (no cross-model contamination), quota/compile-deadline refusals must
   be typed, and zero responses may be lost.
+* **Phase F — process crash + journal recovery.**  A real child serving
+  process (:mod:`repro.durability.harness`) is ``SIGKILL``'d
+  mid-traffic, twice, against one durable root — with a deliberately
+  torn journal tail injected between incarnations.  Every acked tick
+  must survive into the recovered state, every acked posterior must
+  match the offline unrolled oracle at 1e-9, no seq may be acked by two
+  incarnations, and the torn tail must be truncated, never parsed.
 
 Exit status 0 when every invariant holds, 1 otherwise.  The schedule is
 fully determined by ``--seed``; timing-dependent *outcomes* (how many
@@ -57,7 +64,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import random
+import shutil
 import sys
 import threading
 import time
@@ -738,6 +747,112 @@ def phase_e(seed: int, duration: float, failures: List[str]):
     return report
 
 
+def phase_f(seed: int, duration: float, failures: List[str]):
+    """SIGKILL a real child serving process mid-traffic; verify recovery.
+
+    Two kill cycles plus a clean finish against one durable root:
+
+    * every acked tick's posterior must equal the offline unrolled
+      oracle at 1e-9 (exactness survives the crash),
+    * every acked seq must be applied in the recovered state (no acked
+      tick lost — the write-ahead journal held),
+    * no seq may be acked by two incarnations (no double-ack),
+    * a deliberately torn journal tail must be truncated, not trusted.
+    """
+    print("== phase F: process crash + journal recovery (SIGKILL) ==")
+    import tempfile
+
+    from repro.durability import harness
+
+    ticks = max(12, int(duration * 2))
+    root = tempfile.mkdtemp(prefix="soak-phase-f-")
+    dbn = harness.build_demo_dbn(seed)
+    schedule = harness.build_schedule(seed, ticks)
+
+    all_acked: Dict[int, List[float]] = {}
+
+    def record_acks(acks, cycle: str) -> None:
+        for ack in acks:
+            seq = int(ack["seq"])
+            if seq in all_acked:
+                failures.append(
+                    f"phase F {cycle}: seq {seq} acked twice across "
+                    f"incarnations — double-ack"
+                )
+            all_acked[seq] = ack["m"]
+
+    # Cycle 1: kill after ~1/3 of the schedule.
+    proc = harness.spawn_child(root, seed, ticks)
+    acks, recovered, done = harness.read_acks(proc, count=max(3, ticks // 3))
+    harness.kill_child(proc)
+    if done or not acks:
+        failures.append(
+            f"phase F cycle 1: expected a mid-traffic kill, got "
+            f"done={done} acks={len(acks)}"
+        )
+    failures.extend(harness.verify_acks(dbn, schedule, acks))
+    record_acks(acks, "cycle 1")
+    killed_at = len(all_acked)
+
+    # Deliberately tear the journal tail: append half a record's worth
+    # of garbage after the kill.  Recovery must cut it, not parse it.
+    import glob
+
+    segments = sorted(
+        glob.glob(os.path.join(root, "streams", harness.STREAM_NAME, "*.wal"))
+    )
+    if segments:
+        with open(segments[-1], "ab") as handle:
+            handle.write(b"\xc4W\xff\xff")  # magic + torn length field
+    else:
+        failures.append("phase F: no journal segments on disk after kill")
+
+    # Cycle 2: recover, kill again after a few more acks.
+    proc = harness.spawn_child(root, seed, ticks)
+    acks, recovered, done = harness.read_acks(proc, count=3)
+    harness.kill_child(proc)
+    if recovered is None:
+        failures.append("phase F cycle 2: child reported no recovery")
+    else:
+        applied = set(recovered["applied_seqs"]) | set(
+            range(
+                int(recovered["final_t"]) - len(recovered["applied_seqs"])
+            )
+        )
+        lost = {s for s in all_acked if s < killed_at} - applied
+        if lost:
+            failures.append(
+                f"phase F cycle 2: acked seqs {sorted(lost)} missing from "
+                f"the recovered state — acked ticks LOST"
+            )
+        if recovered["torn_bytes"] <= 0:
+            failures.append(
+                "phase F cycle 2: injected torn tail was not truncated "
+                f"(torn_bytes={recovered['torn_bytes']})"
+            )
+    failures.extend(harness.verify_acks(dbn, schedule, acks))
+    record_acks(acks, "cycle 2")
+
+    # Cycle 3: run to completion.
+    proc = harness.spawn_child(root, seed, ticks)
+    acks, recovered, done = harness.read_acks(proc, timeout=120.0)
+    proc.wait()
+    if not done:
+        failures.append("phase F cycle 3: child never finished cleanly")
+    failures.extend(harness.verify_acks(dbn, schedule, acks))
+    record_acks(acks, "cycle 3")
+    if done and len(all_acked) != ticks:
+        failures.append(
+            f"phase F: {len(all_acked)} of {ticks} ticks acked across "
+            f"all incarnations — schedule did not complete exactly once"
+        )
+    shutil.rmtree(root, ignore_errors=True)
+    print(
+        f"(killed 2 children; {len(all_acked)}/{ticks} ticks acked "
+        f"exactly once, all exact at 1e-9)"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -764,11 +879,11 @@ def main(argv=None) -> int:
 
     if args.phases is not None:
         selected = set(args.phases.upper())
-        unknown = selected - set("ABCDE")
+        unknown = selected - set("ABCDEF")
         if unknown:
             parser.error(f"unknown phases: {''.join(sorted(unknown))}")
     else:
-        selected = set("ABCDE")
+        selected = set("ABCDEF")
         if args.skip_process:
             selected -= set("BC")
 
@@ -785,6 +900,8 @@ def main(argv=None) -> int:
         phase_d(args.seed, args.duration, failures)
     if "E" in selected:
         phase_e(args.seed, args.duration, failures)
+    if "F" in selected:
+        phase_f(args.seed, args.duration, failures)
     elapsed = time.monotonic() - started
 
     print(f"== soak finished in {elapsed:.1f} s ==")
